@@ -1,0 +1,86 @@
+package duo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"duo/internal/attack"
+	"duo/internal/baseline"
+	"duo/internal/core"
+)
+
+// BaselineName identifies one of the paper's comparison attacks.
+type BaselineName string
+
+// The baselines of §V-B.
+const (
+	// BaselineVanilla is random frame/pixel selection plus the SimBA query
+	// attack [53].
+	BaselineVanilla BaselineName = "Vanilla"
+	// BaselineTIMI is the dense translation-invariant momentum-iterative
+	// transfer attack [25] (no victim queries).
+	BaselineTIMI BaselineName = "TIMI"
+	// BaselineHEUNes is the heuristic black-box attack [16] with
+	// motion-saliency ("nature-estimated") support selection.
+	BaselineHEUNes BaselineName = "HEU-Nes"
+	// BaselineHEUSim is HEU with Vanilla's random support selection.
+	BaselineHEUSim BaselineName = "HEU-Sim"
+)
+
+// BaselineNames lists the comparison attacks in table order.
+func BaselineNames() []BaselineName {
+	return []BaselineName{BaselineVanilla, BaselineTIMI, BaselineHEUNes, BaselineHEUSim}
+}
+
+// AttackBaseline runs one of the paper's comparison attacks with budgets
+// matched to DUO's (AttackOptions semantics are identical to Attack's;
+// TIMI ignores Queries since it never queries the victim). The surrogate
+// is only used by TIMI and may be nil for the other baselines.
+func (s *System) AttackBaseline(name BaselineName, v, vt *Video, surr Model, opts AttackOptions) (*Report, error) {
+	tcfg := core.DefaultTransferConfig(s.geom)
+	if opts.K > 0 {
+		tcfg.K = opts.K
+	}
+	if opts.N > 0 {
+		tcfg.N = opts.N
+	}
+	if opts.Tau > 0 {
+		tcfg.Tau = opts.Tau
+	}
+	queries := opts.Queries
+	if queries <= 0 {
+		queries = 600
+	}
+	if opts.Seed == 0 {
+		opts.Seed = s.opts.Seed + 17
+	}
+	ctx := &attack.Context{Victim: s.Victim, M: s.M, Rng: rand.New(rand.NewSource(opts.Seed))}
+
+	var out *attack.Outcome
+	var err error
+	switch name {
+	case BaselineVanilla:
+		cfg := baseline.DefaultVanillaConfig(tcfg)
+		cfg.MaxQueries = queries
+		out, err = baseline.RunVanilla(ctx, v, vt, cfg)
+	case BaselineTIMI:
+		if surr == nil {
+			return nil, fmt.Errorf("duo: TIMI needs a surrogate model")
+		}
+		out, err = baseline.RunTIMI(surr, v, vt, baseline.DefaultTIMIConfig())
+	case BaselineHEUNes, BaselineHEUSim:
+		sel := baseline.SelectionSaliency
+		if name == BaselineHEUSim {
+			sel = baseline.SelectionRandom
+		}
+		cfg := baseline.DefaultHEUConfig(sel, tcfg.K, tcfg.N, tcfg.Tau)
+		cfg.MaxQueries = queries
+		out, err = baseline.RunHEU(ctx, v, vt, cfg)
+	default:
+		return nil, fmt.Errorf("duo: unknown baseline %q (have %v)", name, BaselineNames())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.report(v, vt, out), nil
+}

@@ -1,0 +1,75 @@
+package duo
+
+import "testing"
+
+func TestAttackBaselineVanilla(t *testing.T) {
+	sys, _ := sharedSystem(t)
+	pair := sys.SamplePairs(8, 1)[0]
+	rep, err := sys.AttackBaseline(BaselineVanilla, pair.Original, pair.Target, nil,
+		AttackOptions{Queries: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 || rep.Queries > 40 {
+		t.Errorf("queries = %d", rep.Queries)
+	}
+	if rep.Spa == 0 {
+		t.Error("no perturbation recorded")
+	}
+}
+
+func TestAttackBaselineTIMI(t *testing.T) {
+	sys, surr := sharedSystem(t)
+	pair := sys.SamplePairs(9, 1)[0]
+	rep, err := sys.AttackBaseline(BaselineTIMI, pair.Original, pair.Target, surr, AttackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 0 {
+		t.Errorf("TIMI used %d queries, want 0", rep.Queries)
+	}
+	// Dense: perturbs most of the clip.
+	if float64(rep.Spa) < 0.5*float64(pair.Original.Data.Len()) {
+		t.Errorf("TIMI Spa = %d, expected dense", rep.Spa)
+	}
+	if rep.SSIM >= 1 {
+		t.Errorf("TIMI SSIM = %g, expected < 1", rep.SSIM)
+	}
+}
+
+func TestAttackBaselineTIMINeedsSurrogate(t *testing.T) {
+	sys, _ := sharedSystem(t)
+	pair := sys.SamplePairs(10, 1)[0]
+	if _, err := sys.AttackBaseline(BaselineTIMI, pair.Original, pair.Target, nil, AttackOptions{}); err == nil {
+		t.Error("nil surrogate accepted for TIMI")
+	}
+}
+
+func TestAttackBaselineHEUVariants(t *testing.T) {
+	sys, _ := sharedSystem(t)
+	pair := sys.SamplePairs(11, 1)[0]
+	for _, name := range []BaselineName{BaselineHEUNes, BaselineHEUSim} {
+		rep, err := sys.AttackBaseline(name, pair.Original, pair.Target, nil,
+			AttackOptions{Queries: 40})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Queries > 40 {
+			t.Errorf("%s queries = %d", name, rep.Queries)
+		}
+	}
+}
+
+func TestAttackBaselineUnknown(t *testing.T) {
+	sys, _ := sharedSystem(t)
+	pair := sys.SamplePairs(12, 1)[0]
+	if _, err := sys.AttackBaseline("FGSM", pair.Original, pair.Target, nil, AttackOptions{}); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestBaselineNamesComplete(t *testing.T) {
+	if got := len(BaselineNames()); got != 4 {
+		t.Errorf("baselines = %d, want 4", got)
+	}
+}

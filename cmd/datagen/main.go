@@ -1,0 +1,81 @@
+// Command datagen generates a synthetic video corpus (the UCF101/HMDB51
+// stand-in of DESIGN.md §2) and persists it with encoding/gob, or inspects
+// an existing corpus file.
+//
+// Usage:
+//
+//	datagen -out ucf101sim.gob -categories 6 -train 8 -test 4
+//	datagen -inspect ucf101sim.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"duo/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		out        = fs.String("out", "", "output corpus file")
+		inspect    = fs.String("inspect", "", "inspect an existing corpus file and exit")
+		name       = fs.String("name", "UCF101Sim", "corpus name")
+		categories = fs.Int("categories", 6, "number of categories")
+		train      = fs.Int("train", 8, "training videos per category")
+		test       = fs.Int("test", 4, "test videos per category")
+		frames     = fs.Int("frames", 16, "frames per clip")
+		size       = fs.Int("size", 16, "frame height and width")
+		seed       = fs.Int64("seed", 1, "generation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *inspect != "" {
+		c, err := dataset.ReadFile(*inspect)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("corpus %s: %d categories, %d train / %d test videos\n",
+			c.Name, c.Categories, len(c.Train), len(c.Test))
+		if len(c.Train) > 0 {
+			v := c.Train[0]
+			fmt.Printf("clip geometry: %d frames × %d×%d×%d channels (example: %s)\n",
+				v.Frames(), v.Height(), v.Width(), v.Channels(), v.ID)
+		}
+		return nil
+	}
+
+	if *out == "" {
+		return fmt.Errorf("need -out (or -inspect)")
+	}
+	c, err := dataset.Generate(dataset.Config{
+		Name:             *name,
+		Categories:       *categories,
+		TrainPerCategory: *train,
+		TestPerCategory:  *test,
+		Frames:           *frames,
+		Channels:         3,
+		Height:           *size,
+		Width:            *size,
+		Seed:             *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := c.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d train / %d test videos across %d categories\n",
+		*out, len(c.Train), len(c.Test), c.Categories)
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.gob")
+	err := run([]string{"-out", out, "-categories", "3", "-train", "3", "-test", "2",
+		"-frames", "4", "-size", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-inspect", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingOut(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -out accepted")
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	if err := run([]string{"-inspect", "/nonexistent/x.gob"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.gob")
+	if err := run([]string{"-out", out, "-categories", "1"}); err == nil {
+		t.Error("1-category corpus accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownVictim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-victim", "AlexNet"}); err == nil {
+		t.Error("unknown victim accepted")
+	}
+}
+
+func TestRunRejectsUnknownLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-loss", "FocalLoss"}); err == nil {
+		t.Error("unknown loss accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

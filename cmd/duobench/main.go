@@ -1,0 +1,104 @@
+// Command duobench regenerates the paper's tables and figures on the
+// scaled-down substrate.
+//
+// Usage:
+//
+//	duobench -exp table2              # one experiment
+//	duobench -exp table2,fig5        # several
+//	duobench -exp all -scale small   # everything, bench scale
+//	duobench -list                   # show experiment ids
+//
+// Add -markdown to emit GitHub tables (used to build EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"duo/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "duobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("duobench", flag.ContinueOnError)
+	var (
+		expFlag  = fs.String("exp", "all", "comma-separated experiment ids, or \"all\"")
+		scale    = fs.String("scale", "tiny", "scale preset: tiny or small")
+		seed     = fs.Int64("seed", 1, "experiment seed")
+		markdown = fs.Bool("markdown", false, "emit markdown tables")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		datasets = fs.String("datasets", "", "restrict datasets (comma-separated)")
+		victims  = fs.String("victims", "", "restrict victim backbones (comma-separated)")
+		outPath  = fs.String("out", "", "also write the rendered tables to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	opts := experiments.Options{Seed: *seed}
+	switch strings.ToLower(*scale) {
+	case "tiny":
+		opts.Scale = experiments.Tiny
+	case "small":
+		opts.Scale = experiments.Small
+	default:
+		return fmt.Errorf("unknown scale %q (want tiny or small)", *scale)
+	}
+	if *datasets != "" {
+		opts.Datasets = strings.Split(*datasets, ",")
+	}
+	if *victims != "" {
+		opts.VictimArchs = strings.Split(*victims, ",")
+	}
+
+	var outFile *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		outFile = f
+	}
+	emit := func(text string) {
+		fmt.Print(text)
+		if outFile != nil {
+			fmt.Fprint(outFile, text)
+		}
+	}
+
+	ids := experiments.IDs()
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := experiments.Run(strings.TrimSpace(id), opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *markdown {
+			emit(tab.Markdown() + "\n")
+		} else {
+			emit(tab.String() + "\n")
+		}
+		emit(fmt.Sprintf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond)))
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Command retrievald runs the distributed retrieval system of Fig. 1
+// across real processes: data nodes serve gallery shards over TCP and a
+// query client scatter/gathers top-m results through the coordinator.
+//
+// Every process rebuilds the same corpus and victim deterministically from
+// -seed, so shards and features agree without shipping model weights.
+//
+// Usage:
+//
+//	retrievald -mode node  -addr 127.0.0.1:7001 -shard 0/2 &
+//	retrievald -mode node  -addr 127.0.0.1:7002 -shard 1/2 &
+//	retrievald -mode query -nodes 127.0.0.1:7001,127.0.0.1:7002 -index 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"duo"
+	"duo/internal/retrieval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "retrievald:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("retrievald", flag.ContinueOnError)
+	var (
+		mode    = fs.String("mode", "query", "node or query")
+		addr    = fs.String("addr", "127.0.0.1:7001", "node listen address")
+		shard   = fs.String("shard", "0/1", "shard spec i/n for node mode")
+		nodes   = fs.String("nodes", "", "comma-separated node addresses for query mode")
+		idxFile = fs.String("indexfile", "", "node mode: persist/reuse the shard's feature index at this path")
+		index   = fs.Int("index", 0, "test-video index to query")
+		m       = fs.Int("m", 10, "retrieval list length")
+		seed    = fs.Int64("seed", 1, "deterministic system seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Rebuild the identical system in every process.
+	sys, err := duo.NewSystem(duo.SystemOptions{Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "node":
+		var si, sn int
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &si, &sn); err != nil || sn < 1 || si < 0 || si >= sn {
+			return fmt.Errorf("bad -shard %q (want i/n)", *shard)
+		}
+		var mine []*duo.Video
+		for i, v := range sys.Corpus.Train {
+			if i%sn == si {
+				mine = append(mine, v)
+			}
+		}
+		shardIdx, fromDisk, err := loadOrBuildShard(*idxFile, sys, mine)
+		if err != nil {
+			return err
+		}
+		if fromDisk {
+			fmt.Printf("loaded feature index from %s\n", *idxFile)
+		} else if *idxFile != "" {
+			fmt.Printf("built and saved feature index to %s\n", *idxFile)
+		}
+		srv, err := retrieval.ServeNode(*addr, shardIdx)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("node serving shard %s (%d videos) on %s\n", *shard, len(mine), srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		return nil
+
+	case "query":
+		if *nodes == "" {
+			return fmt.Errorf("query mode needs -nodes")
+		}
+		var transports []retrieval.Transport
+		for _, a := range strings.Split(*nodes, ",") {
+			tr, err := retrieval.DialNode(strings.TrimSpace(a))
+			if err != nil {
+				return err
+			}
+			transports = append(transports, tr)
+		}
+		cluster := retrieval.NewCluster(sys.VictimModel(), transports)
+		defer cluster.Close()
+
+		if *index < 0 || *index >= len(sys.Corpus.Test) {
+			return fmt.Errorf("index %d out of range [0,%d)", *index, len(sys.Corpus.Test))
+		}
+		q := sys.Corpus.Test[*index]
+		rs, err := cluster.RetrieveErr(q, *m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query %s (label %d) → top-%d:\n", q.ID, q.Label, *m)
+		for i, r := range rs {
+			fmt.Printf("%2d. %-28s label=%d dist=%.4f\n", i+1, r.ID, r.Label, r.Dist)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// loadOrBuildShard reuses a persisted feature index when available (the
+// expensive part of node startup is feature extraction), otherwise builds
+// the shard and persists it if a path was given.
+func loadOrBuildShard(path string, sys *duo.System, mine []*duo.Video) (*retrieval.Shard, bool, error) {
+	if path != "" {
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			shard, err := retrieval.ReadShard(f)
+			if err != nil {
+				return nil, false, err
+			}
+			return shard, true, nil
+		}
+	}
+	shard := retrieval.NewShard(sys.VictimModel(), mine)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, false, err
+		}
+		defer f.Close()
+		if err := shard.WriteIndex(f); err != nil {
+			return nil, false, err
+		}
+	}
+	return shard, false, nil
+}

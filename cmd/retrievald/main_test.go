@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+
+	"duo"
+)
+
+// newTestSystem builds the deterministic system the daemon uses.
+func newTestSystem() (*duo.System, error) {
+	return duo.NewSystem(duo.SystemOptions{Seed: 1})
+}
+
+func TestUnknownMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-mode", "bogus"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestQueryNeedsNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-mode", "query"}); err == nil {
+		t.Error("query mode without -nodes accepted")
+	}
+}
+
+func TestNodeBadShardSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-mode", "node", "-shard", "5/2"}); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if err := run([]string{"-mode", "node", "-shard", "nonsense"}); err == nil {
+		t.Error("malformed shard accepted")
+	}
+}
+
+func TestLoadOrBuildShardRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sys, err := newTestSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/shard.idx"
+	built, fromDisk, err := loadOrBuildShard(path, sys, sys.Corpus.Train[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDisk {
+		t.Error("first call should build, not load")
+	}
+	loaded, fromDisk, err := loadOrBuildShard(path, sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromDisk {
+		t.Error("second call should load from disk")
+	}
+	if loaded.Size() != built.Size() {
+		t.Errorf("sizes differ: %d vs %d", loaded.Size(), built.Size())
+	}
+}

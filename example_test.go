@@ -1,0 +1,70 @@
+package duo_test
+
+import (
+	"fmt"
+	"log"
+
+	"duo"
+)
+
+// ExampleNewSystem builds a complete victim environment: synthetic corpus,
+// trained extractor, indexed gallery.
+func ExampleNewSystem() {
+	sys, err := duo.NewSystem(duo.SystemOptions{
+		Categories: 4, TrainPerCategory: 6, TestPerCategory: 3,
+		Frames: 8, Height: 12, Width: 12,
+		FeatureDim: 16, TrainEpochs: 3, M: 8, Seed: 61,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(sys.Corpus.Train) > 0)
+	// Output: true
+}
+
+// ExampleSystem_Attack runs the full DUO pipeline: steal a surrogate over
+// the black-box interface, then craft a targeted adversarial example.
+func ExampleSystem_Attack() {
+	sys, err := duo.NewSystem(duo.SystemOptions{
+		Categories: 4, TrainPerCategory: 6, TestPerCategory: 3,
+		Frames: 8, Height: 12, Width: 12,
+		FeatureDim: 16, TrainEpochs: 3, M: 8, Seed: 61,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	surr, err := sys.StealSurrogate(duo.SurrogateOptions{MaxSamples: 16, Epochs: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair := sys.SamplePairs(2, 1)[0]
+	rep, err := sys.Attack(pair.Original, pair.Target, surr, duo.AttackOptions{Queries: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Spa > 0, rep.Queries <= 60)
+	// Output: true true
+}
+
+// ExampleSystem_AttackUntargeted crafts an adversarial copy whose retrieval
+// list no longer matches the original's (the §I copyright-evasion case).
+func ExampleSystem_AttackUntargeted() {
+	sys, err := duo.NewSystem(duo.SystemOptions{
+		Categories: 4, TrainPerCategory: 6, TestPerCategory: 3,
+		Frames: 8, Height: 12, Width: 12,
+		FeatureDim: 16, TrainEpochs: 3, M: 8, Seed: 61,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	surr, err := sys.StealSurrogate(duo.SurrogateOptions{MaxSamples: 16, Epochs: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.AttackUntargeted(sys.Corpus.Train[0], surr, duo.AttackOptions{Queries: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.APBefore == 100, rep.APAfter <= rep.APBefore)
+	// Output: true true
+}

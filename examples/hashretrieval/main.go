@@ -1,0 +1,52 @@
+// Hash retrieval under attack: the victim serves Hamming-space queries over
+// compact binary codes — the HashNet-style deployment of the paper's
+// reference model [42], and the setting of ref. [32]'s (white-box) attack.
+// DUO needs no change: it only ever sees the R^m(v) list interface, so the
+// same black-box pipeline attacks the hash service directly.
+//
+//	go run ./examples/hashretrieval
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"duo"
+)
+
+func main() {
+	fmt.Println("== building a Hamming-space (hash) retrieval victim ==")
+	sys, err := duo.NewSystem(duo.SystemOptions{Hash: true, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gallery: %d videos indexed as binary codes; victim mAP: %.1f%%\n",
+		len(sys.Corpus.Train), sys.MAP()*100)
+
+	q := sys.Corpus.Test[0]
+	fmt.Printf("\nsample query %s (label %d) — integral Hamming distances:\n", q.ID, q.Label)
+	for i, r := range sys.Retrieve(q, 5) {
+		fmt.Printf("%2d. %-28s label=%d hamming=%.0f\n", i+1, r.ID, r.Label, r.Dist)
+	}
+
+	fmt.Println("\n== stealing a surrogate and attacking the hash service ==")
+	surr, err := sys.StealSurrogate(duo.SurrogateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair := sys.SamplePairs(4, 1)[0]
+	fmt.Printf("original %s (label %d) → target %s (label %d)\n",
+		pair.Original.ID, pair.Original.Label, pair.Target.ID, pair.Target.Label)
+	rep, err := sys.Attack(pair.Original, pair.Target, surr, duo.AttackOptions{Queries: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== report ==")
+	fmt.Println(rep)
+	fmt.Println("\nnotes:")
+	fmt.Println("- ref. [32] attacked video-hash retrieval white-box and densely; DUO")
+	fmt.Println("  reaches the same deployment black-box with sparse perturbations")
+	fmt.Println("- gains are smaller than against the real-valued engine: binarization")
+	fmt.Println("  quantizes away sub-threshold feature movement, acting as an implicit")
+	fmt.Println("  defense — an observation this substrate makes measurable")
+}

@@ -1,0 +1,68 @@
+// Plagiarism laundering (§I of the paper): a social-media platform runs an
+// originality check on every submission — it queries the retrieval service
+// and rejects uploads whose top results are near-duplicates from a
+// different uploader. The plagiarist takes an existing gallery video and
+// runs a *targeted* DUO attack toward an unrelated target category, so the
+// submission retrieves innocuous content and sails through the check.
+//
+//	go run ./examples/plagiarism
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"duo"
+)
+
+// originalityCheck reports how many of the submission's top results share
+// the plagiarized source's label (a high count ⇒ submission rejected).
+func originalityCheck(sys *duo.System, submission *duo.Video, sourceLabel int) int {
+	hits := 0
+	for _, r := range sys.Retrieve(submission, sys.M) {
+		if r.Label == sourceLabel {
+			hits++
+		}
+	}
+	return hits
+}
+
+func main() {
+	fmt.Println("== scenario: laundering a plagiarized video past an originality check ==")
+	sys, err := duo.NewSystem(duo.SystemOptions{Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pair := sys.SamplePairs(99, 1)[0]
+	source := pair.Original // the video being plagiarized (in the gallery)
+	decoy := pair.Target    // an unrelated category to hide behind
+	fmt.Printf("plagiarized source: %s (label %d)\n", source.ID, source.Label)
+	fmt.Printf("decoy target:       %s (label %d)\n", decoy.ID, decoy.Label)
+
+	before := originalityCheck(sys, source, source.Label)
+	fmt.Printf("\nsubmitting the source verbatim: %d of %d results match its category — REJECTED\n",
+		before, sys.M)
+
+	fmt.Println("\nstealing surrogate and disguising the submission with targeted DUO...")
+	surr, err := sys.StealSurrogate(duo.SurrogateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Attack(source, decoy, surr, duo.AttackOptions{Queries: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	after := originalityCheck(sys, rep.Adv, source.Label)
+	fmt.Printf("perturbation: %d elements, %d frames, PScore %.3f, %d queries\n",
+		rep.Spa, rep.PerturbedFrames, rep.PScore, rep.Queries)
+	fmt.Printf("AP@m toward the decoy's list: %.2f%% → %.2f%%\n", rep.APBefore, rep.APAfter)
+	fmt.Printf("\nsubmitting the disguised copy: %d of %d results match the source's category\n",
+		after, sys.M)
+	if after < before {
+		fmt.Println("the originality check sees mostly decoy-category content — submission PASSES")
+	} else {
+		fmt.Println("the disguise failed on this pair — raise the query budget or τ")
+	}
+}

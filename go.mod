@@ -1,0 +1,3 @@
+module duo
+
+go 1.22

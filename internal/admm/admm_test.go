@@ -1,0 +1,164 @@
+package admm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func countTrue(m []bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// bruteForceOptimum returns the optimal objective: sum of the k smallest
+// costs.
+func bruteForceOptimum(c []float64, k int) float64 {
+	s := append([]float64(nil), c...)
+	sort.Float64s(s)
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += s[i]
+	}
+	return sum
+}
+
+func TestMinimizeCardinalityOptimal(t *testing.T) {
+	c := []float64{5, 1, 3, 2, 4}
+	res, err := MinimizeCardinality(c, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countTrue(res.X) != 2 {
+		t.Fatalf("cardinality = %d", countTrue(res.X))
+	}
+	if !res.X[1] || !res.X[3] {
+		t.Errorf("selected %v, want indices 1 and 3", res.X)
+	}
+	if res.Objective != 3 {
+		t.Errorf("objective = %g, want 3", res.Objective)
+	}
+}
+
+func TestMinimizeCardinalityRandomMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		d := 10 + rng.Intn(30)
+		k := 1 + rng.Intn(d-1)
+		c := make([]float64, d)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		res, err := MinimizeCardinality(c, k, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if countTrue(res.X) != k {
+			t.Fatalf("trial %d: cardinality %d, want %d", trial, countTrue(res.X), k)
+		}
+		want := bruteForceOptimum(c, k)
+		// The ADMM relaxation should land on (or extremely near) the
+		// optimum for this separable objective.
+		if res.Objective > want+1e-6 {
+			t.Errorf("trial %d: objective %g > optimum %g", trial, res.Objective, want)
+		}
+	}
+}
+
+func TestMinimizeCardinalityEdgeCases(t *testing.T) {
+	c := []float64{1, 2, 3}
+	res, err := MinimizeCardinality(c, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countTrue(res.X) != 0 || res.Objective != 0 {
+		t.Errorf("k=0: %v, obj %g", res.X, res.Objective)
+	}
+	res, err = MinimizeCardinality(c, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countTrue(res.X) != 3 || res.Objective != 6 {
+		t.Errorf("k=d: %v, obj %g", res.X, res.Objective)
+	}
+}
+
+func TestMinimizeCardinalityErrors(t *testing.T) {
+	if _, err := MinimizeCardinality(nil, 0, DefaultConfig()); err == nil {
+		t.Error("empty cost accepted")
+	}
+	if _, err := MinimizeCardinality([]float64{1}, 2, DefaultConfig()); err == nil {
+		t.Error("k > d accepted")
+	}
+	if _, err := MinimizeCardinality([]float64{1}, -1, DefaultConfig()); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestMinimizeCardinalityZeroConfigUsesDefaults(t *testing.T) {
+	res, err := MinimizeCardinality([]float64{2, 1}, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.X[1] || res.X[0] {
+		t.Errorf("zero config: %v", res.X)
+	}
+}
+
+func TestTopKByScore(t *testing.T) {
+	mask := TopKByScore([]float64{5, 1, 3}, 1)
+	if !mask[1] || mask[0] || mask[2] {
+		t.Errorf("TopKByScore = %v", mask)
+	}
+}
+
+func TestPropCardinalityAlwaysExact(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 5 + int(kRaw%20)
+		k := int(kRaw) % (d + 1)
+		c := make([]float64, d)
+		for i := range c {
+			c[i] = rng.NormFloat64() * 10
+		}
+		res, err := MinimizeCardinality(c, k, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		return countTrue(res.X) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropADMMNotWorseThanRandom(t *testing.T) {
+	// The solver must never pick a set whose cost exceeds the mean random
+	// k-subset cost (sanity floor far above optimal).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 20
+		k := 5
+		c := make([]float64, d)
+		mean := 0.0
+		for i := range c {
+			c[i] = rng.Float64() * 10
+			mean += c[i]
+		}
+		mean = mean / float64(d) * float64(k)
+		res, err := MinimizeCardinality(c, k, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		return res.Objective <= mean+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package admm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCosts(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = rng.NormFloat64()
+	}
+	return c
+}
+
+// BenchmarkMinimizeCardinality measures one ℓp-box ADMM solve at the size
+// SparseTransfer's ℐ-step uses for a 16×3×16×16 clip.
+func BenchmarkMinimizeCardinality(b *testing.B) {
+	c := benchCosts(12288)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimizeCardinality(c, 1843, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopKByScore measures the plain top-k baseline of the ablation.
+func BenchmarkTopKByScore(b *testing.B) {
+	c := benchCosts(12288)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = TopKByScore(c, 1843)
+	}
+}

@@ -1,0 +1,66 @@
+// Package attack defines the types shared by every adversarial-example
+// attack in this repository (DUO in internal/core and the baselines in
+// internal/baseline): the black-box context an attack runs against and the
+// outcome record the evaluation harness consumes.
+package attack
+
+import (
+	"math/rand"
+
+	"duo/internal/metrics"
+	"duo/internal/retrieval"
+	"duo/internal/tensor"
+	"duo/internal/video"
+)
+
+// Context is everything a black-box attack may touch: the victim's query
+// interface, the list length m, and a seeded RNG. Attacks must not reach
+// into the victim's model.
+type Context struct {
+	// Victim answers R^m(·) queries.
+	Victim retrieval.Retriever
+	// M is the retrieval list length.
+	M int
+	// Rng drives all attack randomness (deterministic per seed).
+	Rng *rand.Rand
+}
+
+// Outcome is the result of one attack run on one (v, v_t) pair.
+type Outcome struct {
+	// Adv is the synthesized adversarial video.
+	Adv *video.Video
+	// Delta is the effective perturbation Adv − v after pixel clipping.
+	Delta *tensor.Tensor
+	// Queries is the number of victim queries consumed.
+	Queries int
+	// Trajectory records the objective 𝕋 after each accepted/rejected
+	// query step (Fig. 5); empty for pure transfer attacks.
+	Trajectory []float64
+}
+
+// Spa returns Σᵢ‖φᵢ‖₀ of the effective perturbation.
+func (o *Outcome) Spa() int { return o.Delta.L0() }
+
+// PScore returns the perceptibility score of the effective perturbation.
+func (o *Outcome) PScore() float64 { return o.Delta.L1() / float64(o.Delta.Len()) }
+
+// PerturbedFrames returns ‖φ‖₂,₀.
+func (o *Outcome) PerturbedFrames() int { return o.Delta.L20() }
+
+// APAtM evaluates the targeted-attack success AP@m between the adversarial
+// video's retrieval list and the target's (two victim queries).
+func (o *Outcome) APAtM(victim retrieval.Retriever, target *video.Video, m int) float64 {
+	advList := retrieval.IDs(victim.Retrieve(o.Adv, m))
+	tgtList := retrieval.IDs(victim.Retrieve(target, m))
+	return metrics.APAtM(advList, tgtList)
+}
+
+// NewOutcome assembles an outcome from an original and adversarial video.
+func NewOutcome(original, adv *video.Video, queries int, trajectory []float64) *Outcome {
+	return &Outcome{
+		Adv:        adv,
+		Delta:      adv.Data.Sub(original.Data),
+		Queries:    queries,
+		Trajectory: trajectory,
+	}
+}

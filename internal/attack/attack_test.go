@@ -1,0 +1,75 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"duo/internal/retrieval"
+	"duo/internal/tensor"
+	"duo/internal/video"
+)
+
+// stubRetriever returns a fixed list regardless of the query.
+type stubRetriever struct{ list []retrieval.Result }
+
+func (s stubRetriever) Retrieve(*video.Video, int) []retrieval.Result { return s.list }
+
+func testVideos() (*video.Video, *video.Video) {
+	rng := rand.New(rand.NewSource(1))
+	v := video.New(4, 1, 4, 4)
+	v.Data.FillUniform(rng, 0, 255)
+	v.ID = "orig"
+	adv := v.Clone()
+	adv.ID = "orig"
+	// Perturb 3 elements in 2 frames.
+	adv.Data.Set(math.Min(adv.Data.At(0, 0, 0, 0)+30, 255), 0, 0, 0, 0)
+	adv.Data.Set(math.Max(adv.Data.At(0, 0, 1, 1)-30, 0), 0, 0, 1, 1)
+	adv.Data.Set(math.Min(adv.Data.At(2, 0, 2, 2)+10, 255), 2, 0, 2, 2)
+	return v, adv
+}
+
+func TestNewOutcomeDelta(t *testing.T) {
+	v, adv := testVideos()
+	out := NewOutcome(v, adv, 7, []float64{1, 0.5})
+	if out.Queries != 7 || len(out.Trajectory) != 2 {
+		t.Errorf("metadata lost: %+v", out)
+	}
+	if got := out.Spa(); got != 3 {
+		t.Errorf("Spa = %d, want 3", got)
+	}
+	if got := out.PerturbedFrames(); got != 2 {
+		t.Errorf("PerturbedFrames = %d, want 2", got)
+	}
+	if out.PScore() <= 0 {
+		t.Error("PScore should be positive")
+	}
+}
+
+func TestOutcomeZeroPerturbation(t *testing.T) {
+	v, _ := testVideos()
+	out := NewOutcome(v, v.Clone(), 0, nil)
+	if out.Spa() != 0 || out.PScore() != 0 || out.PerturbedFrames() != 0 {
+		t.Error("clean outcome has nonzero sparsity metrics")
+	}
+}
+
+func TestOutcomeAPAtM(t *testing.T) {
+	v, adv := testVideos()
+	out := NewOutcome(v, adv, 0, nil)
+	list := []retrieval.Result{{ID: "a"}, {ID: "b"}}
+	// Stub returns the same list for adv and target ⇒ AP@m = 1.
+	if got := out.APAtM(stubRetriever{list: list}, v, 2); got != 1 {
+		t.Errorf("AP@m = %g, want 1", got)
+	}
+}
+
+func TestContextDeterminism(t *testing.T) {
+	a := &Context{Rng: rand.New(rand.NewSource(5))}
+	b := &Context{Rng: rand.New(rand.NewSource(5))}
+	x := tensor.New(16).FillNormal(a.Rng, 0, 1)
+	y := tensor.New(16).FillNormal(b.Rng, 0, 1)
+	if !x.Equal(y, 0) {
+		t.Error("contexts with the same seed diverge")
+	}
+}

@@ -1,0 +1,257 @@
+package baseline
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"duo/internal/attack"
+	"duo/internal/core"
+	"duo/internal/dataset"
+	"duo/internal/models"
+	"duo/internal/nn/losses"
+	"duo/internal/retrieval"
+	"duo/internal/video"
+)
+
+type fixture struct {
+	victim *retrieval.Engine
+	surr   models.Model
+	geom   models.Geometry
+	origin *video.Video
+	target *video.Video
+	m      int
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+)
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		c, err := dataset.Generate(dataset.Config{
+			Name: "BaseSim", Categories: 4, TrainPerCategory: 6, TestPerCategory: 3,
+			Frames: 8, Channels: 3, Height: 12, Width: 12, Seed: 41,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		g := models.GeometryOf(c.Train[0])
+		vm := models.NewI3D(rng, g, 16)
+		tc := models.DefaultTrainConfig()
+		tc.Epochs = 3
+		if _, err := models.Train(vm, losses.Triplet{Margin: 0.2}, c.Train, tc); err != nil {
+			panic(err)
+		}
+		sm := models.NewC3D(rand.New(rand.NewSource(43)), g, 16)
+		var origin, target *video.Video
+		for _, v := range c.Train {
+			if origin == nil {
+				origin = v
+			} else if v.Label != origin.Label {
+				target = v
+				break
+			}
+		}
+		fix = &fixture{victim: retrieval.NewEngine(vm, c.Train), surr: sm, geom: g, origin: origin, target: target, m: 8}
+	})
+	return fix
+}
+
+func newCtx(f *fixture, seed int64) *attack.Context {
+	return &attack.Context{Victim: f.victim, M: f.m, Rng: rand.New(rand.NewSource(seed))}
+}
+
+func TestVanillaRespectsBudgets(t *testing.T) {
+	f := getFixture(t)
+	cfg := VanillaConfig{Spa: 100, Frames: 3, Tau: 30, MaxQueries: 40, Eta: 0.5}
+	out, err := RunVanilla(newCtx(f, 1), f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Spa(); got > cfg.Spa {
+		t.Errorf("Spa = %d > %d", got, cfg.Spa)
+	}
+	if got := out.PerturbedFrames(); got > cfg.Frames {
+		t.Errorf("frames = %d > %d", got, cfg.Frames)
+	}
+	if got := out.Delta.LInf(); got > cfg.Tau+1e-9 {
+		t.Errorf("‖φ‖∞ = %g > τ", got)
+	}
+	if out.Queries > cfg.MaxQueries {
+		t.Errorf("queries %d > budget", out.Queries)
+	}
+}
+
+func TestVanillaErrors(t *testing.T) {
+	f := getFixture(t)
+	if _, err := RunVanilla(newCtx(f, 2), f.origin, f.target, VanillaConfig{Spa: 0, Frames: 1, Tau: 30, MaxQueries: 10}); err == nil {
+		t.Error("Spa=0 accepted")
+	}
+	if _, err := RunVanilla(newCtx(f, 2), f.origin, f.target, VanillaConfig{Spa: 10, Frames: 99, Tau: 30, MaxQueries: 10}); err == nil {
+		t.Error("too many frames accepted")
+	}
+}
+
+func TestVanillaSpaClampsToSupport(t *testing.T) {
+	f := getFixture(t)
+	// Ask for more pixels than 1 frame holds: must clamp, not fail.
+	perFrame := f.origin.Pixels()
+	cfg := VanillaConfig{Spa: perFrame * 2, Frames: 1, Tau: 30, MaxQueries: 10, Eta: 0.5}
+	out, err := RunVanilla(newCtx(f, 3), f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.PerturbedFrames(); got > 1 {
+		t.Errorf("frames = %d, want ≤ 1", got)
+	}
+}
+
+func TestTIMIDenseAndBounded(t *testing.T) {
+	f := getFixture(t)
+	cfg := DefaultTIMIConfig()
+	cfg.Steps = 4
+	out, err := RunTIMI(f.surr, f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Queries != 0 {
+		t.Errorf("TIMI used %d queries, want 0 (pure transfer)", out.Queries)
+	}
+	if got := out.Delta.LInf(); got > cfg.Epsilon+1e-9 {
+		t.Errorf("‖φ‖∞ = %g > ε = %g", got, cfg.Epsilon)
+	}
+	// Dense: the vast majority of elements must be perturbed.
+	if got := out.Spa(); float64(got) < 0.5*float64(out.Delta.Len()) {
+		t.Errorf("TIMI Spa = %d of %d, expected dense", got, out.Delta.Len())
+	}
+	// All frames touched (n = 16 in Table II).
+	if got := out.PerturbedFrames(); got != f.origin.Frames() {
+		t.Errorf("TIMI frames = %d, want all %d", got, f.origin.Frames())
+	}
+}
+
+func TestTIMIMovesSurrogateFeatures(t *testing.T) {
+	f := getFixture(t)
+	out, err := RunTIMI(f.surr, f.origin, f.target, DefaultTIMIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := models.Embed(f.surr, f.target)
+	before := models.Embed(f.surr, f.origin).SquaredDistance(tf)
+	after := models.Embed(f.surr, out.Adv).SquaredDistance(tf)
+	if after >= before {
+		t.Errorf("TIMI did not reduce surrogate distance: %g → %g", before, after)
+	}
+}
+
+func TestTIMIErrors(t *testing.T) {
+	f := getFixture(t)
+	if _, err := RunTIMI(f.surr, f.origin, f.target, TIMIConfig{Epsilon: 0, Steps: 5}); err == nil {
+		t.Error("ε=0 accepted")
+	}
+	if _, err := RunTIMI(f.surr, f.origin, f.target, TIMIConfig{Epsilon: 10, Steps: 0}); err == nil {
+		t.Error("steps=0 accepted")
+	}
+}
+
+func TestHEUNesRespectsBudgets(t *testing.T) {
+	f := getFixture(t)
+	cfg := DefaultHEUConfig(SelectionSaliency, 120, 3, 30)
+	cfg.MaxQueries = 60
+	out, err := RunHEU(newCtx(f, 4), f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Spa(); got > cfg.Spa {
+		t.Errorf("Spa = %d > %d", got, cfg.Spa)
+	}
+	if got := out.PerturbedFrames(); got > cfg.Frames {
+		t.Errorf("frames = %d > %d", got, cfg.Frames)
+	}
+	if got := out.Delta.LInf(); got > cfg.Tau+1e-9 {
+		t.Errorf("‖φ‖∞ = %g", got)
+	}
+	if out.Queries > cfg.MaxQueries {
+		t.Errorf("queries %d > %d", out.Queries, cfg.MaxQueries)
+	}
+	if len(out.Trajectory) == 0 {
+		t.Error("no trajectory recorded")
+	}
+}
+
+func TestHEUSimUsesRandomSupport(t *testing.T) {
+	f := getFixture(t)
+	cfg := DefaultHEUConfig(SelectionRandom, 100, 3, 30)
+	cfg.MaxQueries = 40
+	a, err := RunHEU(newCtx(f, 5), f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHEU(newCtx(f, 6), f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds ⇒ different random supports (with overwhelming
+	// probability), while HEU-Nes supports are seed-independent.
+	if a.Delta.Equal(b.Delta, 0) {
+		t.Error("random selection produced identical perturbations across seeds")
+	}
+}
+
+func TestHEUNesSaliencyIsDeterministic(t *testing.T) {
+	f := getFixture(t)
+	cfg := DefaultHEUConfig(SelectionSaliency, 100, 3, 30)
+	cfg.MaxQueries = 30
+	a, err := RunHEU(newCtx(f, 7), f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHEU(newCtx(f, 7), f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Adv.Data.Equal(b.Adv.Data, 0) {
+		t.Error("same seed produced different HEU-Nes results")
+	}
+}
+
+func TestHEUErrors(t *testing.T) {
+	f := getFixture(t)
+	bad := DefaultHEUConfig(SelectionSaliency, 0, 3, 30)
+	if _, err := RunHEU(newCtx(f, 8), f.origin, f.target, bad); err == nil {
+		t.Error("Spa=0 accepted")
+	}
+	bad = DefaultHEUConfig(SelectionSaliency, 10, 3, 30)
+	bad.Population = 1
+	if _, err := RunHEU(newCtx(f, 8), f.origin, f.target, bad); err == nil {
+		t.Error("population=1 accepted")
+	}
+	bad = DefaultHEUConfig(Selection(99), 10, 3, 30)
+	if _, err := RunHEU(newCtx(f, 8), f.origin, f.target, bad); err == nil {
+		t.Error("unknown selection accepted")
+	}
+}
+
+func TestBaselinesComparableToDUOSparsity(t *testing.T) {
+	// Table II's headline: TIMI's Spa is orders of magnitude above the
+	// sparse attacks'.
+	f := getFixture(t)
+	tcfg := core.DefaultTransferConfig(f.geom)
+	vcfg := DefaultVanillaConfig(tcfg)
+	vcfg.MaxQueries = 30
+	van, err := RunVanilla(newCtx(f, 9), f.origin, f.target, vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timi, err := RunTIMI(f.surr, f.origin, f.target, DefaultTIMIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timi.Spa() < 10*van.Spa() {
+		t.Errorf("expected TIMI (%d) ≫ Vanilla (%d) in Spa", timi.Spa(), van.Spa())
+	}
+}

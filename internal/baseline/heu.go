@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"duo/internal/attack"
+	"duo/internal/metrics"
+	"duo/internal/retrieval"
+	"duo/internal/tensor"
+	"duo/internal/video"
+)
+
+// Selection picks how HEU chooses its frame/pixel support.
+type Selection int
+
+const (
+	// SelectionSaliency is HEU-Nes: frames and pixels chosen by the
+	// motion-saliency heuristic of [16] ("nature-estimated").
+	SelectionSaliency Selection = iota + 1
+	// SelectionRandom is HEU-Sim: the random-selection strategy of
+	// Vanilla combined with HEU's NES optimizer.
+	SelectionRandom
+)
+
+// HEUConfig parameterizes the heuristic black-box attacks of Wei et al.
+// (AAAI'20), reference [16].
+type HEUConfig struct {
+	// Selection picks saliency (HEU-Nes) or random (HEU-Sim) support.
+	Selection Selection
+	// Spa is the pixel budget and Frames the key-frame budget n.
+	Spa    int
+	Frames int
+	// Tau bounds per-element magnitudes.
+	Tau float64
+	// MaxQueries is the victim query budget; NES spends Population
+	// queries per optimization step.
+	MaxQueries int
+	// Population is the (even) number of NES samples per gradient
+	// estimate.
+	Population int
+	// Sigma is the NES smoothing radius.
+	Sigma float64
+	// Alpha is the PGD step size.
+	Alpha float64
+	// Eta is the 𝕋 margin.
+	Eta float64
+}
+
+// DefaultHEUConfig mirrors DUO's budgets for fair Table II comparison.
+func DefaultHEUConfig(sel Selection, spa, frames int, tau float64) HEUConfig {
+	return HEUConfig{
+		Selection:  sel,
+		Spa:        spa,
+		Frames:     frames,
+		Tau:        tau,
+		MaxQueries: 1000,
+		Population: 10,
+		Sigma:      4,
+		Alpha:      tau / 4,
+		Eta:        0.5,
+	}
+}
+
+// RunHEU executes HEU-Nes or HEU-Sim: heuristic support selection followed
+// by NES gradient estimation on the black-box victim and signed PGD steps
+// restricted to the support.
+func RunHEU(ctx *attack.Context, v, vt *video.Video, cfg HEUConfig) (*attack.Outcome, error) {
+	if cfg.Spa <= 0 || cfg.Frames <= 0 || cfg.Frames > v.Frames() {
+		return nil, fmt.Errorf("baseline: heu: bad budgets (Spa=%d, Frames=%d)", cfg.Spa, cfg.Frames)
+	}
+	if cfg.Population < 2 {
+		return nil, fmt.Errorf("baseline: heu: population %d < 2", cfg.Population)
+	}
+	if cfg.Selection != SelectionSaliency && cfg.Selection != SelectionRandom {
+		return nil, fmt.Errorf("baseline: heu: unknown selection %d", cfg.Selection)
+	}
+
+	mask, err := heuMask(ctx, v, cfg)
+	if err != nil {
+		return nil, err
+	}
+	support := make([]int, 0, cfg.Spa)
+	for i, mv := range mask.Data() {
+		if mv != 0 {
+			support = append(support, i)
+		}
+	}
+
+	queries := 0
+	retrieveIDs := func(qv *video.Video) []string {
+		queries++
+		return retrieval.IDs(ctx.Victim.Retrieve(qv, ctx.M))
+	}
+	origList := retrieveIDs(v)
+	targetList := retrieveIDs(vt)
+	objective := func(qv *video.Video) float64 {
+		return metrics.Objective(metrics.CoOccurrence, retrieveIDs(qv), origList, targetList, cfg.Eta)
+	}
+
+	adv := v.Clone()
+	tCur := objective(adv)
+	trajectory := []float64{tCur}
+	half := cfg.Population / 2
+
+	for queries+2*half <= cfg.MaxQueries {
+		// NES gradient estimate with antithetic sampling on the support.
+		grad := tensor.New(v.Data.Shape()...)
+		gd := grad.Data()
+		for p := 0; p < half; p++ {
+			noise := make([]float64, len(support))
+			plus := adv.Clone()
+			minus := adv.Clone()
+			for j, idx := range support {
+				noise[j] = ctx.Rng.NormFloat64()
+				plus.Data.Data()[idx] += cfg.Sigma * noise[j]
+				minus.Data.Data()[idx] -= cfg.Sigma * noise[j]
+			}
+			plus.Clip()
+			minus.Clip()
+			tp := objective(plus)
+			tm := objective(minus)
+			w := (tp - tm) / (2 * cfg.Sigma * float64(half))
+			for j, idx := range support {
+				gd[idx] += w * noise[j]
+			}
+		}
+		// The list-valued objective plateaus between rank boundaries; a
+		// flat NES estimate carries no direction, so fall back to a random
+		// exploratory sign step (as the reference's exploration phase does).
+		flat := true
+		for _, idx := range support {
+			if gd[idx] != 0 {
+				flat = false
+				break
+			}
+		}
+		if flat {
+			for _, idx := range support {
+				gd[idx] = ctx.Rng.NormFloat64()
+			}
+		}
+		// Signed PGD step descending 𝕋, restricted to the support.
+		for _, idx := range support {
+			step := 0.0
+			if gd[idx] > 0 {
+				step = -cfg.Alpha
+			} else if gd[idx] < 0 {
+				step = cfg.Alpha
+			}
+			nv := adv.Data.Data()[idx] + step
+			base := v.Data.Data()[idx]
+			nv = math.Max(base-cfg.Tau, math.Min(base+cfg.Tau, nv))
+			nv = math.Max(video.PixelMin, math.Min(video.PixelMax, nv))
+			adv.Data.Data()[idx] = nv
+		}
+		tCur = objective(adv)
+		trajectory = append(trajectory, tCur)
+	}
+	return attack.NewOutcome(v, adv, queries, trajectory), nil
+}
+
+// heuMask selects the attack support: n frames and Spa elements.
+func heuMask(ctx *attack.Context, v *video.Video, cfg HEUConfig) (*tensor.Tensor, error) {
+	perFrame := v.Data.Len() / v.Frames()
+	mask := tensor.New(v.Data.Shape()...)
+
+	var frames []int
+	var elementScore []float64 // per element within concatenated frames
+	switch cfg.Selection {
+	case SelectionSaliency:
+		// Motion saliency: per-frame temporal difference energy picks key
+		// frames; per-element |Δt| picks pixels ("nature-estimated").
+		diffs := make([]float64, v.Frames())
+		elementScore = make([]float64, v.Data.Len())
+		for f := 0; f < v.Frames(); f++ {
+			prev := f - 1
+			if prev < 0 {
+				prev = f + 1 // first frame compares forward
+			}
+			cur := v.Data.Slice(f).Data()
+			pre := v.Data.Slice(prev).Data()
+			sum := 0.0
+			for i := range cur {
+				d := math.Abs(cur[i] - pre[i])
+				elementScore[f*perFrame+i] = d
+				sum += d
+			}
+			diffs[f] = sum
+		}
+		frames = tensor.TopK(diffs, cfg.Frames)
+	case SelectionRandom:
+		frames = ctx.Rng.Perm(v.Frames())[:cfg.Frames]
+	}
+
+	// Collect candidates within the chosen frames.
+	inFrame := make(map[int]bool, len(frames))
+	for _, f := range frames {
+		inFrame[f] = true
+	}
+	var candidates []int
+	for f := 0; f < v.Frames(); f++ {
+		if !inFrame[f] {
+			continue
+		}
+		for i := 0; i < perFrame; i++ {
+			candidates = append(candidates, f*perFrame+i)
+		}
+	}
+	k := cfg.Spa
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	if cfg.Selection == SelectionSaliency {
+		scores := make([]float64, len(candidates))
+		for j, idx := range candidates {
+			scores[j] = elementScore[idx]
+		}
+		for _, j := range tensor.TopK(scores, k) {
+			mask.Data()[candidates[j]] = 1
+		}
+	} else {
+		for _, j := range ctx.Rng.Perm(len(candidates))[:k] {
+			mask.Data()[candidates[j]] = 1
+		}
+	}
+	return mask, nil
+}

@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"duo/internal/attack"
+	"duo/internal/models"
+	"duo/internal/tensor"
+	"duo/internal/video"
+)
+
+// TIMIConfig parameterizes the translation-invariant momentum-iterative
+// transfer attack of Dong et al. (CVPR'19), reference [25].
+type TIMIConfig struct {
+	// Epsilon is the ℓ∞ budget (10 in Table II — TIMI is dense, so its
+	// PScore ≈ ε).
+	Epsilon float64
+	// Steps is the number of MI-FGSM iterations.
+	Steps int
+	// Mu is the momentum decay factor (1.0 in the reference).
+	Mu float64
+	// Kernel is the translation-invariance smoothing kernel half-width;
+	// gradients are averaged over a (2·Kernel+1)² spatial window.
+	Kernel int
+}
+
+// DefaultTIMIConfig mirrors the paper's TIMI settings.
+func DefaultTIMIConfig() TIMIConfig {
+	return TIMIConfig{Epsilon: 10, Steps: 10, Mu: 1.0, Kernel: 1}
+}
+
+// RunTIMI executes TIMI on the surrogate s: a pure transfer attack (zero
+// victim queries) that perturbs every pixel of every frame toward the
+// target's surrogate features.
+func RunTIMI(s models.Model, v, vt *video.Video, cfg TIMIConfig) (*attack.Outcome, error) {
+	if cfg.Epsilon <= 0 || cfg.Steps <= 0 {
+		return nil, fmt.Errorf("baseline: timi: non-positive ε=%g or steps=%d", cfg.Epsilon, cfg.Steps)
+	}
+	targetFeat := models.Embed(s, vt)
+	adv := v.Clone()
+	momentum := tensor.New(v.Data.Shape()...)
+	alpha := cfg.Epsilon / float64(cfg.Steps)
+
+	for step := 0; step < cfg.Steps; step++ {
+		feat, cache := s.Forward(adv.Data)
+		diff := feat.Sub(targetFeat)
+		grad := s.Backward(cache, diff.Scale(2))
+		// Translation invariance: smooth the gradient spatially.
+		grad = smoothSpatial(grad, cfg.Kernel)
+		// MI: momentum over the L1-normalized gradient.
+		l1 := grad.L1()
+		if l1 < 1e-12 {
+			break
+		}
+		momentum.ScaleInPlace(cfg.Mu).AddScaled(1/l1, grad)
+		// Descend (toward the target) by the sign of the momentum.
+		sign := momentum.Apply(func(x float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			if x < 0 {
+				return -1
+			}
+			return 0
+		})
+		adv.Data.AddScaled(-alpha, sign)
+		// Project onto the ε-ball around v and the pixel range.
+		clampDelta(adv, v, cfg.Epsilon)
+	}
+	return attack.NewOutcome(v, adv, 0, nil), nil
+}
+
+// clampDelta projects adv onto {x : ‖x−v‖∞ ≤ eps} ∩ [PixelMin, PixelMax].
+func clampDelta(adv, v *video.Video, eps float64) {
+	ad, vd := adv.Data.Data(), v.Data.Data()
+	for i := range ad {
+		lo := math.Max(vd[i]-eps, video.PixelMin)
+		hi := math.Min(vd[i]+eps, video.PixelMax)
+		if ad[i] < lo {
+			ad[i] = lo
+		} else if ad[i] > hi {
+			ad[i] = hi
+		}
+	}
+}
+
+// smoothSpatial averages g over a (2k+1)² window within each frame/channel
+// plane — the translation-invariant gradient of [25].
+func smoothSpatial(g *tensor.Tensor, k int) *tensor.Tensor {
+	if k <= 0 {
+		return g
+	}
+	s := g.Shape() // [N, C, H, W]
+	N, C, H, W := s[0], s[1], s[2], s[3]
+	out := tensor.New(s...)
+	gd, od := g.Data(), out.Data()
+	for n := 0; n < N; n++ {
+		for c := 0; c < C; c++ {
+			base := (n*C + c) * H * W
+			for y := 0; y < H; y++ {
+				for x := 0; x < W; x++ {
+					sum, cnt := 0.0, 0
+					for dy := -k; dy <= k; dy++ {
+						yy := y + dy
+						if yy < 0 || yy >= H {
+							continue
+						}
+						for dx := -k; dx <= k; dx++ {
+							xx := x + dx
+							if xx < 0 || xx >= W {
+								continue
+							}
+							sum += gd[base+yy*W+xx]
+							cnt++
+						}
+					}
+					od[base+y*W+x] = sum / float64(cnt)
+				}
+			}
+		}
+	}
+	return out
+}

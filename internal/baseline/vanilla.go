@@ -1,0 +1,83 @@
+// Package baseline implements the comparison attacks of §V-B: the Vanilla
+// random-selection query attack, the TIMI transferable attack [25], and the
+// heuristic black-box attacks HEU-Nes and HEU-Sim [16].
+package baseline
+
+import (
+	"fmt"
+
+	"duo/internal/attack"
+	"duo/internal/core"
+	"duo/internal/tensor"
+	"duo/internal/video"
+)
+
+// VanillaConfig parameterizes the Vanilla attack.
+type VanillaConfig struct {
+	// Spa is the pixel budget: how many elements may be perturbed.
+	Spa int
+	// Frames is n: how many randomly chosen frames carry perturbations.
+	Frames int
+	// Tau bounds the per-element magnitude.
+	Tau float64
+	// MaxQueries is the query budget for the SimBA stage [53].
+	MaxQueries int
+	// Eta is the margin in the objective 𝕋.
+	Eta float64
+}
+
+// DefaultVanillaConfig mirrors DUO's budgets so Table II compares attacks
+// at equal sparsity.
+func DefaultVanillaConfig(t core.TransferConfig) VanillaConfig {
+	return VanillaConfig{Spa: t.K, Frames: t.N, Tau: t.Tau, MaxQueries: 1000, Eta: 0.5}
+}
+
+// RunVanilla executes the Vanilla attack: uniformly random frame and pixel
+// selection (no prior knowledge) followed by the same SimBA-style query
+// attack DUO uses, restricted to the random mask.
+func RunVanilla(ctx *attack.Context, v, vt *video.Video, cfg VanillaConfig) (*attack.Outcome, error) {
+	if cfg.Spa <= 0 || cfg.Frames <= 0 {
+		return nil, fmt.Errorf("baseline: vanilla: non-positive budgets (Spa=%d, Frames=%d)", cfg.Spa, cfg.Frames)
+	}
+	if cfg.Frames > v.Frames() {
+		return nil, fmt.Errorf("baseline: vanilla: n=%d exceeds %d frames", cfg.Frames, v.Frames())
+	}
+
+	shape := v.Data.Shape()
+	perFrame := v.Data.Len() / v.Frames()
+
+	// Random frame mask.
+	frameMask := tensor.New(shape...)
+	chosen := ctx.Rng.Perm(v.Frames())[:cfg.Frames]
+	for _, f := range chosen {
+		frameMask.Slice(f).Fill(1)
+	}
+
+	// Random pixel mask inside the chosen frames, exactly Spa elements
+	// (clamped to the available support).
+	var candidates []int
+	for _, f := range chosen {
+		for i := 0; i < perFrame; i++ {
+			candidates = append(candidates, f*perFrame+i)
+		}
+	}
+	k := cfg.Spa
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	pixelMask := tensor.New(shape...)
+	for _, ci := range ctx.Rng.Perm(len(candidates))[:k] {
+		pixelMask.Data()[candidates[ci]] = 1
+	}
+
+	masks := &core.Masks{Pixel: pixelMask, Frame: frameMask, Theta: tensor.New(shape...)}
+	qr, err := core.SparseQuery(ctx, v, vt, masks, core.QueryConfig{
+		MaxQueries: cfg.MaxQueries,
+		Eta:        cfg.Eta,
+		Tau:        cfg.Tau,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: vanilla: %w", err)
+	}
+	return attack.NewOutcome(v, qr.Adv, qr.Queries, qr.Trajectory), nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"duo/internal/attack"
+	"duo/internal/models"
+	"duo/internal/video"
+)
+
+// Config parameterizes a full DUO run.
+type Config struct {
+	// Transfer configures SparseTransfer (Algorithm 1).
+	Transfer TransferConfig
+	// Query configures SparseQuery (Algorithm 2); its MaxQueries budget is
+	// split evenly across the iter_numH rounds.
+	Query QueryConfig
+	// IterNumH is the number of SparseTransfer↔SparseQuery loops (≤4 in
+	// the paper, default 2).
+	IterNumH int
+}
+
+// DefaultConfig returns the paper's settings scaled to a geometry. The
+// query stage's τ is aligned with the transfer stage's so the prior starts
+// inside the query budget.
+func DefaultConfig(g models.Geometry) Config {
+	t := DefaultTransferConfig(g)
+	q := DefaultQueryConfig()
+	q.Tau = t.Tau
+	return Config{Transfer: t, Query: q, IterNumH: 2}
+}
+
+// UntargetedConfig returns DefaultConfig switched to the untargeted goal.
+func UntargetedConfig(g models.Geometry) Config {
+	c := DefaultConfig(g)
+	c.Transfer.Mode = Untargeted
+	c.Query.Mode = Untargeted
+	return c
+}
+
+// Result is the outcome of a DUO run, including the per-round masks for
+// inspection.
+type Result struct {
+	*attack.Outcome
+	// Rounds holds each round's SparseTransfer masks.
+	Rounds []*Masks
+}
+
+// Run executes the DUO pipeline of §IV: loop SparseTransfer on the
+// surrogate s and SparseQuery on the black-box victim for IterNumH rounds,
+// feeding each round's adversarial video in as the next round's base
+// (the {ℐ,𝓕,θ,v_adv}→{ℐ,𝓕,θ,v} re-initialization of §IV-C).
+//
+// When both stages are configured Untargeted, vt may be nil.
+func Run(ctx *attack.Context, s models.Model, v, vt *video.Video, cfg Config) (*Result, error) {
+	if cfg.IterNumH <= 0 {
+		return nil, fmt.Errorf("core: iter_numH=%d must be positive", cfg.IterNumH)
+	}
+	if s.FeatureDim() <= 0 {
+		return nil, fmt.Errorf("core: surrogate has no feature dimension")
+	}
+	// The zero Mode means Targeted; normalize before comparing.
+	tMode, qMode := cfg.Transfer.Mode, cfg.Query.Mode
+	if tMode == 0 {
+		tMode = Targeted
+	}
+	if qMode == 0 {
+		qMode = Targeted
+	}
+	if tMode != qMode {
+		return nil, fmt.Errorf("core: transfer/query modes disagree (%d vs %d)", tMode, qMode)
+	}
+
+	perRound := cfg.Query.MaxQueries / cfg.IterNumH
+	if perRound < 1 {
+		perRound = 1
+	}
+
+	cur := v
+	totalQueries := 0
+	var trajectory []float64
+	res := &Result{}
+
+	for h := 0; h < cfg.IterNumH; h++ {
+		masks, err := SparseTransfer(s, cur, vt, cfg.Transfer)
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d: %w", h+1, err)
+		}
+		res.Rounds = append(res.Rounds, masks)
+
+		qcfg := cfg.Query
+		qcfg.MaxQueries = perRound
+		qr, err := SparseQuery(ctx, cur, vt, masks, qcfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d: %w", h+1, err)
+		}
+		totalQueries += qr.Queries
+		trajectory = append(trajectory, qr.Trajectory...)
+		cur = qr.Adv
+	}
+
+	res.Outcome = attack.NewOutcome(v, cur, totalQueries, trajectory)
+	return res, nil
+}

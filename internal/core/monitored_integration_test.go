@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"duo/internal/defense"
+	"duo/internal/metrics"
+	"duo/internal/retrieval"
+)
+
+// TestDUOEvadesStatefulDetectionViaRotation reproduces §I's claim end to
+// end: against a service that blocks accounts issuing near-duplicate query
+// bursts, a single-account DUO run is cut off, while the same attack
+// spread over rotated sybil accounts completes its full query budget.
+func TestDUOEvadesStatefulDetectionViaRotation(t *testing.T) {
+	f := getFixture(t)
+	det := defense.NewStatefulDetector(10, 5, 5)
+	svc := defense.NewMonitoredService(f.victim, det)
+
+	cfg := Config{
+		Transfer: testTransferConfig(f.geom),
+		Query:    testQueryConfig(),
+		IterNumH: 1,
+	}
+	cfg.Query.MaxQueries = 40
+
+	// Naive attacker: every query from one account. SparseQuery's
+	// near-duplicate probes trip the detector, after which the service
+	// returns empty lists and the objective carries no signal.
+	naiveCtx := newCtx(f, 71)
+	naiveCtx.Victim = &defense.SingleAccount{Service: svc, Account: "naive"}
+	if _, err := Run(naiveCtx, f.surr, f.origin, f.target, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.BlockedAccounts(); len(got) != 1 || got[0] != "naive" {
+		t.Fatalf("naive account not blocked: %v", got)
+	}
+	_, refusedNaive := svc.Stats()
+	if refusedNaive == 0 {
+		t.Fatal("no queries were refused for the naive attacker")
+	}
+
+	// Rotating attacker: same attack, fresh sybil account every 4 queries
+	// (below the detector's 5-query minimum window).
+	det2 := defense.NewStatefulDetector(10, 5, 5)
+	svc2 := defense.NewMonitoredService(f.victim, det2)
+	rot := &defense.AccountRotator{Service: svc2, QueriesPerAccount: 4}
+	rotCtx := newCtx(f, 71)
+	rotCtx.Victim = rot
+	if _, err := Run(rotCtx, f.surr, f.origin, f.target, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc2.BlockedAccounts(); len(got) != 0 {
+		t.Errorf("rotated accounts blocked: %v", got)
+	}
+	served, refused := svc2.Stats()
+	if refused != 0 {
+		t.Errorf("%d rotated queries refused", refused)
+	}
+	if served == 0 {
+		t.Error("no queries served")
+	}
+	if rot.AccountsUsed() < 2 {
+		t.Errorf("rotation never happened (%d accounts)", rot.AccountsUsed())
+	}
+}
+
+// TestDUOAttacksHashRetrieval runs the full pipeline against the
+// Hamming-space (hash) variant of the victim — the deployment style of the
+// paper's reference model [42] and the setting of ref. [32], but black-box.
+func TestDUOAttacksHashRetrieval(t *testing.T) {
+	f := getFixture(t)
+	hash := retrieval.NewHashEngine(f.victim.Model(), f.corpus.Train)
+	cfg := Config{
+		Transfer: testTransferConfig(f.geom),
+		Query:    testQueryConfig(),
+		IterNumH: 1,
+	}
+	ctx := newCtx(f, 91)
+	ctx.Victim = hash
+	res, err := Run(ctx, f.surr, f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spa() == 0 {
+		t.Error("no perturbation against the hash victim")
+	}
+	// The attack must not push the adversarial list away from the target's
+	// relative to the clean baseline.
+	origList := retrieval.IDs(hash.Retrieve(f.origin, f.m))
+	tgtList := retrieval.IDs(hash.Retrieve(f.target, f.m))
+	advList := retrieval.IDs(hash.Retrieve(res.Adv, f.m))
+	before := metrics.APAtM(origList, tgtList)
+	after := metrics.APAtM(advList, tgtList)
+	if after < before {
+		t.Errorf("hash-victim AP@m regressed: %g → %g", before, after)
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"duo/internal/attack"
+	"duo/internal/mathx"
+	"duo/internal/metrics"
+	"duo/internal/retrieval"
+	"duo/internal/video"
+)
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BasisType selects the search basis of SparseQuery's coordinate descent.
+// The zero value is the paper's Cartesian basis (Eq. 4).
+type BasisType int
+
+const (
+	// BasisCartesian perturbs one element per query (the paper's setting).
+	BasisCartesian BasisType = iota
+	// BasisDCT perturbs along masked low-frequency 2-D DCT basis functions
+	// of one frame/channel per query — the SimBA-DCT refinement of [53],
+	// which trades per-element sparsity for smoother, lower-visibility
+	// perturbations.
+	BasisDCT
+)
+
+// QueryConfig parameterizes SparseQuery.
+type QueryConfig struct {
+	// MaxQueries is iter_numQ, the query budget (1,000 in §V-B).
+	MaxQueries int
+	// Eta is the margin η in Eq. (2).
+	Eta float64
+	// Epsilon is the coordinate step size; ‖±εq‖∞ ≤ τ is enforced, so ε
+	// defaults to τ when zero.
+	Epsilon float64
+	// Tau is the per-element budget relative to the *round's* base video.
+	Tau float64
+	// Sim is the list-similarity ℍ; nil selects the NDCG-weighted
+	// CoOccurrence of [10] (plain overlap is the DESIGN.md §6 ablation).
+	Sim metrics.ListSimilarity
+	// Mode selects Targeted (zero value and default) or Untargeted; the
+	// untargeted objective drops the target term of Eq. (2).
+	Mode Mode
+	// Basis selects Cartesian (default, per the paper) or DCT directions.
+	Basis BasisType
+}
+
+// DefaultQueryConfig returns the paper's SparseQuery settings scaled down
+// (iter_numQ=1,000 in the paper; callers lower it for tests).
+func DefaultQueryConfig() QueryConfig {
+	return QueryConfig{MaxQueries: 1000, Eta: 0.5, Tau: 30}
+}
+
+// QueryResult is SparseQuery's outcome for one round.
+type QueryResult struct {
+	// Adv is the rectified adversarial video.
+	Adv *video.Video
+	// Trajectory is 𝕋 after each iteration (Fig. 5).
+	Trajectory []float64
+	// Queries is the number of victim queries consumed.
+	Queries int
+	// Improved reports whether any coordinate step was accepted.
+	Improved bool
+}
+
+// SparseQuery runs Algorithm 2: masked SimBA-style coordinate descent on
+// the victim. v is the round's base video, vt the target, and masks the
+// prior from SparseTransfer; perturbations stay inside the support of
+// ℐ⊙𝓕⊙θ (Eq. 4) and within ±τ of v on every element.
+func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg QueryConfig) (*QueryResult, error) {
+	if cfg.MaxQueries <= 0 {
+		return nil, fmt.Errorf("core: non-positive query budget %d", cfg.MaxQueries)
+	}
+	if cfg.Tau <= 0 {
+		return nil, fmt.Errorf("core: τ=%g must be positive", cfg.Tau)
+	}
+	sim := cfg.Sim
+	if sim == nil {
+		sim = metrics.CoOccurrence
+	}
+	eps := cfg.Epsilon
+	if eps <= 0 || eps > cfg.Tau {
+		eps = cfg.Tau
+	}
+
+	queries := 0
+	retrieveIDs := func(qv *video.Video) []string {
+		queries++
+		return retrieval.IDs(ctx.Victim.Retrieve(qv, ctx.M))
+	}
+
+	// Reference lists for Eq. (2). Untargeted runs have no target list and
+	// minimize ℍ(R(v_adv), R(v)) + η alone.
+	origList := retrieveIDs(v)
+	var targetList []string
+	if cfg.Mode != Untargeted {
+		if vt == nil {
+			return nil, fmt.Errorf("core: targeted SparseQuery needs a target video")
+		}
+		targetList = retrieveIDs(vt)
+	}
+	objective := func(qv *video.Video) float64 {
+		adv := retrieveIDs(qv)
+		if cfg.Mode == Untargeted {
+			return sim(adv, origList) + cfg.Eta
+		}
+		return metrics.Objective(sim, adv, origList, targetList, cfg.Eta)
+	}
+
+	// Line 1–2: v_adv⁰ = v + ℐ⊙𝓕⊙θ, 𝕋⁰. The prior is projected into this
+	// stage's τ-ball so the ‖v_adv − v‖∞ ≤ τ contract holds even when the
+	// caller configured a larger transfer-stage budget.
+	adv := v.Add(masks.Compose().Clamp(-cfg.Tau, cfg.Tau))
+	tCur := objective(adv)
+
+	// The Cartesian basis is restricted to the support of ℐ⊙𝓕⊙θ (Eq. 4).
+	support := supportIndices(masks)
+	if len(support) == 0 {
+		// Degenerate prior (θ ≡ 0 on the mask): explore the mask itself.
+		support = maskIndices(masks)
+	}
+	if len(support) == 0 {
+		return &QueryResult{Adv: adv, Trajectory: []float64{tCur}, Queries: queries}, nil
+	}
+
+	// The retrieval list is a step function of the input, so 𝕋 plateaus
+	// between rank boundaries. Eq. (3) therefore accepts non-strictly
+	// (𝕋 ≤ 𝕋_prev keeps the +ε step): the walk keeps moving across
+	// plateaus and descends whenever it crosses a boundary. Acceptance
+	// never increases 𝕋, so the final state is also the best visited.
+	res := &QueryResult{Trajectory: []float64{tCur}}
+	perm := ctx.Rng.Perm(len(support))
+	pi := 0
+
+	// applyStep writes a candidate value at one flat index, respecting the
+	// ±τ box around v and the pixel range; it reports whether anything
+	// changed.
+	applyStep := func(cand *video.Video, idx int, delta float64) bool {
+		d := cand.Data.Data()
+		base := v.Data.Data()[idx]
+		nv := d[idx] + delta
+		nv = math.Max(base-cfg.Tau, math.Min(base+cfg.Tau, nv))
+		nv = math.Max(video.PixelMin, math.Min(video.PixelMax, nv))
+		if nv == d[idx] {
+			return false
+		}
+		d[idx] = nv
+		return true
+	}
+
+	// makeCandidate builds the κ-th candidate pair generator according to
+	// the configured basis.
+	cartesianCandidate := func(sign float64) (*video.Video, bool) {
+		idx := support[perm[pi%len(perm)]]
+		cand := adv.Clone()
+		return cand, applyStep(cand, idx, sign*eps)
+	}
+	var activeFrames []int
+	if cfg.Basis == BasisDCT {
+		activeFrames = masks.ActiveFrames()
+		if len(activeFrames) == 0 {
+			for f := 0; f < v.Frames(); f++ {
+				activeFrames = append(activeFrames, f)
+			}
+		}
+	}
+	var dctDir [][]float64
+	var dctFrame, dctChannel int
+	sampleDCT := func() {
+		dctFrame = activeFrames[ctx.Rng.Intn(len(activeFrames))]
+		dctChannel = ctx.Rng.Intn(v.Channels())
+		// Low-frequency quarter of the spectrum.
+		maxU := max(1, v.Height()/4)
+		maxV := max(1, v.Width()/4)
+		dir := mathx.DCTBasis2D(v.Height(), v.Width(), ctx.Rng.Intn(maxU), ctx.Rng.Intn(maxV))
+		// Normalize to ‖·‖∞ = 1 so ε keeps its per-element meaning.
+		peak := 0.0
+		for _, row := range dir {
+			for _, x := range row {
+				if a := math.Abs(x); a > peak {
+					peak = a
+				}
+			}
+		}
+		if peak > 0 {
+			for _, row := range dir {
+				for x := range row {
+					row[x] /= peak
+				}
+			}
+		}
+		dctDir = dir
+	}
+	dctCandidate := func(sign float64) (*video.Video, bool) {
+		cand := adv.Clone()
+		pm, fm := masks.Pixel.Data(), masks.Frame.Data()
+		perFrame := v.Data.Len() / v.Frames()
+		plane := v.Height() * v.Width()
+		changed := false
+		for y := 0; y < v.Height(); y++ {
+			for x := 0; x < v.Width(); x++ {
+				idx := dctFrame*perFrame + dctChannel*plane + y*v.Width() + x
+				if pm[idx]*fm[idx] == 0 {
+					continue
+				}
+				if applyStep(cand, idx, sign*eps*dctDir[y][x]) {
+					changed = true
+				}
+			}
+		}
+		return cand, changed
+	}
+
+	for queries < cfg.MaxQueries {
+		// Line 5: sample q from the basis without replacement; reshuffle
+		// once the Cartesian basis is exhausted.
+		if pi >= len(perm) {
+			perm = ctx.Rng.Perm(len(support))
+			pi = 0
+		}
+		if cfg.Basis == BasisDCT {
+			sampleDCT()
+		}
+
+		// Lines 6–14 / Eq. (3): try +ε then −ε, keeping the first
+		// candidate that does not increase 𝕋.
+		for _, sign := range []float64{1, -1} {
+			var cand *video.Video
+			var changed bool
+			if cfg.Basis == BasisDCT {
+				cand, changed = dctCandidate(sign)
+			} else {
+				cand, changed = cartesianCandidate(sign)
+			}
+			if !changed {
+				continue // no-op candidate, don't waste a query
+			}
+			if queries >= cfg.MaxQueries {
+				break
+			}
+			tNew := objective(cand)
+			if tNew <= tCur {
+				if tNew < tCur {
+					res.Improved = true
+				}
+				adv = cand
+				tCur = tNew
+				break
+			}
+		}
+		pi++
+		res.Trajectory = append(res.Trajectory, tCur)
+	}
+
+	res.Adv = adv
+	res.Queries = queries
+	return res, nil
+}
+
+// supportIndices returns the flat indices where ℐ⊙𝓕⊙θ ≠ 0 (Eq. 4).
+func supportIndices(m *Masks) []int {
+	composed := m.Compose().Data()
+	var out []int
+	for i, v := range composed {
+		if v != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// maskIndices returns the flat indices where ℐ⊙𝓕 ≠ 0 regardless of θ.
+func maskIndices(m *Masks) []int {
+	p, f := m.Pixel.Data(), m.Frame.Data()
+	var out []int
+	for i := range p {
+		if p[i] != 0 && f[i] != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

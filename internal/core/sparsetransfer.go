@@ -1,0 +1,374 @@
+// Package core implements the paper's contribution: the DUO attack
+// pipeline. SparseTransfer (Algorithm 1) derives sparse initial
+// perturbations on a stolen surrogate by alternating a gradient step on the
+// magnitude θ, an ℓp-box-ADMM step on the pixel mask ℐ, and a continuous
+// relaxation step on the frame mask 𝓕. SparseQuery (Algorithm 2) then
+// rectifies the perturbation against the black-box victim with masked
+// coordinate descent on the rank-similarity objective 𝕋 (Eq. 2). Run loops
+// the two (iter_numH) to escape local optima.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"duo/internal/admm"
+	"duo/internal/models"
+	"duo/internal/opt"
+	"duo/internal/tensor"
+	"duo/internal/video"
+)
+
+// Mode selects the attack goal: targeted attacks steer the retrieval list
+// toward a chosen target video's list; untargeted attacks (§I: "our method
+// can be easily extended") only push the list away from the original's.
+type Mode int
+
+const (
+	// Targeted is the paper's main setting (the default).
+	Targeted Mode = iota + 1
+	// Untargeted maximizes the distance from the original's own features
+	// and list, with no target video.
+	Untargeted
+)
+
+// NormConstraint selects how θ is projected onto the perturbation budget
+// (Table IX evaluates both).
+type NormConstraint int
+
+const (
+	// NormLInf clamps every element of θ to [−τ, τ] (the default, Eq. 1).
+	NormLInf NormConstraint = iota + 1
+	// NormL2 rescales θ onto the L2 ball of radius τ·√k, the ℓ2 variant
+	// of Table IX.
+	NormL2
+)
+
+// TransferConfig parameterizes SparseTransfer.
+type TransferConfig struct {
+	// K is the pixel budget: 1ᵀℐ = k perturbed elements.
+	K int
+	// N is the frame budget: ‖𝓕‖₂,₀ = n perturbed frames.
+	N int
+	// Tau bounds the per-element magnitude: ‖θ‖∞ ≤ τ (pixel units).
+	Tau float64
+	// Lambda is the L2 regularization weight (e⁻⁵ in §V-B).
+	Lambda float64
+	// OuterIters bounds the alternating-minimization loop.
+	OuterIters int
+	// ThetaSteps is the number of gradient-descent steps per θ update.
+	ThetaSteps int
+	// Schedule is the θ-step learning-rate schedule (§V-B: 0.1, ×0.9/50).
+	Schedule opt.StepDecay
+	// Norm selects the projection (ℓ∞ default, ℓ2 for Table IX).
+	Norm NormConstraint
+	// UseADMM toggles the ℓp-box ADMM ℐ-step; false falls back to plain
+	// top-k selection (the DESIGN.md §6 ablation).
+	UseADMM bool
+	// Tol is the relative-loss convergence tolerance.
+	Tol float64
+	// Mode selects Targeted (zero value and default) or Untargeted.
+	Mode Mode
+}
+
+// DefaultTransferConfig returns the paper's settings mapped to a video
+// geometry. The paper's absolute budgets are k = 40K of 602,112 elements
+// (≈6.6%), n = 4 of 16 frames, τ = 30. Scaled-down clips have far less
+// pixel redundancy, so preserving the paper's *qualitative* operating
+// point (the attack succeeds and AP@m rises then saturates in each budget)
+// requires proportionally larger fractions: k = 15% of elements, n = half
+// the frames, τ = 40. EXPERIMENTS.md documents the mapping.
+func DefaultTransferConfig(g models.Geometry) TransferConfig {
+	elems := g.Frames * g.Channels * g.Height * g.Width
+	n := g.Frames / 2
+	if n < 1 {
+		n = 1
+	}
+	return TransferConfig{
+		K:          int(float64(elems) * 0.15),
+		N:          n,
+		Tau:        40,
+		Lambda:     math.Exp(-5),
+		OuterIters: 4,
+		ThetaSteps: 20,
+		Schedule:   opt.PaperSchedule(),
+		Norm:       NormLInf,
+		UseADMM:    true,
+		Tol:        1e-4,
+	}
+}
+
+func (c TransferConfig) validate(elems, frames int) error {
+	switch {
+	case c.K <= 0 || c.K > elems:
+		return fmt.Errorf("core: pixel budget k=%d out of range (0, %d]", c.K, elems)
+	case c.N <= 0 || c.N > frames:
+		return fmt.Errorf("core: frame budget n=%d out of range (0, %d]", c.N, frames)
+	case c.Tau <= 0:
+		return fmt.Errorf("core: τ=%g must be positive", c.Tau)
+	case c.OuterIters <= 0 || c.ThetaSteps <= 0:
+		return fmt.Errorf("core: non-positive iteration counts")
+	}
+	return nil
+}
+
+// Masks is SparseTransfer's output: the "prior knowledge" {ℐ, 𝓕, θ} that
+// SparseQuery consumes.
+type Masks struct {
+	// Pixel is ℐ ∈ {0,1}^{N×C×H×W} with exactly K ones.
+	Pixel *tensor.Tensor
+	// Frame is 𝓕 ∈ {0,1}^{N×C×H×W}, constant within each frame, with N
+	// active frames.
+	Frame *tensor.Tensor
+	// Theta is the magnitude θ with ‖θ‖∞ ≤ τ.
+	Theta *tensor.Tensor
+	// Loss is the final surrogate loss value (Eq. 1).
+	Loss float64
+	// Iterations is the number of outer alternating iterations run.
+	Iterations int
+	// Converged reports whether the loss change fell below Tol.
+	Converged bool
+}
+
+// Compose returns the composed perturbation φ = ℐ ⊙ 𝓕 ⊙ θ.
+func (m *Masks) Compose() *tensor.Tensor {
+	return m.Theta.Mul(m.Pixel).MulInPlace(m.Frame)
+}
+
+// ActiveFrames returns the indices of frames selected by 𝓕.
+func (m *Masks) ActiveFrames() []int {
+	var out []int
+	for f := 0; f < m.Frame.Dim(0); f++ {
+		if m.Frame.Slice(f).Max() > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SparseTransfer runs Algorithm 1 on the surrogate s: given the original
+// video v and target vt it returns sparse masks and magnitudes minimizing
+// Eq. (1). In Untargeted mode vt may be nil and the objective flips to
+// maximizing the feature distance from v itself.
+func SparseTransfer(s models.Model, v, vt *video.Video, cfg TransferConfig) (*Masks, error) {
+	shape := v.Data.Shape()
+	elems := v.Data.Len()
+	frames := v.Frames()
+	if err := cfg.validate(elems, frames); err != nil {
+		return nil, err
+	}
+	untargeted := cfg.Mode == Untargeted
+	if untargeted {
+		vt = v
+	} else if vt == nil {
+		return nil, fmt.Errorf("core: targeted SparseTransfer needs a target video")
+	}
+	if !v.Data.SameShape(vt.Data) {
+		return nil, fmt.Errorf("core: original %v and target %v shapes differ", v.Data.Shape(), vt.Data.Shape())
+	}
+
+	// Line 1: ℐ = 1, 𝓕 = 1, θ = 0.
+	m := &Masks{
+		Pixel: tensor.New(shape...).ApplyInPlace(func(float64) float64 { return 1 }),
+		Frame: tensor.New(shape...).ApplyInPlace(func(float64) float64 { return 1 }),
+		Theta: tensor.New(shape...),
+	}
+	if untargeted {
+		// θ = 0 is a stationary point of the untargeted objective (the
+		// gradient of −‖Fea(v+0)−Fea(v)‖² vanishes), so seed θ with a
+		// deterministic ±1 checkerboard to break the symmetry.
+		td := m.Theta.Data()
+		for i := range td {
+			if i%2 == 0 {
+				td[i] = 1
+			} else {
+				td[i] = -1
+			}
+		}
+	}
+
+	targetFeat := models.Embed(s, vt)
+	perFrame := elems / frames
+
+	// frameScores is the continuous relaxation 𝒞 (line 5), updated with
+	// momentum from per-frame gradient energy (the dependence-guided
+	// update of [47]).
+	frameScores := make([]float64, frames)
+
+	prevLoss := math.Inf(1)
+	step := 0
+	regScale := 1 / (video.PixelMax * video.PixelMax)
+	var lastGrad *tensor.Tensor
+
+	// sign is +1 to approach the target's features (targeted) or −1 to
+	// flee the original's (untargeted).
+	sign := 1.0
+	if untargeted {
+		sign = -1
+	}
+	evalLoss := func() (float64, *tensor.Tensor) {
+		adv := v.Add(m.Compose())
+		feat, cache := s.Forward(adv.Data)
+		diff := feat.Sub(targetFeat)
+		// The regularizer is computed in normalized [0,1] pixel units so
+		// that λ=e⁻⁵ weighs it comparably to the unit-scale feature
+		// distance (as in the reference implementation).
+		loss := sign*diff.SquaredL2() + cfg.Lambda*m.Compose().SquaredL2()*regScale
+		// dL/dfeat = ±2(feat − target); backprop to pixels.
+		grad := s.Backward(cache, diff.Scale(2*sign))
+		return loss, grad
+	}
+
+	// Normalized fixed-size steps can oscillate across a narrow valley on
+	// the scaled-down surrogates, so we track the best θ visited and
+	// return it (a cheap trust-region fallback).
+	bestLoss := math.Inf(1)
+	var bestTheta *tensor.Tensor
+	noteTheta := func(loss float64) {
+		if loss < bestLoss {
+			bestLoss = loss
+			bestTheta = m.Theta.Clone()
+		}
+	}
+
+	for it := 0; it < cfg.OuterIters; it++ {
+		m.Iterations = it + 1
+
+		// Line 3: update θ by gradient descent under S, masked and
+		// projected onto the τ budget. The raw input gradient's scale
+		// depends on the surrogate's depth, so the step is normalized by
+		// ‖·‖∞ and scaled by lr·τ (the same normalization MI-FGSM-family
+		// attacks use) to make the schedule meaningful across models.
+		var loss float64
+		for t := 0; t < cfg.ThetaSteps; t++ {
+			var grad *tensor.Tensor
+			loss, grad = evalLoss()
+			noteTheta(loss)
+			lastGrad = grad
+			lr := cfg.Schedule.At(step)
+			step++
+			// dL/dθ = (dL/dv_adv + 2λθ) ⊙ ℐ ⊙ 𝓕.
+			upd := grad.Add(m.Theta.Scale(2 * cfg.Lambda * regScale)).MulInPlace(m.Pixel).MulInPlace(m.Frame)
+			if ni := upd.LInf(); ni > 1e-12 {
+				m.Theta.AddScaled(-lr*cfg.Tau/ni, upd)
+			}
+			projectTheta(m.Theta, cfg)
+		}
+
+		// Line 4: update ℐ with ℓp-box ADMM on the linearized objective:
+		// select the k elements with the highest expected loss reduction
+		// |θ ⊙ ∇L| (cost c = −score).
+		score := m.Theta.Mul(lastGrad).ApplyInPlace(math.Abs)
+		// Break exact ties (e.g. zero scores) toward elements with larger
+		// magnitudes so the selection stays meaningful early on.
+		scoreData := score.Data()
+		thetaData := m.Theta.Data()
+		for i := range scoreData {
+			scoreData[i] += 1e-9 * math.Abs(thetaData[i])
+		}
+		var pixelSel []bool
+		if cfg.UseADMM {
+			cost := make([]float64, elems)
+			for i, sv := range scoreData {
+				cost[i] = -sv
+			}
+			res, err := admm.MinimizeCardinality(cost, cfg.K, admm.DefaultConfig())
+			if err != nil {
+				return nil, fmt.Errorf("core: ℐ-step: %w", err)
+			}
+			pixelSel = res.X
+		} else {
+			pixelSel = admm.TopKByScore(negate(scoreData), cfg.K)
+		}
+		pd := m.Pixel.Data()
+		for i := range pd {
+			if pixelSel[i] {
+				pd[i] = 1
+			} else {
+				pd[i] = 0
+			}
+		}
+
+		// Lines 5–7: relax 𝓕 to 𝒞, update 𝒞 from per-frame energy with
+		// momentum, then keep the top-n frames by ‖𝒞‖₂.
+		masked := m.Theta.Mul(m.Pixel)
+		gradMasked := lastGrad.Mul(m.Pixel)
+		for f := 0; f < frames; f++ {
+			energy := 0.0
+			mo := masked.Data()[f*perFrame : (f+1)*perFrame]
+			go_ := gradMasked.Data()[f*perFrame : (f+1)*perFrame]
+			for i := range mo {
+				energy += math.Abs(mo[i] * go_[i])
+			}
+			frameScores[f] = 0.5*frameScores[f] + 0.5*energy
+		}
+		top := tensor.TopK(frameScores, cfg.N)
+		m.Frame.Zero()
+		for _, f := range top {
+			m.Frame.Slice(f).Fill(1)
+		}
+
+		m.Loss = loss
+		if math.Abs(prevLoss-loss) < cfg.Tol*(1+math.Abs(prevLoss)) {
+			m.Converged = true
+			break
+		}
+		prevLoss = loss
+	}
+
+	// Final polish of θ on the fixed masks so magnitudes reflect the final
+	// support.
+	for t := 0; t < cfg.ThetaSteps; t++ {
+		loss, grad := evalLoss()
+		noteTheta(loss)
+		m.Loss = loss
+		lr := cfg.Schedule.At(step)
+		step++
+		upd := grad.Add(m.Theta.Scale(2 * cfg.Lambda * regScale)).MulInPlace(m.Pixel).MulInPlace(m.Frame)
+		if ni := upd.LInf(); ni > 1e-12 {
+			m.Theta.AddScaled(-lr*cfg.Tau/ni, upd)
+		}
+		projectTheta(m.Theta, cfg)
+	}
+	if loss, _ := evalLoss(); true {
+		noteTheta(loss)
+	}
+	if bestTheta != nil {
+		m.Theta = bestTheta
+		m.Loss = bestLoss
+	}
+	// Quantize θ to whole pixel levels: videos are 8-bit, so sub-0.5
+	// magnitudes cannot survive encoding. Quantization is also what keeps
+	// the *effective* Spa well below k — elements whose optimal magnitude
+	// is negligible drop out of the support entirely.
+	m.Theta.ApplyInPlace(math.Round)
+	return m, nil
+}
+
+// projectTheta enforces the norm constraint of Eq. (1) on θ.
+//
+// The ℓ∞ variant clamps every element to ±τ. The ℓ2 variant (Table IX)
+// bounds the total perturbation energy instead: ‖θ‖₂ ≤ τ·√k/2, i.e. the
+// energy of an ℓ∞-budget perturbation at 50% average saturation.
+// Individual elements may exceed τ under ℓ2 (pixel-range feasibility is
+// enforced when the perturbation is applied), which is what distinguishes
+// the two rows of Table IX.
+func projectTheta(theta *tensor.Tensor, cfg TransferConfig) {
+	switch cfg.Norm {
+	case NormL2:
+		radius := cfg.Tau * math.Sqrt(float64(cfg.K)) / 2
+		if n := theta.L2(); n > radius {
+			theta.ScaleInPlace(radius / n)
+		}
+	default: // NormLInf
+		theta.ClampInPlace(-cfg.Tau, cfg.Tau)
+	}
+}
+
+func negate(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = -v
+	}
+	return out
+}

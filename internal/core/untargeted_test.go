@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"duo/internal/metrics"
+	"duo/internal/models"
+	"duo/internal/retrieval"
+)
+
+func untargetedConfig(g models.Geometry) Config {
+	cfg := UntargetedConfig(g)
+	cfg.Transfer.OuterIters = 2
+	cfg.Transfer.ThetaSteps = 8
+	cfg.Query.MaxQueries = 60
+	cfg.Query.Tau = cfg.Transfer.Tau
+	return cfg
+}
+
+func TestUntargetedTransferFleesOriginal(t *testing.T) {
+	f := getFixture(t)
+	cfg := untargetedConfig(f.geom).Transfer
+	masks, err := SparseTransfer(f.surr, f.origin, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	of := models.Embed(f.surr, f.origin)
+	adv := f.origin.Add(masks.Compose())
+	dist := models.Embed(f.surr, adv).Distance(of)
+	if dist <= 0 {
+		t.Errorf("untargeted transfer did not move features (distance %g)", dist)
+	}
+	// Budgets still hold.
+	phi := masks.Compose()
+	if phi.L0() > cfg.K || phi.L20() > cfg.N || phi.LInf() > cfg.Tau+1e-9 {
+		t.Errorf("budget violated: L0 %d, L20 %d, LInf %g", phi.L0(), phi.L20(), phi.LInf())
+	}
+}
+
+func TestTargetedTransferRejectsNilTarget(t *testing.T) {
+	f := getFixture(t)
+	cfg := testTransferConfig(f.geom)
+	if _, err := SparseTransfer(f.surr, f.origin, nil, cfg); err == nil {
+		t.Error("nil target accepted in targeted mode")
+	}
+}
+
+func TestUntargetedQueryObjectiveDecreases(t *testing.T) {
+	f := getFixture(t)
+	cfg := untargetedConfig(f.geom)
+	masks, err := SparseTransfer(f.surr, f.origin, nil, cfg.Transfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := SparseQuery(newCtx(f, 21), f.origin, nil, masks, cfg.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(qr.Trajectory); i++ {
+		if qr.Trajectory[i] > qr.Trajectory[i-1]+1e-12 {
+			t.Fatalf("untargeted 𝕋 increased at %d", i)
+		}
+	}
+}
+
+func TestTargetedQueryRejectsNilTarget(t *testing.T) {
+	f := getFixture(t)
+	masks, _ := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	if _, err := SparseQuery(newCtx(f, 22), f.origin, nil, masks, testQueryConfig()); err == nil {
+		t.Error("nil target accepted in targeted query")
+	}
+}
+
+func TestUntargetedRunReducesSelfSimilarity(t *testing.T) {
+	f := getFixture(t)
+	cfg := untargetedConfig(f.geom)
+	cfg.IterNumH = 2
+	res, err := Run(newCtx(f, 23), f.surr, f.origin, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adversarial list must co-occur with the original's no more than
+	// the original itself does (ℍ(orig, orig) = 1).
+	origList := retrieval.IDs(f.victim.Retrieve(f.origin, f.m))
+	advList := retrieval.IDs(f.victim.Retrieve(res.Adv, f.m))
+	h := metrics.CoOccurrence(advList, origList)
+	if h > 1 {
+		t.Errorf("ℍ = %g out of range", h)
+	}
+	if res.Spa() == 0 {
+		t.Error("untargeted run produced no perturbation")
+	}
+}
+
+func TestRunRejectsMixedModes(t *testing.T) {
+	f := getFixture(t)
+	cfg := untargetedConfig(f.geom)
+	cfg.Query.Mode = Targeted
+	if _, err := Run(newCtx(f, 24), f.surr, f.origin, f.target, cfg); err == nil {
+		t.Error("mixed modes accepted")
+	}
+}
+
+func TestSparseQueryDCTBasis(t *testing.T) {
+	f := getFixture(t)
+	masks, err := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testQueryConfig()
+	cfg.Basis = BasisDCT
+	qr, err := SparseQuery(newCtx(f, 31), f.origin, f.target, masks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invariants hold for the DCT basis too.
+	delta := qr.Adv.Data.Sub(f.origin.Data)
+	if got := delta.LInf(); got > cfg.Tau+1e-9 {
+		t.Errorf("DCT basis broke the τ bound: %g", got)
+	}
+	base := f.origin.Add(masks.Compose().Clamp(-cfg.Tau, cfg.Tau))
+	pm, fm := masks.Pixel.Data(), masks.Frame.Data()
+	for i := range pm {
+		if pm[i]*fm[i] == 0 && qr.Adv.Data.Data()[i] != base.Data.Data()[i] {
+			t.Fatalf("DCT step escaped the mask at %d", i)
+		}
+	}
+	for i := 1; i < len(qr.Trajectory); i++ {
+		if qr.Trajectory[i] > qr.Trajectory[i-1]+1e-12 {
+			t.Fatalf("DCT 𝕋 increased at %d", i)
+		}
+	}
+	if qr.Queries > cfg.MaxQueries {
+		t.Errorf("queries %d over budget", qr.Queries)
+	}
+}
+
+func TestSparseQueryDCTDiffersFromCartesian(t *testing.T) {
+	f := getFixture(t)
+	masks, _ := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	cart, err := SparseQuery(newCtx(f, 32), f.origin, f.target, masks, testQueryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testQueryConfig()
+	cfg.Basis = BasisDCT
+	dct, err := SparseQuery(newCtx(f, 32), f.origin, f.target, masks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cart.Adv.Data.Equal(dct.Adv.Data, 0) {
+		t.Error("DCT and Cartesian bases produced identical results")
+	}
+}

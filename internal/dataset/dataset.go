@@ -1,0 +1,234 @@
+// Package dataset generates the synthetic video corpora that stand in for
+// UCF101 and HMDB51 (see DESIGN.md §2). Each category is a distinct
+// procedural spatio-temporal process — a moving Gaussian blob with
+// category-specific direction, speed, size, colour, and background texture —
+// so that category membership is recoverable from both spatial and temporal
+// features, as action classes are in the real datasets.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"duo/internal/video"
+)
+
+// Config parameterizes corpus generation.
+type Config struct {
+	// Name labels the corpus ("UCF101Sim", "HMDB51Sim").
+	Name string
+	// Categories is the number of action classes.
+	Categories int
+	// TrainPerCategory and TestPerCategory set the split sizes. The paper's
+	// datasets are both ≈70/30 train/test.
+	TrainPerCategory int
+	TestPerCategory  int
+	// Frames, Channels, Height, Width set clip geometry.
+	Frames   int
+	Channels int
+	Height   int
+	Width    int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Hardness ∈ [0, 1) controls how separable the categories are: 0
+	// (default) gives well-separated classes; higher values shrink
+	// inter-category parameter differences and raise instance noise,
+	// pushing trained-victim mAPs toward the paper's 20–60% range.
+	Hardness float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Categories <= 1:
+		return fmt.Errorf("dataset: need ≥2 categories, got %d", c.Categories)
+	case c.TrainPerCategory <= 0 || c.TestPerCategory <= 0:
+		return fmt.Errorf("dataset: non-positive split sizes %d/%d", c.TrainPerCategory, c.TestPerCategory)
+	case c.Frames <= 0 || c.Channels <= 0 || c.Height <= 0 || c.Width <= 0:
+		return fmt.Errorf("dataset: bad geometry %d×%d×%d×%d", c.Frames, c.Channels, c.Height, c.Width)
+	case c.Hardness < 0 || c.Hardness >= 1:
+		return fmt.Errorf("dataset: hardness %g out of [0, 1)", c.Hardness)
+	}
+	return nil
+}
+
+// Corpus is a generated train/test video collection.
+type Corpus struct {
+	Name       string
+	Categories int
+	Train      []*video.Video
+	Test       []*video.Video
+}
+
+// category holds the generative parameters of one action class.
+type category struct {
+	angle    float64 // motion direction
+	speed    float64 // pixels per frame
+	sigma    float64 // blob radius
+	texFreqX float64 // background texture frequency
+	texFreqY float64
+	texPhase float64
+	base     [3]float64 // per-channel background level
+	blobAmp  [3]float64 // per-channel blob intensity
+	wobble   float64    // temporal oscillation of the blob radius
+}
+
+func newCategory(rng *rand.Rand) category {
+	var c category
+	c.angle = rng.Float64() * 2 * math.Pi
+	c.speed = 0.5 + rng.Float64()*2.5
+	c.sigma = 1.0 + rng.Float64()*2.0
+	c.texFreqX = 0.3 + rng.Float64()*1.2
+	c.texFreqY = 0.3 + rng.Float64()*1.2
+	c.texPhase = rng.Float64() * 2 * math.Pi
+	for ch := 0; ch < 3; ch++ {
+		c.base[ch] = 60 + rng.Float64()*80
+		c.blobAmp[ch] = 60 + rng.Float64()*120
+	}
+	c.wobble = rng.Float64() * 0.5
+	return c
+}
+
+// blendToward pulls a category's generative parameters toward base by
+// hardness h (0 = unchanged, →1 = indistinguishable from base).
+func (c category) blendToward(base category, h float64) category {
+	if h <= 0 {
+		return c
+	}
+	mix := func(a, b float64) float64 { return b + (a-b)*(1-h) }
+	c.angle = mix(c.angle, base.angle)
+	c.speed = mix(c.speed, base.speed)
+	c.sigma = mix(c.sigma, base.sigma)
+	c.texFreqX = mix(c.texFreqX, base.texFreqX)
+	c.texFreqY = mix(c.texFreqY, base.texFreqY)
+	c.texPhase = mix(c.texPhase, base.texPhase)
+	for i := range c.base {
+		c.base[i] = mix(c.base[i], base.base[i])
+		c.blobAmp[i] = mix(c.blobAmp[i], base.blobAmp[i])
+	}
+	c.wobble = mix(c.wobble, base.wobble)
+	return c
+}
+
+// Generate builds a corpus from cfg. Generation is deterministic in
+// cfg.Seed.
+func Generate(cfg Config) (*Corpus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The blend base is only drawn when needed so that Hardness=0 corpora
+	// keep the exact RNG stream (and content) of earlier releases.
+	var base category
+	if cfg.Hardness > 0 {
+		base = newCategory(rng)
+	}
+	cats := make([]category, cfg.Categories)
+	for i := range cats {
+		cats[i] = newCategory(rng).blendToward(base, cfg.Hardness)
+	}
+	corpus := &Corpus{Name: cfg.Name, Categories: cfg.Categories}
+	for label, cat := range cats {
+		for i := 0; i < cfg.TrainPerCategory; i++ {
+			id := fmt.Sprintf("%s/train/c%02d-%03d", cfg.Name, label, i)
+			corpus.Train = append(corpus.Train, renderClip(rng, cfg, cat, label, id))
+		}
+		for i := 0; i < cfg.TestPerCategory; i++ {
+			id := fmt.Sprintf("%s/test/c%02d-%03d", cfg.Name, label, i)
+			corpus.Test = append(corpus.Test, renderClip(rng, cfg, cat, label, id))
+		}
+	}
+	return corpus, nil
+}
+
+// renderClip draws one instance of a category: same generative process,
+// instance-specific start position, phase, and pixel noise.
+func renderClip(rng *rand.Rand, cfg Config, cat category, label int, id string) *video.Video {
+	v := video.New(cfg.Frames, cfg.Channels, cfg.Height, cfg.Width)
+	v.Label, v.ID = label, id
+
+	x0 := rng.Float64() * float64(cfg.Width)
+	y0 := rng.Float64() * float64(cfg.Height)
+	phase := rng.Float64() * 2 * math.Pi
+	noise := (2.0 + rng.Float64()*3.0) * (1 + 5*cfg.Hardness)
+
+	vx := math.Cos(cat.angle) * cat.speed
+	vy := math.Sin(cat.angle) * cat.speed
+	w, h := float64(cfg.Width), float64(cfg.Height)
+
+	d := v.Data.Data()
+	idx := 0
+	for f := 0; f < cfg.Frames; f++ {
+		// Blob centre wraps around frame borders.
+		cx := math.Mod(x0+vx*float64(f)+8*w, w)
+		cy := math.Mod(y0+vy*float64(f)+8*h, h)
+		sigma := cat.sigma * (1 + cat.wobble*math.Sin(phase+0.7*float64(f)))
+		inv2s2 := 1 / (2 * sigma * sigma)
+		for ch := 0; ch < cfg.Channels; ch++ {
+			base := cat.base[ch%3]
+			amp := cat.blobAmp[ch%3]
+			for y := 0; y < cfg.Height; y++ {
+				for x := 0; x < cfg.Width; x++ {
+					// Toroidal distance to blob centre.
+					dx := math.Abs(float64(x) - cx)
+					if dx > w/2 {
+						dx = w - dx
+					}
+					dy := math.Abs(float64(y) - cy)
+					if dy > h/2 {
+						dy = h - dy
+					}
+					blob := amp * math.Exp(-(dx*dx+dy*dy)*inv2s2)
+					tex := 12 * math.Sin(cat.texFreqX*float64(x)+cat.texPhase) * math.Cos(cat.texFreqY*float64(y))
+					d[idx] = base + blob + tex + rng.NormFloat64()*noise
+					idx++
+				}
+			}
+		}
+	}
+	v.Clip()
+	return v
+}
+
+// ByLabel groups videos by their category label.
+func ByLabel(vs []*video.Video) map[int][]*video.Video {
+	out := make(map[int][]*video.Video)
+	for _, v := range vs {
+		out[v.Label] = append(out[v.Label], v)
+	}
+	return out
+}
+
+// AttackPair is an (original, target) evaluation pair with distinct labels.
+type AttackPair struct {
+	Original *video.Video
+	Target   *video.Video
+}
+
+// SamplePairs draws n attack pairs from vs with distinct labels,
+// deterministically in rng (§V-A: "randomly choose ten pairs").
+func SamplePairs(rng *rand.Rand, vs []*video.Video, n int) []AttackPair {
+	pairs := make([]AttackPair, 0, n)
+	if len(vs) < 2 {
+		return pairs
+	}
+	for len(pairs) < n {
+		a := vs[rng.Intn(len(vs))]
+		b := vs[rng.Intn(len(vs))]
+		if a.Label == b.Label {
+			continue
+		}
+		pairs = append(pairs, AttackPair{Original: a, Target: b})
+	}
+	return pairs
+}
+
+// PaperUCF101 and PaperHMDB51 document the real datasets' shapes (Table I);
+// scale presets derive category/split counts from these ratios.
+var (
+	PaperUCF101 = Config{Name: "UCF101", Categories: 101, TrainPerCategory: 92, TestPerCategory: 40,
+		Frames: 16, Channels: 3, Height: 112, Width: 112}
+	PaperHMDB51 = Config{Name: "HMDB51", Categories: 51, TrainPerCategory: 96, TestPerCategory: 41,
+		Frames: 16, Channels: 3, Height: 112, Width: 112}
+)

@@ -1,0 +1,48 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the corpus decoder against corrupted or adversarial
+// files: it must return an error or a structurally valid corpus, never
+// panic.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid corpus and a few corruptions of it.
+	c, err := Generate(Config{
+		Name: "FuzzSim", Categories: 2, TrainPerCategory: 2, TestPerCategory: 1,
+		Frames: 2, Channels: 1, Height: 3, Width: 3, Seed: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("not a gob"))
+	if len(valid) > 10 {
+		truncated := append([]byte(nil), valid[:len(valid)/2]...)
+		f.Add(truncated)
+		flipped := append([]byte(nil), valid...)
+		flipped[len(flipped)/3] ^= 0xff
+		f.Add(flipped)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded corpora must be structurally sound.
+		for _, v := range append(got.Train, got.Test...) {
+			if v == nil || v.Data == nil || v.Data.Rank() != 4 {
+				t.Fatal("decoder produced malformed video")
+			}
+		}
+	})
+}

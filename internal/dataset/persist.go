@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"duo/internal/tensor"
+	"duo/internal/video"
+)
+
+// videoRecord is the on-disk representation of one video.
+type videoRecord struct {
+	Shape []int
+	Data  []float64
+	Label int
+	ID    string
+}
+
+// corpusRecord is the on-disk representation of a corpus.
+type corpusRecord struct {
+	Name       string
+	Categories int
+	Train      []videoRecord
+	Test       []videoRecord
+}
+
+func toRecord(v *video.Video) videoRecord {
+	return videoRecord{
+		Shape: v.Data.Shape(),
+		Data:  append([]float64(nil), v.Data.Data()...),
+		Label: v.Label,
+		ID:    v.ID,
+	}
+}
+
+func fromRecord(r videoRecord) (*video.Video, error) {
+	if len(r.Shape) != 4 {
+		return nil, fmt.Errorf("dataset: record %q has rank %d, want 4", r.ID, len(r.Shape))
+	}
+	n := 1
+	for _, d := range r.Shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("dataset: record %q has bad shape %v", r.ID, r.Shape)
+		}
+		n *= d
+	}
+	if n != len(r.Data) {
+		return nil, fmt.Errorf("dataset: record %q: %d elements for shape %v", r.ID, len(r.Data), r.Shape)
+	}
+	return video.FromTensor(tensor.From(r.Data, r.Shape...), r.Label, r.ID), nil
+}
+
+// Write encodes the corpus to w with encoding/gob.
+func (c *Corpus) Write(w io.Writer) error {
+	rec := corpusRecord{Name: c.Name, Categories: c.Categories}
+	for _, v := range c.Train {
+		rec.Train = append(rec.Train, toRecord(v))
+	}
+	for _, v := range c.Test {
+		rec.Test = append(rec.Test, toRecord(v))
+	}
+	if err := gob.NewEncoder(w).Encode(rec); err != nil {
+		return fmt.Errorf("dataset: encode corpus: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a corpus previously written with Write.
+func Read(r io.Reader) (*Corpus, error) {
+	var rec corpusRecord
+	if err := gob.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("dataset: decode corpus: %w", err)
+	}
+	c := &Corpus{Name: rec.Name, Categories: rec.Categories}
+	for _, vr := range rec.Train {
+		v, err := fromRecord(vr)
+		if err != nil {
+			return nil, err
+		}
+		c.Train = append(c.Train, v)
+	}
+	for _, vr := range rec.Test {
+		v, err := fromRecord(vr)
+		if err != nil {
+			return nil, err
+		}
+		c.Test = append(c.Test, v)
+	}
+	return c, nil
+}
+
+// WriteFile persists the corpus to path.
+func (c *Corpus) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	if err := c.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a corpus from path.
+func ReadFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

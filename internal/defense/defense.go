@@ -1,0 +1,198 @@
+// Package defense implements the two defenses of §V-D — feature squeezing
+// (Xu et al., NDSS'18) and a Noise2Self-style blind denoiser (Batson &
+// Royer, ICML'19) — plus the stateful query-account detector discussed in
+// §I. Both input-transform defenses follow the same recipe: transform the
+// input, compare victim features before and after, and flag the query when
+// the distance exceeds a threshold calibrated to a fixed false-positive
+// rate on clean videos.
+package defense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"duo/internal/models"
+	"duo/internal/video"
+)
+
+// Detector scores how suspicious a video looks; higher means more likely
+// adversarial.
+type Detector interface {
+	// Name identifies the defense in tables.
+	Name() string
+	// Score returns the feature displacement caused by the defensive
+	// transform.
+	Score(v *video.Video) float64
+}
+
+// FeatureSqueezer implements feature squeezing: bit-depth reduction plus
+// spatial median smoothing.
+type FeatureSqueezer struct {
+	// Model is the victim feature extractor the defense guards.
+	Model models.Model
+	// Bits is the target bit depth (the reference uses 4–5).
+	Bits int
+	// MedianK is the median filter half-width (window 2k+1).
+	MedianK int
+}
+
+var _ Detector = (*FeatureSqueezer)(nil)
+
+// Name implements Detector.
+func (*FeatureSqueezer) Name() string { return "feature squeezing" }
+
+// Score implements Detector.
+func (d *FeatureSqueezer) Score(v *video.Video) float64 {
+	squeezed := SqueezeBits(v, d.Bits)
+	squeezed = MedianFilter(squeezed, d.MedianK)
+	return models.Embed(d.Model, v).Distance(models.Embed(d.Model, squeezed))
+}
+
+// Noise2Self implements a J-invariant blind denoiser: every pixel is
+// re-predicted from its spatial neighbours (never from itself), which
+// removes pixel-sparse perturbations while preserving smooth content.
+type Noise2Self struct {
+	// Model is the victim feature extractor the defense guards.
+	Model models.Model
+}
+
+var _ Detector = (*Noise2Self)(nil)
+
+// Name implements Detector.
+func (*Noise2Self) Name() string { return "Noise2Self" }
+
+// Score implements Detector.
+func (d *Noise2Self) Score(v *video.Video) float64 {
+	den := DenoiseJInvariant(v)
+	return models.Embed(d.Model, v).Distance(models.Embed(d.Model, den))
+}
+
+// SqueezeBits reduces every pixel to the given bit depth (1–8).
+func SqueezeBits(v *video.Video, bits int) *video.Video {
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 8 {
+		bits = 8
+	}
+	levels := math.Pow(2, float64(bits)) - 1
+	out := v.Clone()
+	out.Data.ApplyInPlace(func(x float64) float64 {
+		return math.Round(x/video.PixelMax*levels) / levels * video.PixelMax
+	})
+	return out
+}
+
+// MedianFilter applies a (2k+1)×(2k+1) spatial median per frame/channel.
+func MedianFilter(v *video.Video, k int) *video.Video {
+	if k <= 0 {
+		return v.Clone()
+	}
+	out := v.Clone()
+	N, C, H, W := v.Frames(), v.Channels(), v.Height(), v.Width()
+	src, dst := v.Data.Data(), out.Data.Data()
+	buf := make([]float64, 0, (2*k+1)*(2*k+1))
+	for n := 0; n < N; n++ {
+		for c := 0; c < C; c++ {
+			base := (n*C + c) * H * W
+			for y := 0; y < H; y++ {
+				for x := 0; x < W; x++ {
+					buf = buf[:0]
+					for dy := -k; dy <= k; dy++ {
+						yy := y + dy
+						if yy < 0 || yy >= H {
+							continue
+						}
+						for dx := -k; dx <= k; dx++ {
+							xx := x + dx
+							if xx < 0 || xx >= W {
+								continue
+							}
+							buf = append(buf, src[base+yy*W+xx])
+						}
+					}
+					sort.Float64s(buf)
+					dst[base+y*W+x] = buf[len(buf)/2]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DenoiseJInvariant replaces every pixel by the mean of its 4-neighbourhood
+// (excluding itself), the J-invariant predictor at the heart of Noise2Self.
+func DenoiseJInvariant(v *video.Video) *video.Video {
+	out := v.Clone()
+	N, C, H, W := v.Frames(), v.Channels(), v.Height(), v.Width()
+	src, dst := v.Data.Data(), out.Data.Data()
+	for n := 0; n < N; n++ {
+		for c := 0; c < C; c++ {
+			base := (n*C + c) * H * W
+			for y := 0; y < H; y++ {
+				for x := 0; x < W; x++ {
+					sum, cnt := 0.0, 0
+					if y > 0 {
+						sum += src[base+(y-1)*W+x]
+						cnt++
+					}
+					if y < H-1 {
+						sum += src[base+(y+1)*W+x]
+						cnt++
+					}
+					if x > 0 {
+						sum += src[base+y*W+x-1]
+						cnt++
+					}
+					if x < W-1 {
+						sum += src[base+y*W+x+1]
+						cnt++
+					}
+					dst[base+y*W+x] = sum / float64(cnt)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CalibrateThreshold returns the detection threshold giving at most the
+// requested false-positive rate on clean videos (e.g. fpr=0.05 keeps 95%
+// of clean traffic unflagged).
+func CalibrateThreshold(d Detector, clean []*video.Video, fpr float64) (float64, error) {
+	if len(clean) == 0 {
+		return 0, fmt.Errorf("defense: no clean videos to calibrate on")
+	}
+	if fpr <= 0 || fpr >= 1 {
+		return 0, fmt.Errorf("defense: fpr %g out of (0,1)", fpr)
+	}
+	scores := make([]float64, len(clean))
+	for i, v := range clean {
+		scores[i] = d.Score(v)
+	}
+	sort.Float64s(scores)
+	idx := int(math.Ceil(float64(len(scores))*(1-fpr))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(scores) {
+		idx = len(scores) - 1
+	}
+	return scores[idx], nil
+}
+
+// DetectionRate returns the fraction of adversarial videos whose score
+// exceeds the threshold (Table X).
+func DetectionRate(d Detector, threshold float64, advs []*video.Video) float64 {
+	if len(advs) == 0 {
+		return 0
+	}
+	flagged := 0
+	for _, v := range advs {
+		if d.Score(v) > threshold {
+			flagged++
+		}
+	}
+	return float64(flagged) / float64(len(advs))
+}

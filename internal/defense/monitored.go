@@ -1,0 +1,153 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"duo/internal/retrieval"
+	"duo/internal/video"
+)
+
+// ErrAccountBlocked is returned when a flagged account queries the
+// monitored service.
+var ErrAccountBlocked = errors.New("defense: account blocked by stateful detector")
+
+// MonitoredService wraps a retrieval service with the stateful
+// query-account monitoring of Chen et al. [13]: every query is attributed
+// to an account, the StatefulDetector watches each account's recent query
+// window, and accounts that look like query-based attackers are refused
+// further service.
+type MonitoredService struct {
+	inner    retrieval.Retriever
+	detector *StatefulDetector
+
+	mu      sync.Mutex
+	blocked map[string]bool
+	refused int
+	served  int
+}
+
+// NewMonitoredService wraps inner with the detector.
+func NewMonitoredService(inner retrieval.Retriever, detector *StatefulDetector) *MonitoredService {
+	return &MonitoredService{inner: inner, detector: detector, blocked: make(map[string]bool)}
+}
+
+// RetrieveAs serves a query attributed to an account, or refuses it if the
+// account is (or just became) flagged.
+func (s *MonitoredService) RetrieveAs(account string, v *video.Video, m int) ([]retrieval.Result, error) {
+	s.mu.Lock()
+	if s.blocked[account] {
+		s.refused++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrAccountBlocked, account)
+	}
+	flagged := s.detector.Observe(account, v)
+	if flagged {
+		s.blocked[account] = true
+		s.refused++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrAccountBlocked, account)
+	}
+	s.served++
+	s.mu.Unlock()
+	return s.inner.Retrieve(v, m), nil
+}
+
+// BlockedAccounts returns the accounts refused so far.
+func (s *MonitoredService) BlockedAccounts() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.blocked))
+	for a := range s.blocked {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Stats reports served and refused query counts.
+func (s *MonitoredService) Stats() (served, refused int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served, s.refused
+}
+
+// SingleAccount adapts the monitored service to the plain Retriever
+// interface under one fixed account — the naive attacker. Refused queries
+// return an empty list (the service hangs up).
+type SingleAccount struct {
+	Service *MonitoredService
+	Account string
+}
+
+var _ retrieval.Retriever = (*SingleAccount)(nil)
+
+// Retrieve implements retrieval.Retriever.
+func (a *SingleAccount) Retrieve(v *video.Video, m int) []retrieval.Result {
+	rs, err := a.Service.RetrieveAs(a.Account, v, m)
+	if err != nil {
+		return nil
+	}
+	return rs
+}
+
+// AccountRotator is the evasion §I describes ("the adversary can easily
+// evade such detection by using different query accounts which are fairly
+// easy to create/purchase"): it spreads queries across throwaway accounts,
+// switching to a fresh one every QueriesPerAccount queries or immediately
+// after a block.
+type AccountRotator struct {
+	Service *MonitoredService
+	// QueriesPerAccount is how many queries each sybil account issues
+	// before rotating (keep below the detector's MinQueries to stay
+	// invisible).
+	QueriesPerAccount int
+
+	mu      sync.Mutex
+	account int
+	used    int
+	rotated int
+}
+
+var _ retrieval.Retriever = (*AccountRotator)(nil)
+
+// Retrieve implements retrieval.Retriever, rotating accounts as needed.
+func (r *AccountRotator) Retrieve(v *video.Video, m int) []retrieval.Result {
+	r.mu.Lock()
+	per := r.QueriesPerAccount
+	if per < 1 {
+		per = 1
+	}
+	if r.used >= per {
+		r.account++
+		r.rotated++
+		r.used = 0
+	}
+	name := fmt.Sprintf("sybil-%06d", r.account)
+	r.used++
+	r.mu.Unlock()
+
+	rs, err := r.Service.RetrieveAs(name, v, m)
+	if err != nil {
+		// Blocked mid-window: burn the account and retry once with a
+		// fresh one.
+		r.mu.Lock()
+		r.account++
+		r.rotated++
+		r.used = 1
+		name = fmt.Sprintf("sybil-%06d", r.account)
+		r.mu.Unlock()
+		rs, err = r.Service.RetrieveAs(name, v, m)
+		if err != nil {
+			return nil
+		}
+	}
+	return rs
+}
+
+// AccountsUsed returns how many sybil accounts have been consumed.
+func (r *AccountRotator) AccountsUsed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.account + 1
+}

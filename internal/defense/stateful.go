@@ -1,0 +1,110 @@
+package defense
+
+import (
+	"sync"
+
+	"duo/internal/video"
+)
+
+// StatefulDetector is the stateful query-account monitor of Chen et al.
+// (Asia CCS'20), reference [13] of the paper: it keeps a per-account window
+// of recent query fingerprints and flags an account whose queries are
+// mutually near-duplicates — the signature of a query-based attack
+// iterating on one video. §I notes attackers evade it by rotating
+// accounts, which the tests demonstrate.
+type StatefulDetector struct {
+	// Window is how many recent queries per account are retained.
+	Window int
+	// Threshold is the mean pairwise fingerprint distance below which the
+	// window is considered near-duplicate.
+	Threshold float64
+	// MinQueries is the minimum window fill before flagging.
+	MinQueries int
+
+	mu      sync.Mutex
+	history map[string][][]float64
+}
+
+// NewStatefulDetector returns a detector with the given window, duplicate
+// threshold (in mean per-element pixel distance), and minimum fill.
+func NewStatefulDetector(window int, threshold float64, minQueries int) *StatefulDetector {
+	if window < 2 {
+		window = 2
+	}
+	if minQueries < 2 {
+		minQueries = 2
+	}
+	return &StatefulDetector{
+		Window:     window,
+		Threshold:  threshold,
+		MinQueries: minQueries,
+		history:    make(map[string][][]float64),
+	}
+}
+
+// fingerprint summarizes a video as per-frame mean intensities: cheap,
+// order-preserving under small perturbations, and storage-bounded.
+func fingerprint(v *video.Video) []float64 {
+	fp := make([]float64, v.Frames())
+	for f := 0; f < v.Frames(); f++ {
+		fp[f] = v.Data.Slice(f).Mean()
+	}
+	return fp
+}
+
+func fpDistance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// Observe records a query from the account and reports whether the account
+// is now flagged as attacking.
+func (d *StatefulDetector) Observe(account string, v *video.Video) bool {
+	fp := fingerprint(v)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := append(d.history[account], fp)
+	if len(h) > d.Window {
+		h = h[len(h)-d.Window:]
+	}
+	d.history[account] = h
+	if len(h) < d.MinQueries {
+		return false
+	}
+	// Mean pairwise distance across the window.
+	total, pairs := 0.0, 0
+	for i := range h {
+		for j := i + 1; j < len(h); j++ {
+			total += fpDistance(h[i], h[j])
+			pairs++
+		}
+	}
+	return total/float64(pairs) < d.Threshold
+}
+
+// FlaggedAccounts returns the accounts currently flagged.
+func (d *StatefulDetector) FlaggedAccounts() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for acct, h := range d.history {
+		if len(h) < d.MinQueries {
+			continue
+		}
+		total, pairs := 0.0, 0
+		for i := range h {
+			for j := i + 1; j < len(h); j++ {
+				total += fpDistance(h[i], h[j])
+				pairs++
+			}
+		}
+		if total/float64(pairs) < d.Threshold {
+			out = append(out, acct)
+		}
+	}
+	return out
+}

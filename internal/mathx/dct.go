@@ -1,0 +1,33 @@
+package mathx
+
+import "math"
+
+// DCTVector returns the k-th orthonormal 1-D DCT-II basis vector of
+// length n: v_i = s(k)·cos(π·(i+½)·k/n), with s(0)=√(1/n), s(k>0)=√(2/n).
+func DCTVector(n, k int) []float64 {
+	v := make([]float64, n)
+	scale := math.Sqrt(2 / float64(n))
+	if k == 0 {
+		scale = math.Sqrt(1 / float64(n))
+	}
+	for i := range v {
+		v[i] = scale * math.Cos(math.Pi*(float64(i)+0.5)*float64(k)/float64(n))
+	}
+	return v
+}
+
+// DCTBasis2D returns the (u,v)-th orthonormal 2-D DCT basis function over
+// an h×w grid as the outer product of the 1-D bases. Low (u,v) indices are
+// low spatial frequencies.
+func DCTBasis2D(h, w, u, v int) [][]float64 {
+	row := DCTVector(h, u)
+	col := DCTVector(w, v)
+	out := make([][]float64, h)
+	for y := range out {
+		out[y] = make([]float64, w)
+		for x := range out[y] {
+			out[y][x] = row[y] * col[x]
+		}
+	}
+	return out
+}

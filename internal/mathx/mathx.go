@@ -1,0 +1,110 @@
+// Package mathx provides small numeric helpers shared across models,
+// losses, and metrics: numerically stable softmax/logsumexp and summary
+// statistics.
+package mathx
+
+import "math"
+
+// Softmax returns the softmax of x, computed stably by shifting by max(x).
+func Softmax(x []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	sum := 0.0
+	for i, v := range x {
+		e := math.Exp(v - m)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// LogSumExp returns log(Σ exp(xᵢ)), computed stably.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += math.Exp(v - m)
+	}
+	return m + math.Log(sum)
+}
+
+// Mean returns the arithmetic mean of x, or 0 for empty input.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Std returns the population standard deviation of x, or 0 for fewer than
+// two samples.
+func Std(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Sigmoid returns 1/(1+exp(-x)).
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Relu returns max(0, x).
+func Relu(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// Hinge returns max(0, x), the positive-part operator [x]₊ used by margin
+// losses.
+func Hinge(x float64) float64 { return Relu(x) }

@@ -1,0 +1,127 @@
+// Package metrics implements the paper's evaluation measures (§V-A):
+// mAP for retrieval quality, AP@m for targeted-attack success, the sparsity
+// measure Spa and perceptibility score PScore (provided by package video),
+// the NDCG-weighted list similarity ℍ, and the SparseQuery objective 𝕋 of
+// Eq. (2).
+package metrics
+
+import "math"
+
+// PrecAt returns prec_i: the fraction of the top-i entries of list a that
+// also appear in the top-i entries of list b.
+func PrecAt(a, b []string, i int) float64 {
+	if i <= 0 || i > len(a) || i > len(b) {
+		return 0
+	}
+	inB := make(map[string]bool, i)
+	for _, id := range b[:i] {
+		inB[id] = true
+	}
+	hits := 0
+	for _, id := range a[:i] {
+		if inB[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(i)
+}
+
+// APAtM returns AP@m = Σᵢ prec_i / m over the common prefix length of the
+// two retrieval lists. It measures how close the adversarial video's
+// retrieval list is to the target's.
+func APAtM(a, b []string) float64 {
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	if m == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 1; i <= m; i++ {
+		sum += PrecAt(a, b, i)
+	}
+	return sum / float64(m)
+}
+
+// MAP returns the paper's mean average precision over queries. rel[q][i]
+// reports whether the i-th retrieved item for query q is correct (same
+// category); per query the score is (1/N)·Σ_{i=1..N} ctop(i)/i with N the
+// list length.
+func MAP(rel [][]bool) float64 {
+	if len(rel) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, r := range rel {
+		if len(r) == 0 {
+			continue
+		}
+		ctop := 0
+		sum := 0.0
+		for i, ok := range r {
+			if ok {
+				ctop++
+			}
+			sum += float64(ctop) / float64(i+1)
+		}
+		total += sum / float64(len(r))
+	}
+	return total / float64(len(rel))
+}
+
+// CoOccurrence returns the NDCG-weighted co-occurrence similarity
+// ℍ(R(a), R(b)) derived from [10]: each position i of list a contributes
+// weight 1/log₂(i+2) if its entry appears anywhere in list b, normalized so
+// identical lists score 1.
+func CoOccurrence(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inB := make(map[string]bool, len(b))
+	for _, id := range b {
+		inB[id] = true
+	}
+	num, den := 0.0, 0.0
+	for i, id := range a {
+		w := 1 / math.Log2(float64(i)+2)
+		den += w
+		if inB[id] {
+			num += w
+		}
+	}
+	return num / den
+}
+
+// PlainOverlap returns the unweighted fraction of list a's entries that
+// appear in list b. It is the ablation comparator for CoOccurrence.
+func PlainOverlap(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inB := make(map[string]bool, len(b))
+	for _, id := range b {
+		inB[id] = true
+	}
+	hits := 0
+	for _, id := range a {
+		if inB[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(a))
+}
+
+// ListSimilarity is the ℍ function plugged into the objective; it lets the
+// ablation swap the NDCG weighting for plain overlap.
+type ListSimilarity func(a, b []string) float64
+
+// Objective computes 𝕋(v_adv, v, v_t) of Eq. (2):
+//
+//	𝕋 = ℍ(R(v_adv), R(v)) − ℍ(R(v_adv), R(v_t)) + η
+//
+// Lower is better for the attacker: the adversarial list should co-occur
+// with the target's list and not with the original's.
+func Objective(sim ListSimilarity, advList, origList, targetList []string, eta float64) float64 {
+	return sim(advList, origList) - sim(advList, targetList) + eta
+}

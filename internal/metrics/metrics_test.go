@@ -1,0 +1,246 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ids(xs ...string) []string { return xs }
+
+func TestPrecAt(t *testing.T) {
+	a := ids("x", "y", "z")
+	b := ids("y", "x", "w")
+	if got := PrecAt(a, b, 1); got != 0 {
+		t.Errorf("prec_1 = %g, want 0 (x not in {y})", got)
+	}
+	if got := PrecAt(a, b, 2); got != 1 {
+		t.Errorf("prec_2 = %g, want 1 ({x,y} ⊆ {y,x})", got)
+	}
+	if got := PrecAt(a, b, 3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("prec_3 = %g, want 2/3", got)
+	}
+	if got := PrecAt(a, b, 0); got != 0 {
+		t.Errorf("prec_0 = %g", got)
+	}
+	if got := PrecAt(a, b, 9); got != 0 {
+		t.Errorf("prec beyond length = %g", got)
+	}
+}
+
+func TestAPAtMIdenticalLists(t *testing.T) {
+	a := ids("a", "b", "c", "d")
+	if got := APAtM(a, a); got != 1 {
+		t.Errorf("AP@m identical = %g", got)
+	}
+}
+
+func TestAPAtMDisjointLists(t *testing.T) {
+	if got := APAtM(ids("a", "b"), ids("c", "d")); got != 0 {
+		t.Errorf("AP@m disjoint = %g", got)
+	}
+}
+
+func TestAPAtMEmpty(t *testing.T) {
+	if got := APAtM(nil, ids("a")); got != 0 {
+		t.Errorf("AP@m empty = %g", got)
+	}
+}
+
+func TestAPAtMOrderMatters(t *testing.T) {
+	target := ids("a", "b", "c", "d")
+	good := ids("a", "b", "x", "y") // agrees early
+	bad := ids("x", "y", "a", "b")  // agrees late
+	if APAtM(good, target) <= APAtM(bad, target) {
+		t.Error("early agreement should score higher")
+	}
+}
+
+func TestMAPPerfectAndWorst(t *testing.T) {
+	all := [][]bool{{true, true, true}}
+	if got := MAP(all); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect mAP = %g", got)
+	}
+	none := [][]bool{{false, false, false}}
+	if got := MAP(none); got != 0 {
+		t.Errorf("worst mAP = %g", got)
+	}
+	if got := MAP(nil); got != 0 {
+		t.Errorf("empty mAP = %g", got)
+	}
+}
+
+func TestMAPRankSensitivity(t *testing.T) {
+	early := [][]bool{{true, false, false}}
+	late := [][]bool{{false, false, true}}
+	if MAP(early) <= MAP(late) {
+		t.Error("mAP must reward early correct items")
+	}
+}
+
+func TestCoOccurrenceBounds(t *testing.T) {
+	a := ids("a", "b", "c")
+	if got := CoOccurrence(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self co-occurrence = %g", got)
+	}
+	if got := CoOccurrence(a, ids("x", "y")); got != 0 {
+		t.Errorf("disjoint co-occurrence = %g", got)
+	}
+	if got := CoOccurrence(nil, a); got != 0 {
+		t.Errorf("empty co-occurrence = %g", got)
+	}
+}
+
+func TestCoOccurrenceRankWeighting(t *testing.T) {
+	b := ids("a")
+	// "a" first vs "a" last: first must weigh more.
+	first := CoOccurrence(ids("a", "x", "y"), b)
+	last := CoOccurrence(ids("x", "y", "a"), b)
+	if first <= last {
+		t.Errorf("rank weighting broken: first %g ≤ last %g", first, last)
+	}
+}
+
+func TestPlainOverlapIgnoresRank(t *testing.T) {
+	b := ids("a")
+	first := PlainOverlap(ids("a", "x", "y"), b)
+	last := PlainOverlap(ids("x", "y", "a"), b)
+	if first != last {
+		t.Errorf("plain overlap should ignore rank: %g vs %g", first, last)
+	}
+}
+
+func TestObjectiveDirection(t *testing.T) {
+	orig := ids("o1", "o2", "o3")
+	target := ids("t1", "t2", "t3")
+	// Adversarial list equal to original: worst case (highest 𝕋).
+	atOrig := Objective(CoOccurrence, orig, orig, target, 0.5)
+	// Adversarial list equal to target: best case (lowest 𝕋).
+	atTarget := Objective(CoOccurrence, target, orig, target, 0.5)
+	if atTarget >= atOrig {
+		t.Errorf("objective not decreasing toward target: %g vs %g", atTarget, atOrig)
+	}
+	if math.Abs(atOrig-1.5) > 1e-12 { // 1 − 0 + 0.5
+		t.Errorf("𝕋 at original = %g, want 1.5", atOrig)
+	}
+	if math.Abs(atTarget-(-0.5)) > 1e-12 { // 0 − 1 + 0.5
+		t.Errorf("𝕋 at target = %g, want −0.5", atTarget)
+	}
+}
+
+func TestPropAPAtMSymmetricPrefix(t *testing.T) {
+	// AP@m over identical prefixes is 1 regardless of list content.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%8) + 1
+		list := make([]string, m)
+		for i := range list {
+			list[i] = fmt.Sprintf("v%d", rng.Intn(1000))
+		}
+		return math.Abs(APAtM(list, list)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCoOccurrenceInUnitInterval(t *testing.T) {
+	f := func(seed int64, n, k uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(m int) []string {
+			l := make([]string, m)
+			for i := range l {
+				l[i] = fmt.Sprintf("v%d", rng.Intn(6))
+			}
+			return l
+		}
+		a, b := mk(int(n%6)+1), mk(int(k%6)+1)
+		h := CoOccurrence(a, b)
+		return h >= 0 && h <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropObjectiveBounds(t *testing.T) {
+	// 𝕋 ∈ [η−1, η+1] since ℍ ∈ [0,1].
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []string {
+			l := make([]string, 4)
+			for i := range l {
+				l[i] = fmt.Sprintf("v%d", rng.Intn(8))
+			}
+			return l
+		}
+		eta := 0.5
+		tv := Objective(CoOccurrence, mk(), mk(), mk(), eta)
+		return tv >= eta-1-1e-12 && tv <= eta+1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	rel := [][]bool{
+		{false, true, false}, // hit at rank 2
+		{false, false, false},
+		{true},
+	}
+	if got := RecallAtK(rel, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("recall@1 = %g", got)
+	}
+	if got := RecallAtK(rel, 2); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("recall@2 = %g", got)
+	}
+	if got := RecallAtK(nil, 3); got != 0 {
+		t.Errorf("recall on empty = %g", got)
+	}
+	if got := RecallAtK(rel, 0); got != 0 {
+		t.Errorf("recall@0 = %g", got)
+	}
+}
+
+func TestMRR(t *testing.T) {
+	rel := [][]bool{
+		{true},                // rr = 1
+		{false, false, true},  // rr = 1/3
+		{false, false, false}, // rr = 0
+	}
+	want := (1.0 + 1.0/3) / 3
+	if got := MRR(rel); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MRR = %g, want %g", got, want)
+	}
+	if got := MRR(nil); got != 0 {
+		t.Errorf("MRR empty = %g", got)
+	}
+}
+
+func TestPropRecallMonotoneInK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := make([][]bool, 5)
+		for q := range rel {
+			rel[q] = make([]bool, 6)
+			for i := range rel[q] {
+				rel[q][i] = rng.Intn(3) == 0
+			}
+		}
+		prev := 0.0
+		for k := 1; k <= 6; k++ {
+			cur := RecallAtK(rel, k)
+			if cur < prev-1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package metrics
+
+// RecallAtK returns the fraction of queries whose top-k retrieval contains
+// at least one correct item. rel[q][i] reports whether the i-th retrieved
+// item for query q is correct; only the first k positions are consulted.
+func RecallAtK(rel [][]bool, k int) float64 {
+	if len(rel) == 0 || k <= 0 {
+		return 0
+	}
+	hit := 0
+	for _, r := range rel {
+		limit := k
+		if limit > len(r) {
+			limit = len(r)
+		}
+		for i := 0; i < limit; i++ {
+			if r[i] {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(rel))
+}
+
+// MRR returns the mean reciprocal rank of the first correct item per
+// query (0 for queries with no correct item in the list).
+func MRR(rel [][]bool) float64 {
+	if len(rel) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, r := range rel {
+		for i, ok := range r {
+			if ok {
+				total += 1 / float64(i+1)
+				break
+			}
+		}
+	}
+	return total / float64(len(rel))
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"duo/internal/tensor"
+)
+
+func BenchmarkConv3DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewConv3DFull(rng, 3, 6, [3]int{3, 3, 3}, [3]int{1, 2, 2}, [3]int{1, 1, 1})
+	x := tensor.RandNormal(rng, 0, 1, 3, 16, 16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = l.Forward(x)
+	}
+}
+
+func BenchmarkConv3DBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewConv3DFull(rng, 3, 6, [3]int{3, 3, 3}, [3]int{1, 2, 2}, [3]int{1, 1, 1})
+	x := tensor.RandNormal(rng, 0, 1, 3, 16, 16, 16)
+	y, cache := l.Forward(x)
+	g := tensor.RandNormal(rng, 0, 1, y.Shape()...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Backward(cache, g)
+	}
+}
+
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewConv2D(rng, 3, 6, 3, 2)
+	x := tensor.RandNormal(rng, 0, 1, 3, 16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = l.Forward(x)
+	}
+}
+
+func BenchmarkLinearForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewLinear(rng, 768, 128)
+	x := tensor.RandNormal(rng, 0, 1, 768)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = l.Forward(x)
+	}
+}
+
+func BenchmarkMaxPool3D(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	l := MaxPool3D{KT: 2, KH: 2, KW: 2}
+	x := tensor.RandNormal(rng, 0, 1, 6, 16, 16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = l.Forward(x)
+	}
+}

@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"duo/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [C, H, W] inputs (channel-first).
+// Weights have shape [F, C, KH, KW]; zero padding.
+type Conv2D struct {
+	InC, OutC int
+	KH, KW    int
+	SH, SW    int
+	PH, PW    int
+	W         *Param
+	B         *Param
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D returns a He-initialized 2-D convolution with square kernel k,
+// stride s, and "same"-style padding k/2.
+func NewConv2D(rng *rand.Rand, inC, outC, k, s int) *Conv2D {
+	w := tensor.New(outC, inC, k, k)
+	HeInit(rng, w, inC*k*k)
+	return &Conv2D{
+		InC: inC, OutC: outC,
+		KH: k, KW: k, SH: s, SW: s, PH: k / 2, PW: k / 2,
+		W: NewParam(fmt.Sprintf("conv2d%dx%d.W", outC, inC), w),
+		B: NewParam(fmt.Sprintf("conv2d%dx%d.B", outC, inC), tensor.New(outC)),
+	}
+}
+
+type conv2dCache struct{ x *tensor.Tensor }
+
+// OutShape returns the output shape for an input of shape [C,H,W].
+func (l *Conv2D) OutShape(in []int) []int {
+	return []int{l.OutC, outDim(in[1], l.KH, l.SH, l.PH), outDim(in[2], l.KW, l.SW, l.PW)}
+}
+
+// Forward implements Layer.
+func (l *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	if x.Rank() != 3 || x.Dim(0) != l.InC {
+		panic(fmt.Sprintf("nn: Conv2D(in=%d) got input shape %v", l.InC, x.Shape()))
+	}
+	in := x.Shape()
+	H, W := in[1], in[2]
+	os := l.OutShape(in)
+	Ho, Wo := os[1], os[2]
+	if Ho <= 0 || Wo <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D produces empty output for input %v", in))
+	}
+	out := tensor.New(os...)
+	xd, od := x.Data(), out.Data()
+	wd, bd := l.W.Value.Data(), l.B.Value.Data()
+	xsC, xsH := H*W, W
+	wsF, wsC := l.InC*l.KH*l.KW, l.KH*l.KW
+
+	oi := 0
+	for f := 0; f < l.OutC; f++ {
+		wf := wd[f*wsF : (f+1)*wsF]
+		for ho := 0; ho < Ho; ho++ {
+			h0 := ho*l.SH - l.PH
+			for wo := 0; wo < Wo; wo++ {
+				w0 := wo*l.SW - l.PW
+				acc := bd[f]
+				for c := 0; c < l.InC; c++ {
+					for kh := 0; kh < l.KH; kh++ {
+						hi := h0 + kh
+						if hi < 0 || hi >= H {
+							continue
+						}
+						xrow := xd[c*xsC+hi*xsH:]
+						wrow := wf[c*wsC+kh*l.KW:]
+						for kw := 0; kw < l.KW; kw++ {
+							wi := w0 + kw
+							if wi < 0 || wi >= W {
+								continue
+							}
+							acc += xrow[wi] * wrow[kw]
+						}
+					}
+				}
+				od[oi] = acc
+				oi++
+			}
+		}
+	}
+	return out, &conv2dCache{x: x.Clone()}
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
+	cc := c.(*conv2dCache)
+	x := cc.x
+	in := x.Shape()
+	H, W := in[1], in[2]
+	os := l.OutShape(in)
+	Ho, Wo := os[1], os[2]
+
+	dx := tensor.New(in...)
+	xd, dxd := x.Data(), dx.Data()
+	gd := gradOut.Data()
+	wd, wg, bg := l.W.Value.Data(), l.W.Grad.Data(), l.B.Grad.Data()
+	xsC, xsH := H*W, W
+	wsF, wsC := l.InC*l.KH*l.KW, l.KH*l.KW
+
+	gi := 0
+	for f := 0; f < l.OutC; f++ {
+		wf := wd[f*wsF : (f+1)*wsF]
+		wgf := wg[f*wsF : (f+1)*wsF]
+		for ho := 0; ho < Ho; ho++ {
+			h0 := ho*l.SH - l.PH
+			for wo := 0; wo < Wo; wo++ {
+				w0 := wo*l.SW - l.PW
+				g := gd[gi]
+				gi++
+				if g == 0 {
+					continue
+				}
+				bg[f] += g
+				for c := 0; c < l.InC; c++ {
+					for kh := 0; kh < l.KH; kh++ {
+						hi := h0 + kh
+						if hi < 0 || hi >= H {
+							continue
+						}
+						base := c*xsC + hi*xsH
+						wbase := c*wsC + kh*l.KW
+						for kw := 0; kw < l.KW; kw++ {
+							wi := w0 + kw
+							if wi < 0 || wi >= W {
+								continue
+							}
+							wgf[wbase+kw] += g * xd[base+wi]
+							dxd[base+wi] += g * wf[wbase+kw]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *Conv2D) Params() []*Param { return []*Param{l.W, l.B} }

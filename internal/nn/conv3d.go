@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"duo/internal/tensor"
+)
+
+// parallelThreshold is the per-filter multiply-accumulate count above which
+// Conv3D fans its filters out across goroutines.
+const parallelThreshold = 20000
+
+// Conv3D is a 3-D convolution over [C, T, H, W] inputs (channel-first,
+// T = temporal depth). Weights have shape [F, C, KT, KH, KW]; zero padding.
+type Conv3D struct {
+	InC, OutC  int
+	KT, KH, KW int
+	ST, SH, SW int // strides
+	PT, PH, PW int // zero padding
+	W          *Param
+	B          *Param
+}
+
+var _ Layer = (*Conv3D)(nil)
+
+// NewConv3D returns a He-initialized 3-D convolution with cubic kernel k,
+// stride s in every dimension, and "same"-style padding k/2.
+func NewConv3D(rng *rand.Rand, inC, outC, k, s int) *Conv3D {
+	return NewConv3DFull(rng, inC, outC, [3]int{k, k, k}, [3]int{s, s, s}, [3]int{k / 2, k / 2, k / 2})
+}
+
+// NewConv3DFull returns a He-initialized 3-D convolution with explicit
+// per-dimension kernel, stride, and padding.
+func NewConv3DFull(rng *rand.Rand, inC, outC int, kernel, stride, pad [3]int) *Conv3D {
+	w := tensor.New(outC, inC, kernel[0], kernel[1], kernel[2])
+	HeInit(rng, w, inC*kernel[0]*kernel[1]*kernel[2])
+	return &Conv3D{
+		InC: inC, OutC: outC,
+		KT: kernel[0], KH: kernel[1], KW: kernel[2],
+		ST: stride[0], SH: stride[1], SW: stride[2],
+		PT: pad[0], PH: pad[1], PW: pad[2],
+		W: NewParam(fmt.Sprintf("conv3d%dx%d.W", outC, inC), w),
+		B: NewParam(fmt.Sprintf("conv3d%dx%d.B", outC, inC), tensor.New(outC)),
+	}
+}
+
+func outDim(in, k, s, p int) int { return (in+2*p-k)/s + 1 }
+
+type conv3dCache struct{ x *tensor.Tensor }
+
+// OutShape returns the output shape for an input of shape [C,T,H,W].
+func (l *Conv3D) OutShape(in []int) []int {
+	return []int{l.OutC, outDim(in[1], l.KT, l.ST, l.PT), outDim(in[2], l.KH, l.SH, l.PH), outDim(in[3], l.KW, l.SW, l.PW)}
+}
+
+// Forward implements Layer.
+func (l *Conv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	if x.Rank() != 4 || x.Dim(0) != l.InC {
+		panic(fmt.Sprintf("nn: Conv3D(in=%d) got input shape %v", l.InC, x.Shape()))
+	}
+	in := x.Shape()
+	T, H, W := in[1], in[2], in[3]
+	os := l.OutShape(in)
+	To, Ho, Wo := os[1], os[2], os[3]
+	if To <= 0 || Ho <= 0 || Wo <= 0 {
+		panic(fmt.Sprintf("nn: Conv3D produces empty output for input %v", in))
+	}
+	out := tensor.New(os...)
+	xd := x.Data()
+	od := out.Data()
+	wd := l.W.Value.Data()
+	bd := l.B.Value.Data()
+
+	// Flat strides for x[C,T,H,W] and w[F,C,KT,KH,KW].
+	xsC, xsT, xsH := T*H*W, H*W, W
+	wsF := l.InC * l.KT * l.KH * l.KW
+	wsC, wsT, wsH := l.KT*l.KH*l.KW, l.KH*l.KW, l.KW
+
+	perF := To * Ho * Wo
+	// computeF fills the output plane of one filter; planes are disjoint,
+	// so filters can run concurrently.
+	computeF := func(f int) {
+		wf := wd[f*wsF : (f+1)*wsF]
+		oi := f * perF
+		for to := 0; to < To; to++ {
+			t0 := to*l.ST - l.PT
+			for ho := 0; ho < Ho; ho++ {
+				h0 := ho*l.SH - l.PH
+				for wo := 0; wo < Wo; wo++ {
+					w0 := wo*l.SW - l.PW
+					acc := bd[f]
+					for c := 0; c < l.InC; c++ {
+						for kt := 0; kt < l.KT; kt++ {
+							ti := t0 + kt
+							if ti < 0 || ti >= T {
+								continue
+							}
+							for kh := 0; kh < l.KH; kh++ {
+								hi := h0 + kh
+								if hi < 0 || hi >= H {
+									continue
+								}
+								xrow := xd[c*xsC+ti*xsT+hi*xsH:]
+								wrow := wf[c*wsC+kt*wsT+kh*wsH:]
+								for kw := 0; kw < l.KW; kw++ {
+									wi := w0 + kw
+									if wi < 0 || wi >= W {
+										continue
+									}
+									acc += xrow[wi] * wrow[kw]
+								}
+							}
+						}
+					}
+					od[oi] = acc
+					oi++
+				}
+			}
+		}
+	}
+	// Fan out across filters when there is enough arithmetic to amortize
+	// goroutine startup (~1µs each); stay sequential for tiny workloads.
+	work := perF * l.InC * l.KT * l.KH * l.KW
+	if l.OutC > 1 && work >= parallelThreshold {
+		var wg sync.WaitGroup
+		for f := 0; f < l.OutC; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				computeF(f)
+			}(f)
+		}
+		wg.Wait()
+	} else {
+		for f := 0; f < l.OutC; f++ {
+			computeF(f)
+		}
+	}
+	return out, &conv3dCache{x: x.Clone()}
+}
+
+// Backward implements Layer.
+func (l *Conv3D) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
+	cc := c.(*conv3dCache)
+	x := cc.x
+	in := x.Shape()
+	T, H, W := in[1], in[2], in[3]
+	os := l.OutShape(in)
+	To, Ho, Wo := os[1], os[2], os[3]
+
+	dx := tensor.New(in...)
+	xd := x.Data()
+	dxd := dx.Data()
+	gd := gradOut.Data()
+	wd := l.W.Value.Data()
+	wg := l.W.Grad.Data()
+	bg := l.B.Grad.Data()
+
+	xsC, xsT, xsH := T*H*W, H*W, W
+	wsF := l.InC * l.KT * l.KH * l.KW
+	wsC, wsT, wsH := l.KT*l.KH*l.KW, l.KH*l.KW, l.KW
+
+	gi := 0
+	for f := 0; f < l.OutC; f++ {
+		wf := wd[f*wsF : (f+1)*wsF]
+		wgf := wg[f*wsF : (f+1)*wsF]
+		for to := 0; to < To; to++ {
+			t0 := to*l.ST - l.PT
+			for ho := 0; ho < Ho; ho++ {
+				h0 := ho*l.SH - l.PH
+				for wo := 0; wo < Wo; wo++ {
+					w0 := wo*l.SW - l.PW
+					g := gd[gi]
+					gi++
+					if g == 0 {
+						continue
+					}
+					bg[f] += g
+					for c := 0; c < l.InC; c++ {
+						for kt := 0; kt < l.KT; kt++ {
+							ti := t0 + kt
+							if ti < 0 || ti >= T {
+								continue
+							}
+							for kh := 0; kh < l.KH; kh++ {
+								hi := h0 + kh
+								if hi < 0 || hi >= H {
+									continue
+								}
+								base := c*xsC + ti*xsT + hi*xsH
+								wbase := c*wsC + kt*wsT + kh*wsH
+								for kw := 0; kw < l.KW; kw++ {
+									wi := w0 + kw
+									if wi < 0 || wi >= W {
+										continue
+									}
+									wgf[wbase+kw] += g * xd[base+wi]
+									dxd[base+wi] += g * wf[wbase+kw]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *Conv3D) Params() []*Param { return []*Param{l.W, l.B} }

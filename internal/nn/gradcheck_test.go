@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"duo/internal/tensor"
+)
+
+// lossOf runs x through l and returns a scalar loss (weighted sum of the
+// output) so numeric and analytic gradients can be compared.
+func lossOf(l Layer, x, w *tensor.Tensor) float64 {
+	y, _ := l.Forward(x)
+	return y.Dot(w)
+}
+
+// checkGrads verifies Backward against central finite differences for both
+// the input gradient and every parameter gradient.
+func checkGrads(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	y, cache := l.Forward(x)
+	w := tensor.RandNormal(rng, 0, 1, y.Shape()...) // dLoss/dy
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+	dx := l.Backward(cache, w)
+
+	const h = 1e-5
+	// Input gradient.
+	for i := 0; i < x.Len(); i++ {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + h
+		up := lossOf(l, x, w)
+		x.Data()[i] = orig - h
+		down := lossOf(l, x, w)
+		x.Data()[i] = orig
+		num := (up - down) / (2 * h)
+		if math.Abs(num-dx.Data()[i]) > tol*(1+math.Abs(num)) {
+			t.Fatalf("input grad[%d]: analytic %g vs numeric %g", i, dx.Data()[i], num)
+		}
+	}
+	// Parameter gradients.
+	for _, p := range l.Params() {
+		for i := 0; i < p.Value.Len(); i++ {
+			orig := p.Value.Data()[i]
+			p.Value.Data()[i] = orig + h
+			up := lossOf(l, x, w)
+			p.Value.Data()[i] = orig - h
+			down := lossOf(l, x, w)
+			p.Value.Data()[i] = orig
+			num := (up - down) / (2 * h)
+			if math.Abs(num-p.Grad.Data()[i]) > tol*(1+math.Abs(num)) {
+				t.Fatalf("%s grad[%d]: analytic %g vs numeric %g", p.Name, i, p.Grad.Data()[i], num)
+			}
+		}
+	}
+}
+
+func TestLinearGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, 5, 3)
+	x := tensor.RandNormal(rng, 0, 1, 5)
+	checkGrads(t, l, x, 1e-6)
+}
+
+func TestConv2DGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewConv2D(rng, 2, 3, 3, 2)
+	x := tensor.RandNormal(rng, 0, 1, 2, 5, 5)
+	checkGrads(t, l, x, 1e-5)
+}
+
+func TestConv3DGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewConv3D(rng, 2, 2, 3, 2)
+	x := tensor.RandNormal(rng, 0, 1, 2, 4, 4, 4)
+	checkGrads(t, l, x, 1e-5)
+}
+
+func TestConv3DAsymmetricGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewConv3DFull(rng, 1, 2, [3]int{1, 3, 3}, [3]int{1, 2, 2}, [3]int{0, 1, 1})
+	x := tensor.RandNormal(rng, 0, 1, 1, 3, 5, 5)
+	checkGrads(t, l, x, 1e-5)
+}
+
+func TestReLUGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Keep values away from the kink at 0 so finite differences are valid.
+	x := tensor.RandNormal(rng, 0, 1, 10).ApplyInPlace(func(v float64) float64 {
+		if math.Abs(v) < 0.05 {
+			return 0.1
+		}
+		return v
+	})
+	checkGrads(t, ReLU{}, x, 1e-6)
+}
+
+func TestMaxPool3DGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := MaxPool3D{KT: 2, KH: 2, KW: 2}
+	x := tensor.RandNormal(rng, 0, 1, 2, 4, 4, 4)
+	checkGrads(t, l, x, 1e-5)
+}
+
+func TestAvgPoolTimeGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := AvgPoolTime{K: 2}
+	x := tensor.RandNormal(rng, 0, 1, 2, 4, 3, 3)
+	checkGrads(t, l, x, 1e-6)
+}
+
+func TestGlobalAvgPoolGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := tensor.RandNormal(rng, 0, 1, 3, 2, 4)
+	checkGrads(t, GlobalAvgPool{}, x, 1e-6)
+}
+
+func TestSwapCTGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.RandNormal(rng, 0, 1, 3, 2, 2, 2)
+	checkGrads(t, SwapCT{}, x, 1e-6)
+}
+
+func TestTimeDistributedGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	l := &TimeDistributed{Inner: NewConv2D(rng, 1, 2, 3, 1)}
+	x := tensor.RandNormal(rng, 0, 1, 3, 1, 4, 4)
+	checkGrads(t, l, x, 1e-5)
+}
+
+func TestResidualIdentityGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := &Residual{Inner: NewConv2D(rng, 2, 2, 3, 1)}
+	x := tensor.RandNormal(rng, 0, 1, 2, 4, 4)
+	checkGrads(t, l, x, 1e-5)
+}
+
+func TestResidualProjGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	l := &Residual{
+		Inner: NewConv2D(rng, 2, 3, 3, 1),
+		Proj:  NewConv2D(rng, 2, 3, 1, 1),
+	}
+	x := tensor.RandNormal(rng, 0, 1, 2, 4, 4)
+	checkGrads(t, l, x, 1e-5)
+}
+
+func TestParallelGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	l := &Parallel{Branches: []Layer{
+		NewSequential(Flatten{}, NewLinear(rng, 8, 3)),
+		NewSequential(Flatten{}, NewLinear(rng, 8, 2)),
+	}}
+	x := tensor.RandNormal(rng, 0, 1, 2, 4)
+	checkGrads(t, l, x, 1e-6)
+}
+
+func TestSubsampleTimeGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	l := SubsampleTime{K: 2}
+	x := tensor.RandNormal(rng, 0, 1, 5, 2, 2)
+	checkGrads(t, l, x, 1e-6)
+}
+
+func TestSequentialGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	l := NewSequential(
+		NewConv2D(rng, 1, 2, 3, 1),
+		ReLU{},
+		Flatten{},
+		NewLinear(rng, 2*4*4, 3),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 1, 4, 4)
+	checkGrads(t, l, x, 1e-5)
+}
+
+func TestScaleGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	x := tensor.RandNormal(rng, 0, 1, 6)
+	checkGrads(t, Scale{Factor: 0.25}, x, 1e-8)
+}
+
+func TestLSTMGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	l := NewLSTM(rng, 3, 4)
+	x := tensor.RandNormal(rng, 0, 1, 5, 3) // 5 timesteps
+	checkGrads(t, l, x, 1e-5)
+}
+
+func TestLSTMSingleStepGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	l := NewLSTM(rng, 2, 3)
+	x := tensor.RandNormal(rng, 0, 1, 1, 2)
+	checkGrads(t, l, x, 1e-5)
+}
+
+func TestChannelNormGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	l := NewChannelNorm(3)
+	x := tensor.RandNormal(rng, 2, 1.5, 3, 4, 4)
+	checkGrads(t, l, x, 1e-5)
+}

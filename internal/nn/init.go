@@ -1,0 +1,21 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"duo/internal/tensor"
+)
+
+// HeInit fills t with He (Kaiming) normal initialization for the given
+// fan-in, appropriate for ReLU networks.
+func HeInit(rng *rand.Rand, t *tensor.Tensor, fanIn int) {
+	std := math.Sqrt(2 / float64(fanIn))
+	t.FillNormal(rng, 0, std)
+}
+
+// XavierInit fills t with Glorot uniform initialization.
+func XavierInit(rng *rand.Rand, t *tensor.Tensor, fanIn, fanOut int) {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	t.FillUniform(rng, -limit, limit)
+}

@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"duo/internal/tensor"
+)
+
+// Linear is a fully-connected layer: y = W·x + b for rank-1 inputs.
+type Linear struct {
+	In, Out int
+	W       *Param // shape [Out, In]
+	B       *Param // shape [Out]
+}
+
+var _ Layer = (*Linear)(nil)
+
+// NewLinear returns a Linear layer with He-initialized weights.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	w := tensor.New(out, in)
+	HeInit(rng, w, in)
+	return &Linear{
+		In:  in,
+		Out: out,
+		W:   NewParam(fmt.Sprintf("linear%dx%d.W", out, in), w),
+		B:   NewParam(fmt.Sprintf("linear%dx%d.B", out, in), tensor.New(out)),
+	}
+}
+
+type linearCache struct{ x *tensor.Tensor }
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	if x.Rank() != 1 || x.Dim(0) != l.In {
+		panic(fmt.Sprintf("nn: Linear(%d→%d) got input shape %v", l.In, l.Out, x.Shape()))
+	}
+	y := l.W.Value.MatVec(x)
+	y.AddInPlace(l.B.Value)
+	return y, &linearCache{x: x.Clone()}
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
+	lc := c.(*linearCache)
+	// dW[o,i] += g[o] * x[i]; db[o] += g[o]; dx[i] = Σ_o W[o,i] g[o].
+	g := gradOut.Data()
+	x := lc.x.Data()
+	wd := l.W.Value.Data()
+	wg := l.W.Grad.Data()
+	bg := l.B.Grad.Data()
+	dx := tensor.New(l.In)
+	dxd := dx.Data()
+	for o := 0; o < l.Out; o++ {
+		go_ := g[o]
+		bg[o] += go_
+		row := wd[o*l.In : (o+1)*l.In]
+		grow := wg[o*l.In : (o+1)*l.In]
+		for i := 0; i < l.In; i++ {
+			grow[i] += go_ * x[i]
+			dxd[i] += row[i] * go_
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }

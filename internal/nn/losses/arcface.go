@@ -1,0 +1,113 @@
+package losses
+
+import (
+	"math"
+	"math/rand"
+
+	"duo/internal/mathx"
+	"duo/internal/nn"
+	"duo/internal/tensor"
+)
+
+// ArcFace is the additive angular margin loss (Deng et al., CVPR'19). It
+// holds a learnable class-center matrix W ∈ R^{classes×dim}; each sample's
+// embedding and its class centers are L2-normalized, the target class's
+// angle is penalized by an additive margin m, logits are scaled by s, and
+// softmax cross-entropy is applied.
+type ArcFace struct {
+	Classes int
+	Dim     int
+	ScaleS  float64
+	MarginM float64
+	W       *nn.Param
+}
+
+var _ MetricLoss = (*ArcFace)(nil)
+
+// NewArcFace returns an ArcFace loss with Xavier-initialized class centers
+// and the reference hyper-parameters s=16, m=0.3 (scaled down from the
+// paper's face-recognition defaults to suit low-dimensional embeddings).
+func NewArcFace(rng *rand.Rand, classes, dim int) *ArcFace {
+	w := tensor.New(classes, dim)
+	nn.XavierInit(rng, w, dim, classes)
+	return &ArcFace{Classes: classes, Dim: dim, ScaleS: 16, MarginM: 0.3, W: nn.NewParam("arcface.W", w)}
+}
+
+// Name implements MetricLoss.
+func (*ArcFace) Name() string { return "ArcFaceLoss" }
+
+// Params implements MetricLoss.
+func (a *ArcFace) Params() []*nn.Param { return []*nn.Param{a.W} }
+
+// Loss implements MetricLoss.
+func (a *ArcFace) Loss(embs []*tensor.Tensor, labels []int) (float64, []*tensor.Tensor) {
+	grads := zeroGrads(embs)
+	wgrad := tensor.New(a.W.Value.Shape()...)
+	loss := 0.0
+	const eps = 1e-7
+
+	for s := range embs {
+		x := embs[s]
+		y := labels[s]
+		nx := math.Max(x.L2(), eps)
+		xhat := x.Scale(1 / nx)
+
+		// cos θ_c for every class, with normalized rows of W.
+		cos := make([]float64, a.Classes)
+		wnorm := make([]float64, a.Classes)
+		what := make([]*tensor.Tensor, a.Classes)
+		for c := 0; c < a.Classes; c++ {
+			row := tensor.From(a.W.Value.Data()[c*a.Dim:(c+1)*a.Dim], a.Dim)
+			nw := math.Max(row.L2(), eps)
+			wnorm[c] = nw
+			what[c] = row.Scale(1 / nw)
+			cos[c] = mathx.Clamp(what[c].Dot(xhat), -1+eps, 1-eps)
+		}
+
+		// Logits: s·cos(θ_y + m) for the target, s·cosθ_c otherwise.
+		logits := make([]float64, a.Classes)
+		dTargetdCos := 1.0
+		for c := 0; c < a.Classes; c++ {
+			if c == y {
+				sin := math.Sqrt(1 - cos[c]*cos[c])
+				logits[c] = a.ScaleS * (cos[c]*math.Cos(a.MarginM) - sin*math.Sin(a.MarginM))
+				// d cos(θ+m)/d cosθ = cos m + sin m · cosθ / sinθ.
+				dTargetdCos = math.Cos(a.MarginM) + math.Sin(a.MarginM)*cos[c]/math.Max(sin, eps)
+			} else {
+				logits[c] = a.ScaleS * cos[c]
+			}
+		}
+		p := mathx.Softmax(logits)
+		// Cross-entropy computed as lse(logits) − logits[y]: exact and
+		// stable even when the softmax saturates.
+		loss += mathx.LogSumExp(logits) - logits[y]
+
+		// dL/dlogit_c = p_c − 1{c=y}; chain to cos, then to x and W.
+		for c := 0; c < a.Classes; c++ {
+			dLdLogit := p[c]
+			if c == y {
+				dLdLogit -= 1
+			}
+			dLdCos := dLdLogit * a.ScaleS
+			if c == y {
+				dLdCos *= dTargetdCos
+			}
+			// d cosθ/dx = (ŵ − cosθ·x̂)/‖x‖.
+			gx := what[c].Clone().AddScaled(-cos[c], xhat).ScaleInPlace(dLdCos / nx)
+			grads[s].AddInPlace(gx)
+			// d cosθ/dw = (x̂ − cosθ·ŵ)/‖w‖.
+			gw := xhat.Clone().AddScaled(-cos[c], what[c]).ScaleInPlace(dLdCos / wnorm[c])
+			dst := wgrad.Data()[c*a.Dim : (c+1)*a.Dim]
+			for i, v := range gw.Data() {
+				dst[i] += v
+			}
+		}
+	}
+	inv := 1 / float64(len(embs))
+	loss *= inv
+	for _, g := range grads {
+		g.ScaleInPlace(inv)
+	}
+	a.W.Grad.AddScaled(inv, wgrad)
+	return loss, grads
+}

@@ -1,0 +1,112 @@
+package losses
+
+import (
+	"math/rand"
+
+	"duo/internal/mathx"
+	"duo/internal/nn"
+	"duo/internal/tensor"
+)
+
+// CrossEntropy is a plain softmax classification head: logits = W·x + b
+// over a learnable class matrix, with softmax cross-entropy. It implements
+// the classification pre-training stage real video backbones go through
+// (Kinetics pre-training in the paper's victims) before metric fine-tuning.
+type CrossEntropy struct {
+	Classes int
+	Dim     int
+	W       *nn.Param // [Classes, Dim]
+	B       *nn.Param // [Classes]
+}
+
+var _ MetricLoss = (*CrossEntropy)(nil)
+
+// NewCrossEntropy returns a cross-entropy head with Xavier-initialized
+// class weights.
+func NewCrossEntropy(rng *rand.Rand, classes, dim int) *CrossEntropy {
+	w := tensor.New(classes, dim)
+	nn.XavierInit(rng, w, dim, classes)
+	return &CrossEntropy{
+		Classes: classes, Dim: dim,
+		W: nn.NewParam("crossentropy.W", w),
+		B: nn.NewParam("crossentropy.B", tensor.New(classes)),
+	}
+}
+
+// Name implements MetricLoss.
+func (*CrossEntropy) Name() string { return "CrossEntropy" }
+
+// Params implements MetricLoss.
+func (l *CrossEntropy) Params() []*nn.Param { return []*nn.Param{l.W, l.B} }
+
+// Loss implements MetricLoss.
+func (l *CrossEntropy) Loss(embs []*tensor.Tensor, labels []int) (float64, []*tensor.Tensor) {
+	grads := zeroGrads(embs)
+	wgrad := tensor.New(l.Classes, l.Dim)
+	bgrad := tensor.New(l.Classes)
+	loss := 0.0
+
+	wd := l.W.Value.Data()
+	for s, x := range embs {
+		y := labels[s]
+		logits := make([]float64, l.Classes)
+		for c := 0; c < l.Classes; c++ {
+			row := wd[c*l.Dim : (c+1)*l.Dim]
+			acc := l.B.Value.Data()[c]
+			for i, xv := range x.Data() {
+				acc += row[i] * xv
+			}
+			logits[c] = acc
+		}
+		loss += mathx.LogSumExp(logits) - logits[y]
+		p := mathx.Softmax(logits)
+		for c := 0; c < l.Classes; c++ {
+			d := p[c]
+			if c == y {
+				d -= 1
+			}
+			bgrad.Data()[c] += d
+			row := wd[c*l.Dim : (c+1)*l.Dim]
+			wrow := wgrad.Data()[c*l.Dim : (c+1)*l.Dim]
+			for i, xv := range x.Data() {
+				wrow[i] += d * xv
+				grads[s].Data()[i] += d * row[i]
+			}
+		}
+	}
+	inv := 1 / float64(len(embs))
+	loss *= inv
+	for _, g := range grads {
+		g.ScaleInPlace(inv)
+	}
+	l.W.Grad.AddScaled(inv, wgrad)
+	l.B.Grad.AddScaled(inv, bgrad)
+	return loss, grads
+}
+
+// Accuracy returns the fraction of embeddings the head classifies
+// correctly (a pre-training diagnostic).
+func (l *CrossEntropy) Accuracy(embs []*tensor.Tensor, labels []int) float64 {
+	if len(embs) == 0 {
+		return 0
+	}
+	wd := l.W.Value.Data()
+	hits := 0
+	for s, x := range embs {
+		best, bi := 0.0, -1
+		for c := 0; c < l.Classes; c++ {
+			row := wd[c*l.Dim : (c+1)*l.Dim]
+			acc := l.B.Value.Data()[c]
+			for i, xv := range x.Data() {
+				acc += row[i] * xv
+			}
+			if bi < 0 || acc > best {
+				best, bi = acc, c
+			}
+		}
+		if bi == labels[s] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(embs))
+}

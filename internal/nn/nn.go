@@ -1,0 +1,166 @@
+// Package nn is a minimal from-scratch neural-network layer library with
+// manual reverse-mode differentiation. It provides the convolutional video
+// backbones (C3D, I3D, TPN, SlowFast, ResNet analogues) that stand in for
+// the paper's PyTorch models.
+//
+// Every Layer's Forward returns an output and an opaque Cache capturing the
+// state needed by Backward. Caches are per-call, so several forward passes
+// can be in flight at once (needed by batch metric losses, which backprop a
+// whole batch of embeddings through shared weights).
+package nn
+
+import (
+	"fmt"
+
+	"duo/internal/tensor"
+)
+
+// Cache carries per-forward state from Forward to Backward.
+type Cache interface{}
+
+// Param is a trainable tensor with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter and a matching zero gradient.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad resets the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module.
+//
+// Forward computes the output for x and a cache for the backward pass.
+// Backward consumes that cache and the gradient of the loss with respect to
+// the layer output, accumulates parameter gradients, and returns the
+// gradient with respect to the layer input.
+type Layer interface {
+	Forward(x *tensor.Tensor) (*tensor.Tensor, Cache)
+	Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Sequential chains layers, feeding each one's output to the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+var _ Layer = (*Sequential)(nil)
+
+// NewSequential returns a Sequential over the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+type seqCache struct{ caches []Cache }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	caches := make([]Cache, len(s.Layers))
+	for i, l := range s.Layers {
+		x, caches[i] = l.Forward(x)
+	}
+	return x, &seqCache{caches: caches}
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
+	sc, ok := c.(*seqCache)
+	if !ok {
+		panic(fmt.Sprintf("nn: Sequential.Backward got cache of type %T", c))
+	}
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(sc.caches[i], gradOut)
+	}
+	return gradOut
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct{}
+
+var _ Layer = ReLU{}
+
+type reluCache struct{ mask []bool }
+
+// Forward implements Layer.
+func (ReLU) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	out := x.Clone()
+	mask := make([]bool, out.Len())
+	d := out.Data()
+	for i, v := range d {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			d[i] = 0
+		}
+	}
+	return out, &reluCache{mask: mask}
+}
+
+// Backward implements Layer.
+func (ReLU) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
+	rc := c.(*reluCache)
+	grad := gradOut.Clone()
+	d := grad.Data()
+	for i := range d {
+		if !rc.mask[i] {
+			d[i] = 0
+		}
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (ReLU) Params() []*Param { return nil }
+
+// Flatten reshapes any input to rank 1. Backward restores the input shape.
+type Flatten struct{}
+
+var _ Layer = Flatten{}
+
+type flattenCache struct{ shape []int }
+
+// Forward implements Layer.
+func (Flatten) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	return x.Flatten().Clone(), &flattenCache{shape: x.Shape()}
+}
+
+// Backward implements Layer.
+func (Flatten) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
+	fc := c.(*flattenCache)
+	return gradOut.Reshape(fc.shape...).Clone()
+}
+
+// Params implements Layer.
+func (Flatten) Params() []*Param { return nil }
+
+// Scale multiplies the input by a fixed constant (no parameters). It is
+// used to normalize pixel ranges at model entry.
+type Scale struct{ Factor float64 }
+
+var _ Layer = Scale{}
+
+// Forward implements Layer.
+func (s Scale) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	return x.Scale(s.Factor), nil
+}
+
+// Backward implements Layer.
+func (s Scale) Backward(_ Cache, gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Scale(s.Factor)
+}
+
+// Params implements Layer.
+func (Scale) Params() []*Param { return nil }

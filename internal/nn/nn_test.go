@@ -1,0 +1,233 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"duo/internal/tensor"
+)
+
+func TestLinearShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, 4, 2)
+	y, _ := l.Forward(tensor.New(4))
+	if y.Rank() != 1 || y.Dim(0) != 2 {
+		t.Errorf("output shape %v", y.Shape())
+	}
+}
+
+func TestLinearKnownValues(t *testing.T) {
+	l := &Linear{In: 2, Out: 1,
+		W: NewParam("W", tensor.From([]float64{2, 3}, 1, 2)),
+		B: NewParam("B", tensor.From([]float64{1}, 1)),
+	}
+	y, _ := l.Forward(tensor.From([]float64{10, 100}, 2))
+	if y.At(0) != 321 {
+		t.Errorf("y = %g, want 321", y.At(0))
+	}
+}
+
+func TestConv2DOutShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewConv2D(rng, 3, 8, 3, 2) // pad 1
+	y, _ := l.Forward(tensor.New(3, 12, 12))
+	want := []int{8, 6, 6}
+	got := y.Shape()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out shape %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConv3DOutShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewConv3D(rng, 3, 4, 3, 2)
+	y, _ := l.Forward(tensor.New(3, 8, 12, 12))
+	want := []int{4, 4, 6, 6}
+	for i, w := range want {
+		if y.Dim(i) != w {
+			t.Fatalf("out shape %v, want %v", y.Shape(), want)
+		}
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A single 1x1 kernel with weight 1 and bias 0 must be the identity.
+	l := &Conv2D{InC: 1, OutC: 1, KH: 1, KW: 1, SH: 1, SW: 1,
+		W: NewParam("W", tensor.From([]float64{1}, 1, 1, 1, 1)),
+		B: NewParam("B", tensor.New(1)),
+	}
+	x := tensor.From([]float64{1, 2, 3, 4}, 1, 2, 2)
+	y, _ := l.Forward(x)
+	if !y.Equal(x, 0) {
+		t.Errorf("identity conv: %v", y)
+	}
+}
+
+func TestMaxPoolValues(t *testing.T) {
+	l := MaxPool3D{KT: 1, KH: 2, KW: 2}
+	x := tensor.From([]float64{
+		1, 2,
+		3, 4,
+	}, 1, 1, 2, 2)
+	y, _ := l.Forward(x)
+	if y.Len() != 1 || y.Data()[0] != 4 {
+		t.Errorf("maxpool = %v", y)
+	}
+}
+
+func TestGlobalAvgPoolValues(t *testing.T) {
+	x := tensor.From([]float64{1, 3, 10, 30}, 2, 2)
+	y, _ := GlobalAvgPool{}.Forward(x)
+	if y.At(0) != 2 || y.At(1) != 20 {
+		t.Errorf("gap = %v", y)
+	}
+}
+
+func TestSwapCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandNormal(rng, 0, 1, 3, 2, 4, 5)
+	y, _ := SwapCT{}.Forward(x)
+	if y.Dim(0) != 2 || y.Dim(1) != 3 {
+		t.Fatalf("swap shape %v", y.Shape())
+	}
+	z, _ := SwapCT{}.Forward(y)
+	if !z.Equal(x, 0) {
+		t.Error("SwapCT twice is not identity")
+	}
+	// Element correspondence.
+	if x.At(1, 0, 2, 3) != y.At(0, 1, 2, 3) {
+		t.Error("SwapCT misplaces elements")
+	}
+}
+
+func TestSubsampleTimeKeepsEveryKth(t *testing.T) {
+	x := tensor.From([]float64{0, 1, 2, 3, 4}, 5, 1)
+	y, _ := SubsampleTime{K: 2}.Forward(x)
+	if y.Dim(0) != 3 || y.At(0, 0) != 0 || y.At(1, 0) != 2 || y.At(2, 0) != 4 {
+		t.Errorf("subsample = %v", y)
+	}
+}
+
+func TestParamZeroGrad(t *testing.T) {
+	p := NewParam("p", tensor.From([]float64{1, 2}, 2))
+	p.Grad.Fill(5)
+	p.ZeroGrad()
+	if p.Grad.Sum() != 0 {
+		t.Error("ZeroGrad did not clear gradient")
+	}
+}
+
+func TestSequentialParamsCollectsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSequential(NewLinear(rng, 2, 2), ReLU{}, NewLinear(rng, 2, 1))
+	if got := len(s.Params()); got != 4 {
+		t.Errorf("Params() len = %d, want 4 (2 layers × W,B)", got)
+	}
+}
+
+func TestMultipleForwardsIndependentCaches(t *testing.T) {
+	// Two in-flight forwards through the same layer must backprop correctly
+	// with their own caches (needed by batch metric losses).
+	rng := rand.New(rand.NewSource(4))
+	l := NewLinear(rng, 3, 2)
+	x1 := tensor.RandNormal(rng, 0, 1, 3)
+	x2 := tensor.RandNormal(rng, 0, 1, 3)
+	_, c1 := l.Forward(x1)
+	_, c2 := l.Forward(x2)
+	g := tensor.From([]float64{1, 0}, 2)
+	dx1 := l.Backward(c1, g)
+	dx2 := l.Backward(c2, g)
+	// dx depends only on W, so both must equal W row 0.
+	w0 := tensor.From(l.W.Value.Data()[:3], 3)
+	if !dx1.Equal(w0, 1e-12) || !dx2.Equal(w0, 1e-12) {
+		t.Error("independent caches broken")
+	}
+	// Param grads accumulate across both backward passes:
+	// dW[0,i] = x1[i] + x2[i].
+	wantG := x1.Add(x2)
+	gotG := tensor.From(l.W.Grad.Data()[:3], 3)
+	if !gotG.Equal(wantG, 1e-12) {
+		t.Errorf("accumulated grad = %v, want %v", gotG, wantG)
+	}
+}
+
+func TestLSTMShapesAndDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	l := NewLSTM(rng, 4, 6)
+	x := tensor.RandNormal(rng, 0, 1, 8, 4)
+	y1, _ := l.Forward(x)
+	y2, _ := l.Forward(x)
+	if y1.Rank() != 1 || y1.Dim(0) != 6 {
+		t.Fatalf("LSTM output shape %v", y1.Shape())
+	}
+	if !y1.Equal(y2, 0) {
+		t.Error("LSTM forward not deterministic")
+	}
+}
+
+func TestLSTMForgetBiasInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	l := NewLSTM(rng, 2, 3)
+	b := l.B.Value.Data()
+	for j := 3; j < 6; j++ { // forget-gate slice
+		if b[j] != 1 {
+			t.Errorf("forget bias[%d] = %g, want 1", j, b[j])
+		}
+	}
+	if b[0] != 0 || b[6] != 0 {
+		t.Error("non-forget biases should start at 0")
+	}
+}
+
+func TestLSTMIsOrderSensitive(t *testing.T) {
+	// Reversing the input sequence must change the final hidden state —
+	// the layer actually integrates temporal order.
+	rng := rand.New(rand.NewSource(22))
+	l := NewLSTM(rng, 3, 4)
+	x := tensor.RandNormal(rng, 0, 1, 6, 3)
+	rev := tensor.New(6, 3)
+	for t2 := 0; t2 < 6; t2++ {
+		rev.Slice(t2).CopyFrom(x.Slice(5 - t2))
+	}
+	a, _ := l.Forward(x)
+	bwd, _ := l.Forward(rev)
+	if a.Equal(bwd, 1e-9) {
+		t.Error("LSTM ignores temporal order")
+	}
+}
+
+func TestChannelNormStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	l := NewChannelNorm(2)
+	x := tensor.RandNormal(rng, 5, 3, 2, 8, 8)
+	y, _ := l.Forward(x)
+	for c := 0; c < 2; c++ {
+		plane := y.Slice(c)
+		if m := plane.Mean(); math.Abs(m) > 1e-9 {
+			t.Errorf("channel %d mean = %g, want 0", c, m)
+		}
+		variance := 0.0
+		for _, v := range plane.Data() {
+			variance += v * v
+		}
+		variance /= float64(plane.Len())
+		if math.Abs(variance-1) > 1e-3 {
+			t.Errorf("channel %d var = %g, want 1", c, variance)
+		}
+	}
+}
+
+func TestChannelNormGainBias(t *testing.T) {
+	l := NewChannelNorm(1)
+	l.Gain.Value.Set(2, 0)
+	l.Bias.Value.Set(10, 0)
+	x := tensor.From([]float64{-1, 1}, 1, 2)
+	y, _ := l.Forward(x)
+	// Normalized to ±1, then ×2 + 10.
+	if math.Abs(y.At(0, 0)-8) > 1e-3 || math.Abs(y.At(0, 1)-12) > 1e-3 {
+		t.Errorf("y = %v", y)
+	}
+}

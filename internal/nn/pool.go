@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"duo/internal/tensor"
+)
+
+// MaxPool3D applies max pooling with kernel K and stride K (non-overlapping)
+// over the [T,H,W] dimensions of a [C,T,H,W] input. Dimensions smaller than
+// the kernel are pooled fully.
+type MaxPool3D struct {
+	KT, KH, KW int
+}
+
+var _ Layer = MaxPool3D{}
+
+type maxPoolCache struct {
+	inShape []int
+	argmax  []int // flat input index of each output element's max
+}
+
+func poolOut(in, k int) int {
+	if in < k {
+		return 1
+	}
+	return in / k
+}
+
+// Forward implements Layer.
+func (l MaxPool3D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool3D got input shape %v", x.Shape()))
+	}
+	in := x.Shape()
+	C, T, H, W := in[0], in[1], in[2], in[3]
+	kt, kh, kw := min(l.KT, T), min(l.KH, H), min(l.KW, W)
+	To, Ho, Wo := poolOut(T, kt), poolOut(H, kh), poolOut(W, kw)
+	out := tensor.New(C, To, Ho, Wo)
+	arg := make([]int, out.Len())
+	xd, od := x.Data(), out.Data()
+	xsC, xsT, xsH := T*H*W, H*W, W
+
+	oi := 0
+	for c := 0; c < C; c++ {
+		for to := 0; to < To; to++ {
+			for ho := 0; ho < Ho; ho++ {
+				for wo := 0; wo < Wo; wo++ {
+					best := math.Inf(-1)
+					bi := -1
+					for dt := 0; dt < kt; dt++ {
+						for dh := 0; dh < kh; dh++ {
+							for dw := 0; dw < kw; dw++ {
+								idx := c*xsC + (to*kt+dt)*xsT + (ho*kh+dh)*xsH + wo*kw + dw
+								if xd[idx] > best {
+									best = xd[idx]
+									bi = idx
+								}
+							}
+						}
+					}
+					od[oi] = best
+					arg[oi] = bi
+					oi++
+				}
+			}
+		}
+	}
+	return out, &maxPoolCache{inShape: in, argmax: arg}
+}
+
+// Backward implements Layer.
+func (l MaxPool3D) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
+	mc := c.(*maxPoolCache)
+	dx := tensor.New(mc.inShape...)
+	dxd := dx.Data()
+	for oi, g := range gradOut.Data() {
+		dxd[mc.argmax[oi]] += g
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (MaxPool3D) Params() []*Param { return nil }
+
+// AvgPoolTime averages the temporal (T) dimension of a [C,T,H,W] input with
+// window/stride k, producing [C,T/k,H,W]. Used by the temporal-pyramid and
+// slow-pathway models.
+type AvgPoolTime struct{ K int }
+
+var _ Layer = AvgPoolTime{}
+
+type avgPoolTimeCache struct {
+	inShape []int
+	k       int
+}
+
+// Forward implements Layer.
+func (l AvgPoolTime) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: AvgPoolTime got input shape %v", x.Shape()))
+	}
+	in := x.Shape()
+	C, T, H, W := in[0], in[1], in[2], in[3]
+	k := min(l.K, T)
+	To := poolOut(T, k)
+	out := tensor.New(C, To, H, W)
+	xd, od := x.Data(), out.Data()
+	xsC, xsT := T*H*W, H*W
+	osC := To * H * W
+	inv := 1 / float64(k)
+	for c := 0; c < C; c++ {
+		for to := 0; to < To; to++ {
+			for dt := 0; dt < k; dt++ {
+				src := xd[c*xsC+(to*k+dt)*xsT : c*xsC+(to*k+dt+1)*xsT]
+				dst := od[c*osC+to*xsT : c*osC+(to+1)*xsT]
+				for i, v := range src {
+					dst[i] += v * inv
+				}
+			}
+		}
+	}
+	return out, &avgPoolTimeCache{inShape: in, k: k}
+}
+
+// Backward implements Layer.
+func (l AvgPoolTime) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
+	ac := c.(*avgPoolTimeCache)
+	in := ac.inShape
+	C, T, H, W := in[0], in[1], in[2], in[3]
+	k := ac.k
+	To := poolOut(T, k)
+	dx := tensor.New(in...)
+	dxd, gd := dx.Data(), gradOut.Data()
+	xsC, xsT := T*H*W, H*W
+	osC := To * H * W
+	inv := 1 / float64(k)
+	for c := 0; c < C; c++ {
+		for to := 0; to < To; to++ {
+			g := gd[c*osC+to*xsT : c*osC+(to+1)*xsT]
+			for dt := 0; dt < k; dt++ {
+				dst := dxd[c*xsC+(to*k+dt)*xsT : c*xsC+(to*k+dt+1)*xsT]
+				for i, v := range g {
+					dst[i] += v * inv
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (AvgPoolTime) Params() []*Param { return nil }
+
+// GlobalAvgPool averages away every dimension after the first, mapping
+// [C, ...] to [C].
+type GlobalAvgPool struct{}
+
+var _ Layer = GlobalAvgPool{}
+
+type gapCache struct{ inShape []int }
+
+// Forward implements Layer.
+func (GlobalAvgPool) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	if x.Rank() < 2 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool got input shape %v", x.Shape()))
+	}
+	C := x.Dim(0)
+	out := tensor.New(C)
+	for c := 0; c < C; c++ {
+		out.Set(x.Slice(c).Mean(), c)
+	}
+	return out, &gapCache{inShape: x.Shape()}
+}
+
+// Backward implements Layer.
+func (GlobalAvgPool) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
+	gc := c.(*gapCache)
+	dx := tensor.New(gc.inShape...)
+	C := gc.inShape[0]
+	per := dx.Len() / C
+	inv := 1 / float64(per)
+	for ch := 0; ch < C; ch++ {
+		g := gradOut.At(ch) * inv
+		dx.Slice(ch).Fill(g)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (GlobalAvgPool) Params() []*Param { return nil }

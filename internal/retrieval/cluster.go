@@ -1,0 +1,184 @@
+package retrieval
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"duo/internal/models"
+	"duo/internal/tensor"
+	"duo/internal/video"
+)
+
+// Shard is one data node's slice of the gallery index: feature vectors with
+// identity and label metadata. It answers nearest-neighbour queries over
+// its slice only.
+type Shard struct {
+	ids    []string
+	labels []int
+	feats  []*tensor.Tensor
+}
+
+// NewShard builds a shard index for the given gallery slice under the
+// extractor (indexing happens once, at ingest, exactly as in Fig. 1).
+func NewShard(m models.Model, gallery []*video.Video) *Shard {
+	s := &Shard{}
+	for _, v := range gallery {
+		s.ids = append(s.ids, v.ID)
+		s.labels = append(s.labels, v.Label)
+		s.feats = append(s.feats, models.Embed(m, v))
+	}
+	return s
+}
+
+// Size returns the number of indexed entries.
+func (s *Shard) Size() int { return len(s.ids) }
+
+// Nearest returns the shard's top-m entries for the query feature.
+func (s *Shard) Nearest(feat []float64, m int) []Result {
+	return nearest(tensor.From(feat, len(feat)), s.ids, s.labels, s.feats, m)
+}
+
+// Transport carries nearest-neighbour calls to a data node. The in-memory
+// implementation calls the shard directly; the TCP implementation speaks a
+// gob protocol to a remote node.
+type Transport interface {
+	// Nearest returns the node's top-m results for the query feature.
+	Nearest(feat []float64, m int) ([]Result, error)
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// LocalTransport serves a shard in-process.
+type LocalTransport struct{ Shard *Shard }
+
+var _ Transport = (*LocalTransport)(nil)
+
+// Nearest implements Transport.
+func (t *LocalTransport) Nearest(feat []float64, m int) ([]Result, error) {
+	return t.Shard.Nearest(feat, m), nil
+}
+
+// Close implements Transport.
+func (t *LocalTransport) Close() error { return nil }
+
+// Cluster is the distributed retrieval coordinator of Fig. 1: it extracts
+// the query's features once, scatters the feature vector to every data
+// node concurrently, and merges the nodes' top-m lists into a global top-m.
+type Cluster struct {
+	model   models.Model
+	nodes   []Transport
+	queries atomic.Int64
+}
+
+var _ Retriever = (*Cluster)(nil)
+
+// NewCluster builds a coordinator over the given node transports.
+func NewCluster(m models.Model, nodes []Transport) *Cluster {
+	return &Cluster{model: m, nodes: nodes}
+}
+
+// NewLocalCluster shards the gallery round-robin across n in-process nodes.
+func NewLocalCluster(m models.Model, gallery []*video.Video, n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([][]*video.Video, n)
+	for i, v := range gallery {
+		shards[i%n] = append(shards[i%n], v)
+	}
+	nodes := make([]Transport, n)
+	for i := range nodes {
+		nodes[i] = &LocalTransport{Shard: NewShard(m, shards[i])}
+	}
+	return NewCluster(m, nodes)
+}
+
+// Nodes returns the number of data nodes.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// QueryCount returns the number of Retrieve calls served.
+func (c *Cluster) QueryCount() int64 { return c.queries.Load() }
+
+// Retrieve implements Retriever. Node failures degrade gracefully: results
+// from reachable nodes are still merged (partial availability rather than
+// total failure, as a production system would behave).
+func (c *Cluster) Retrieve(v *video.Video, m int) []Result {
+	rs, _ := c.RetrieveErr(v, m)
+	return rs
+}
+
+// RetrieveErr is Retrieve with error reporting: it returns the merged
+// results plus the first node error encountered, if any.
+func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
+	c.queries.Add(1)
+	feat := models.Embed(c.model, v).Data()
+
+	type reply struct {
+		rs  []Result
+		err error
+	}
+	replies := make([]reply, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, node := range c.nodes {
+		wg.Add(1)
+		go func(i int, node Transport) {
+			defer wg.Done()
+			rs, err := node.Nearest(feat, m)
+			replies[i] = reply{rs: rs, err: err}
+		}(i, node)
+	}
+	wg.Wait()
+
+	var firstErr error
+	var all []Result
+	for i, r := range replies {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("retrieval: node %d: %w", i, r.err)
+			}
+			continue
+		}
+		all = append(all, r.rs...)
+	}
+	merged := mergeTopM(all, m)
+	return merged, firstErr
+}
+
+// Close closes every node transport, returning the first error.
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// mergeTopM merges per-node result lists into a global ascending top-m.
+func mergeTopM(all []Result, m int) []Result {
+	dists := make([]float64, len(all))
+	for i, r := range all {
+		dists[i] = r.Dist
+	}
+	order := tensor.ArgsortAsc(dists)
+	if m > len(order) {
+		m = len(order)
+	}
+	if m < 0 {
+		m = 0
+	}
+	out := make([]Result, m)
+	for i := 0; i < m; i++ {
+		out[i] = all[order[i]]
+	}
+	// Stable tie handling to match the single-node engine: equal distances
+	// order by ID.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Dist == out[j-1].Dist && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

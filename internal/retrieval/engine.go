@@ -1,0 +1,144 @@
+// Package retrieval implements the DNN-based video retrieval system of
+// Fig. 1: a deep feature extractor, an indexed gallery, top-m retrieval by
+// L2 feature distance, and a distributed variant that shards the gallery
+// across data nodes behind a scatter/gather coordinator.
+package retrieval
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"duo/internal/metrics"
+	"duo/internal/models"
+	"duo/internal/tensor"
+	"duo/internal/video"
+)
+
+// Result is one retrieved gallery entry.
+type Result struct {
+	// ID is the gallery video's identifier.
+	ID string
+	// Label is the gallery video's category (used for mAP ground truth).
+	Label int
+	// Dist is the L2 feature distance to the query.
+	Dist float64
+}
+
+// Retriever answers top-m similarity queries; it is the black-box interface
+// R^m(·) the attacks interact with.
+type Retriever interface {
+	// Retrieve returns the m gallery entries nearest to v in feature
+	// space, in ascending distance order.
+	Retrieve(v *video.Video, m int) []Result
+}
+
+// Engine is a single-node retrieval system: one feature extractor plus an
+// in-memory gallery index.
+type Engine struct {
+	model   models.Model
+	ids     []string
+	labels  []int
+	feats   []*tensor.Tensor
+	queries atomic.Int64
+}
+
+var _ Retriever = (*Engine)(nil)
+
+// NewEngine indexes the gallery under the given extractor.
+func NewEngine(m models.Model, gallery []*video.Video) *Engine {
+	e := &Engine{model: m}
+	for _, v := range gallery {
+		e.ids = append(e.ids, v.ID)
+		e.labels = append(e.labels, v.Label)
+		e.feats = append(e.feats, models.Embed(m, v))
+	}
+	return e
+}
+
+// Model exposes the engine's feature extractor (white-box access used only
+// by defenses and evaluation, never by the black-box attacks).
+func (e *Engine) Model() models.Model { return e.model }
+
+// GallerySize returns the number of indexed videos.
+func (e *Engine) GallerySize() int { return len(e.ids) }
+
+// QueryCount returns the number of Retrieve calls served; attacks use it to
+// account for query budgets.
+func (e *Engine) QueryCount() int64 { return e.queries.Load() }
+
+// ResetQueryCount zeroes the query counter.
+func (e *Engine) ResetQueryCount() { e.queries.Store(0) }
+
+// Retrieve implements Retriever.
+func (e *Engine) Retrieve(v *video.Video, m int) []Result {
+	e.queries.Add(1)
+	feat := models.Embed(e.model, v)
+	return nearest(feat, e.ids, e.labels, e.feats, m)
+}
+
+// nearest scores feat against an index and returns the top-m entries,
+// sorted ascending by distance with ID tie-breaking for determinism.
+func nearest(feat *tensor.Tensor, ids []string, labels []int, feats []*tensor.Tensor, m int) []Result {
+	res := make([]Result, len(ids))
+	for i := range ids {
+		res[i] = Result{ID: ids[i], Label: labels[i], Dist: feat.Distance(feats[i])}
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Dist != res[b].Dist {
+			return res[a].Dist < res[b].Dist
+		}
+		return res[a].ID < res[b].ID
+	})
+	if m > len(res) {
+		m = len(res)
+	}
+	if m < 0 {
+		m = 0
+	}
+	return res[:m]
+}
+
+// IDs extracts the ID sequence of a result list (the R^m(v) lists consumed
+// by the attack objective).
+func IDs(rs []Result) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// EvaluateMAP computes the paper's mAP over the given queries: an item is
+// correct when its label matches the query's.
+func EvaluateMAP(r Retriever, queries []*video.Video, m int) float64 {
+	return Evaluate(r, queries, m).MAP
+}
+
+// Quality bundles ranking diagnostics over a query set.
+type Quality struct {
+	// MAP is the paper's mean average precision (§V-A).
+	MAP float64
+	// RecallAt1 is the fraction of queries whose top result is correct.
+	RecallAt1 float64
+	// MRR is the mean reciprocal rank of the first correct result.
+	MRR float64
+}
+
+// Evaluate computes retrieval quality over the queries; an item is correct
+// when its label matches the query's.
+func Evaluate(r Retriever, queries []*video.Video, m int) Quality {
+	rel := make([][]bool, 0, len(queries))
+	for _, q := range queries {
+		rs := r.Retrieve(q, m)
+		row := make([]bool, len(rs))
+		for i, res := range rs {
+			row[i] = res.Label == q.Label
+		}
+		rel = append(rel, row)
+	}
+	return Quality{
+		MAP:       metrics.MAP(rel),
+		RecallAt1: metrics.RecallAtK(rel, 1),
+		MRR:       metrics.MRR(rel),
+	}
+}

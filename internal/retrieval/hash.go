@@ -1,0 +1,135 @@
+package retrieval
+
+import (
+	"math/bits"
+	"sort"
+
+	"duo/internal/models"
+	"duo/internal/tensor"
+	"duo/internal/video"
+)
+
+// HashEngine is the hash-retrieval variant of the service: gallery
+// embeddings are binarized into compact codes and queries rank by Hamming
+// distance. This is the deployment style of the paper's reference model
+// [42] (HashNet) and of the video-hash systems ref. [32] attacks — binary
+// codes make billion-scale galleries searchable with XOR+popcount.
+//
+// Bits are balanced by thresholding each embedding coordinate at its
+// gallery median (raw sign binarization degenerates when coordinates are
+// bias-dominated and never change sign).
+//
+// The black-box interface is identical to the exact Engine's, so every
+// attack in this repository runs against it unchanged.
+type HashEngine struct {
+	model      models.Model
+	bits       int
+	thresholds []float64
+	ids        []string
+	labels     []int
+	codes      [][]uint64
+}
+
+var _ Retriever = (*HashEngine)(nil)
+
+// NewHashEngine binarizes the gallery under the extractor. The code length
+// equals the model's feature dimension (one bit per embedding coordinate).
+func NewHashEngine(m models.Model, gallery []*video.Video) *HashEngine {
+	e := &HashEngine{model: m, bits: m.FeatureDim()}
+	feats := make([]*tensor.Tensor, len(gallery))
+	for i, v := range gallery {
+		feats[i] = models.Embed(m, v)
+	}
+	e.thresholds = coordinateMedians(feats, m.FeatureDim())
+	for i, v := range gallery {
+		e.ids = append(e.ids, v.ID)
+		e.labels = append(e.labels, v.Label)
+		e.codes = append(e.codes, e.code(feats[i]))
+	}
+	return e
+}
+
+// coordinateMedians returns the per-coordinate median over the gallery
+// embeddings, used as balanced binarization thresholds.
+func coordinateMedians(feats []*tensor.Tensor, dim int) []float64 {
+	med := make([]float64, dim)
+	if len(feats) == 0 {
+		return med
+	}
+	col := make([]float64, len(feats))
+	for j := 0; j < dim; j++ {
+		for i, f := range feats {
+			col[i] = f.Data()[j]
+		}
+		sort.Float64s(col)
+		if n := len(col); n%2 == 1 {
+			med[j] = col[n/2]
+		} else {
+			med[j] = (col[n/2-1] + col[n/2]) / 2
+		}
+	}
+	return med
+}
+
+// code packs the thresholded embedding into 64-bit words.
+func (e *HashEngine) code(feat *tensor.Tensor) []uint64 {
+	d := feat.Data()
+	words := make([]uint64, (len(d)+63)/64)
+	for i, v := range d {
+		if v > e.thresholds[i] {
+			words[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return words
+}
+
+// Bits returns the hash code length.
+func (e *HashEngine) Bits() int { return e.bits }
+
+// GallerySize returns the number of indexed videos.
+func (e *HashEngine) GallerySize() int { return len(e.ids) }
+
+// signCode packs the embedding's coordinate signs into 64-bit words
+// (bit = 1 where the coordinate is positive).
+func signCode(feat *tensor.Tensor) []uint64 {
+	d := feat.Data()
+	words := make([]uint64, (len(d)+63)/64)
+	for i, v := range d {
+		if v > 0 {
+			words[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return words
+}
+
+// hamming returns the Hamming distance between two equal-length codes.
+func hamming(a, b []uint64) int {
+	d := 0
+	for i := range a {
+		d += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return d
+}
+
+// Retrieve implements Retriever: binarize the query and rank the gallery
+// by Hamming distance (ties broken by ID for determinism).
+func (e *HashEngine) Retrieve(v *video.Video, m int) []Result {
+	q := e.code(models.Embed(e.model, v))
+	res := make([]Result, len(e.ids))
+	for i := range e.ids {
+		res[i] = Result{ID: e.ids[i], Label: e.labels[i], Dist: float64(hamming(q, e.codes[i]))}
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Dist != res[b].Dist {
+			return res[a].Dist < res[b].Dist
+		}
+		return res[a].ID < res[b].ID
+	})
+	if m > len(res) {
+		m = len(res)
+	}
+	if m < 0 {
+		m = 0
+	}
+	return res[:m]
+}

@@ -1,0 +1,88 @@
+package retrieval
+
+import (
+	"testing"
+
+	"duo/internal/tensor"
+)
+
+func TestSignCodePacking(t *testing.T) {
+	// Coordinates: +, −, 0, + → bits 0 and 3 set.
+	feat := tensor.From([]float64{1, -2, 0, 0.5}, 4)
+	code := signCode(feat)
+	if len(code) != 1 {
+		t.Fatalf("words = %d", len(code))
+	}
+	if code[0] != 0b1001 {
+		t.Errorf("code = %b, want 1001", code[0])
+	}
+	// 65 dims → 2 words; last coordinate positive sets bit 0 of word 1.
+	big := tensor.New(65)
+	big.Set(1, 64)
+	code = signCode(big)
+	if len(code) != 2 || code[0] != 0 || code[1] != 1 {
+		t.Errorf("65-dim code = %v", code)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := []uint64{0b1010, 0}
+	b := []uint64{0b0110, 1}
+	if got := hamming(a, b); got != 3 {
+		t.Errorf("hamming = %d, want 3", got)
+	}
+	if got := hamming(a, a); got != 0 {
+		t.Errorf("self hamming = %d", got)
+	}
+}
+
+func TestHashEngineBasics(t *testing.T) {
+	_, c, m := testSystem(t)
+	h := NewHashEngine(m, c.Train)
+	if h.Bits() != m.FeatureDim() {
+		t.Errorf("bits = %d", h.Bits())
+	}
+	if h.GallerySize() != len(c.Train) {
+		t.Errorf("size = %d", h.GallerySize())
+	}
+	rs := h.Retrieve(c.Test[0], 5)
+	if len(rs) != 5 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Dist < rs[i-1].Dist {
+			t.Fatal("not sorted by Hamming distance")
+		}
+	}
+	// Gallery self-query: distance 0 at rank 1.
+	self := h.Retrieve(c.Train[0], 1)
+	if self[0].ID != c.Train[0].ID || self[0].Dist != 0 {
+		t.Errorf("self retrieval = %+v", self[0])
+	}
+}
+
+func TestHashEngineRetrievalQuality(t *testing.T) {
+	eng, c, m := testSystem(t)
+	h := NewHashEngine(m, c.Train)
+	exact := EvaluateMAP(eng, c.Test, 6)
+	hashed := EvaluateMAP(h, c.Test, 6)
+	// Binarization loses precision but must stay far above chance (0.25)
+	// and within striking distance of the exact engine.
+	if hashed < 0.3 {
+		t.Errorf("hash mAP = %g, want > 0.3", hashed)
+	}
+	if hashed < exact-0.45 {
+		t.Errorf("hash mAP %g collapsed versus exact %g", hashed, exact)
+	}
+}
+
+func TestHashEngineClampsM(t *testing.T) {
+	_, c, m := testSystem(t)
+	h := NewHashEngine(m, c.Train)
+	if got := h.Retrieve(c.Test[0], 10_000); len(got) != h.GallerySize() {
+		t.Errorf("len = %d", len(got))
+	}
+	if got := h.Retrieve(c.Test[0], 0); len(got) != 0 {
+		t.Errorf("m=0 returned %d", len(got))
+	}
+}

@@ -1,0 +1,150 @@
+package retrieval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"duo/internal/models"
+	"duo/internal/tensor"
+	"duo/internal/video"
+)
+
+// IVFEngine is an inverted-file approximate-nearest-neighbour retrieval
+// engine: gallery features are partitioned into NList cells by a k-means
+// coarse quantizer, and a query scans only the NProbe nearest cells. This
+// is how production retrieval services keep latency flat as the gallery
+// grows ("an ever-growing large database", §I); the attack interface is
+// identical to the exact Engine's.
+type IVFEngine struct {
+	model  models.Model
+	nprobe int
+
+	centroids []*tensor.Tensor
+	// lists[c] holds the gallery entries assigned to centroid c.
+	lists [][]ivfEntry
+
+	queries int64
+	size    int
+}
+
+type ivfEntry struct {
+	id    string
+	label int
+	feat  *tensor.Tensor
+}
+
+var _ Retriever = (*IVFEngine)(nil)
+
+// IVFConfig parameterizes index construction.
+type IVFConfig struct {
+	// NList is the number of coarse cells (k-means centroids).
+	NList int
+	// NProbe is how many cells a query scans (1 ≤ NProbe ≤ NList);
+	// higher NProbe trades latency for recall.
+	NProbe int
+	// KMeansIters bounds the quantizer fit.
+	KMeansIters int
+	// Seed drives the k-means seeding.
+	Seed int64
+}
+
+// NewIVFEngine extracts gallery features with m and builds the inverted
+// index.
+func NewIVFEngine(m models.Model, gallery []*video.Video, cfg IVFConfig) (*IVFEngine, error) {
+	if len(gallery) == 0 {
+		return nil, fmt.Errorf("retrieval: ivf: empty gallery")
+	}
+	if cfg.NList <= 0 || cfg.NList > len(gallery) {
+		return nil, fmt.Errorf("retrieval: ivf: nlist=%d out of range (0, %d]", cfg.NList, len(gallery))
+	}
+	if cfg.NProbe <= 0 || cfg.NProbe > cfg.NList {
+		return nil, fmt.Errorf("retrieval: ivf: nprobe=%d out of range (0, %d]", cfg.NProbe, cfg.NList)
+	}
+
+	feats := make([]*tensor.Tensor, len(gallery))
+	for i, v := range gallery {
+		feats[i] = models.Embed(m, v)
+	}
+	km, err := KMeans(rand.New(rand.NewSource(cfg.Seed)), feats, cfg.NList, cfg.KMeansIters)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &IVFEngine{
+		model:     m,
+		nprobe:    cfg.NProbe,
+		centroids: km.Centroids,
+		lists:     make([][]ivfEntry, cfg.NList),
+		size:      len(gallery),
+	}
+	for i, v := range gallery {
+		c := km.Assign[i]
+		e.lists[c] = append(e.lists[c], ivfEntry{id: v.ID, label: v.Label, feat: feats[i]})
+	}
+	return e, nil
+}
+
+// GallerySize returns the number of indexed videos.
+func (e *IVFEngine) GallerySize() int { return e.size }
+
+// Retrieve implements Retriever: quantize the query, scan the NProbe
+// nearest cells exactly, and return the merged top-m.
+func (e *IVFEngine) Retrieve(v *video.Video, m int) []Result {
+	e.queries++
+	feat := models.Embed(e.model, v)
+
+	// Rank cells by centroid distance.
+	cd := make([]float64, len(e.centroids))
+	for i, c := range e.centroids {
+		cd[i] = feat.SquaredDistance(c)
+	}
+	order := tensor.ArgsortAsc(cd)
+
+	var res []Result
+	for _, ci := range order[:e.nprobe] {
+		for _, entry := range e.lists[ci] {
+			res = append(res, Result{ID: entry.id, Label: entry.label, Dist: feat.Distance(entry.feat)})
+		}
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Dist != res[b].Dist {
+			return res[a].Dist < res[b].Dist
+		}
+		return res[a].ID < res[b].ID
+	})
+	if m > len(res) {
+		m = len(res)
+	}
+	if m < 0 {
+		m = 0
+	}
+	return res[:m]
+}
+
+// RecallAtM measures the fraction of the exact engine's top-m the IVF
+// engine also returns, averaged over the queries — the standard ANN recall
+// diagnostic.
+func RecallAtM(exact, approx Retriever, queries []*video.Video, m int) float64 {
+	if len(queries) == 0 || m <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, q := range queries {
+		want := map[string]bool{}
+		for _, r := range exact.Retrieve(q, m) {
+			want[r.ID] = true
+		}
+		if len(want) == 0 {
+			continue
+		}
+		hit := 0
+		for _, r := range approx.Retrieve(q, m) {
+			if want[r.ID] {
+				hit++
+			}
+		}
+		total += float64(hit) / float64(len(want))
+	}
+	return total / float64(len(queries))
+}

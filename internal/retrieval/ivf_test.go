@@ -1,0 +1,158 @@
+package retrieval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"duo/internal/tensor"
+)
+
+func clusteredVectors(seed int64, perCluster int) ([]*tensor.Tensor, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centres := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	var vs []*tensor.Tensor
+	var labels []int
+	for ci, c := range centres {
+		for i := 0; i < perCluster; i++ {
+			v := tensor.From([]float64{
+				c[0] + rng.NormFloat64()*0.5,
+				c[1] + rng.NormFloat64()*0.5,
+			}, 2)
+			vs = append(vs, v)
+			labels = append(labels, ci)
+		}
+	}
+	return vs, labels
+}
+
+func TestKMeansRecoversClusters(t *testing.T) {
+	vs, labels := clusteredVectors(1, 20)
+	km, err := KMeans(rand.New(rand.NewSource(2)), vs, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true cluster must map to a single k-means cell.
+	for c := 0; c < 3; c++ {
+		seen := map[int]bool{}
+		for i, l := range labels {
+			if l == c {
+				seen[km.Assign[i]] = true
+			}
+		}
+		if len(seen) != 1 {
+			t.Errorf("true cluster %d split across %d cells", c, len(seen))
+		}
+	}
+	if km.Inertia > float64(len(vs))*1.0 {
+		t.Errorf("inertia %g too high for tight clusters", km.Inertia)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := KMeans(rng, nil, 2, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	vs, _ := clusteredVectors(4, 2)
+	if _, err := KMeans(rng, vs, 0, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(rng, vs, len(vs)+1, 10); err == nil {
+		t.Error("k>n accepted")
+	}
+	bad := append(vs[:1], tensor.New(3))
+	if _, err := KMeans(rng, bad, 1, 10); err == nil {
+		t.Error("mismatched dims accepted")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	vs, _ := clusteredVectors(5, 2)
+	km, err := KMeans(rand.New(rand.NewSource(6)), vs, len(vs), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.Inertia > 1e-9 {
+		t.Errorf("k=n inertia = %g, want ≈ 0", km.Inertia)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	vs, _ := clusteredVectors(7, 10)
+	a, _ := KMeans(rand.New(rand.NewSource(8)), vs, 3, 20)
+	b, _ := KMeans(rand.New(rand.NewSource(8)), vs, 3, 20)
+	if math.Abs(a.Inertia-b.Inertia) > 1e-12 {
+		t.Error("same seed produced different clusterings")
+	}
+}
+
+func TestIVFEngineFullProbeMatchesExact(t *testing.T) {
+	eng, c, m := testSystem(t)
+	ivf, err := NewIVFEngine(m, c.Train, IVFConfig{NList: 4, NProbe: 4, KMeansIters: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probing every cell is exhaustive: results must match the exact
+	// engine's.
+	for _, q := range c.Test[:4] {
+		a := IDs(eng.Retrieve(q, 6))
+		b := IDs(ivf.Retrieve(q, 6))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("full-probe IVF differs at %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+	if ivf.GallerySize() != eng.GallerySize() {
+		t.Errorf("IVF size %d vs %d", ivf.GallerySize(), eng.GallerySize())
+	}
+}
+
+func TestIVFEngineRecallReasonable(t *testing.T) {
+	eng, c, m := testSystem(t)
+	ivf, err := NewIVFEngine(m, c.Train, IVFConfig{NList: 6, NProbe: 2, KMeansIters: 20, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall := RecallAtM(eng, ivf, c.Test, 5)
+	if recall < 0.5 {
+		t.Errorf("recall@5 = %g with nprobe=2/6, want ≥ 0.5", recall)
+	}
+	// More probes must not reduce recall.
+	ivf4, err := NewIVFEngine(m, c.Train, IVFConfig{NList: 6, NProbe: 5, KMeansIters: 20, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 := RecallAtM(eng, ivf4, c.Test, 5); r4 < recall-1e-9 {
+		t.Errorf("recall fell with more probes: %g → %g", recall, r4)
+	}
+}
+
+func TestIVFEngineConfigValidation(t *testing.T) {
+	_, c, m := testSystem(t)
+	bad := []IVFConfig{
+		{NList: 0, NProbe: 1},
+		{NList: len(c.Train) + 1, NProbe: 1},
+		{NList: 2, NProbe: 0},
+		{NList: 2, NProbe: 3},
+	}
+	for i, cfg := range bad {
+		if _, err := NewIVFEngine(m, c.Train, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewIVFEngine(m, nil, IVFConfig{NList: 1, NProbe: 1}); err == nil {
+		t.Error("empty gallery accepted")
+	}
+}
+
+func TestRecallAtMEdgeCases(t *testing.T) {
+	eng, c, _ := testSystem(t)
+	if got := RecallAtM(eng, eng, nil, 5); got != 0 {
+		t.Errorf("recall on no queries = %g", got)
+	}
+	if got := RecallAtM(eng, eng, c.Test, 5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self recall = %g, want 1", got)
+	}
+}

@@ -1,0 +1,122 @@
+package retrieval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"duo/internal/tensor"
+)
+
+// KMeansResult holds a fitted codebook.
+type KMeansResult struct {
+	// Centroids are the k cluster centres.
+	Centroids []*tensor.Tensor
+	// Assign maps each input vector to its centroid index.
+	Assign []int
+	// Inertia is the final sum of squared distances to assigned centroids.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations run.
+	Iterations int
+}
+
+// KMeans fits k centroids to the vectors with Lloyd's algorithm and
+// k-means++ seeding. It is the coarse quantizer behind the IVF index.
+func KMeans(rng *rand.Rand, vectors []*tensor.Tensor, k, maxIter int) (*KMeansResult, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("retrieval: kmeans: no vectors")
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("retrieval: kmeans: k=%d out of range (0, %d]", k, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	dim := vectors[0].Len()
+	for i, v := range vectors {
+		if v.Len() != dim {
+			return nil, fmt.Errorf("retrieval: kmeans: vector %d has dim %d, want %d", i, v.Len(), dim)
+		}
+	}
+
+	// k-means++ seeding: first centre uniform, then proportional to the
+	// squared distance to the nearest chosen centre.
+	centroids := make([]*tensor.Tensor, 0, k)
+	centroids = append(centroids, vectors[rng.Intn(n)].Clone())
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, v := range vectors {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := v.SquaredDistance(c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with chosen centres; duplicate one.
+			centroids = append(centroids, vectors[rng.Intn(n)].Clone())
+			continue
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, vectors[pick].Clone())
+	}
+
+	res := &KMeansResult{Centroids: centroids, Assign: make([]int, n)}
+	prevInertia := math.Inf(1)
+	for it := 0; it < maxIter; it++ {
+		res.Iterations = it + 1
+		// Assignment step.
+		inertia := 0.0
+		for i, v := range vectors {
+			best, bi := math.Inf(1), 0
+			for ci, c := range centroids {
+				if d := v.SquaredDistance(c); d < best {
+					best, bi = d, ci
+				}
+			}
+			res.Assign[i] = bi
+			inertia += best
+		}
+		res.Inertia = inertia
+
+		// Update step.
+		counts := make([]int, k)
+		sums := make([]*tensor.Tensor, k)
+		for ci := range sums {
+			sums[ci] = tensor.New(dim)
+		}
+		for i, v := range vectors {
+			ci := res.Assign[i]
+			counts[ci]++
+			sums[ci].AddInPlace(v.Reshape(dim))
+		}
+		for ci := range centroids {
+			if counts[ci] == 0 {
+				// Re-seed an empty cluster with a random vector.
+				centroids[ci] = vectors[rng.Intn(n)].Clone()
+				continue
+			}
+			centroids[ci] = sums[ci].Scale(1 / float64(counts[ci]))
+		}
+
+		if math.Abs(prevInertia-inertia) < 1e-9*(1+inertia) {
+			break
+		}
+		prevInertia = inertia
+	}
+	return res, nil
+}

@@ -1,0 +1,73 @@
+package retrieval
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"duo/internal/models"
+)
+
+func TestEngineIndexRoundTrip(t *testing.T) {
+	eng, c, m := testSystem(t)
+	var buf bytes.Buffer
+	if err := eng.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadEngine(&buf, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range c.Test[:3] {
+		a := IDs(eng.Retrieve(q, 6))
+		b := IDs(loaded.Retrieve(q, 6))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("reloaded engine differs at %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestShardIndexRoundTrip(t *testing.T) {
+	_, c, m := testSystem(t)
+	shard := NewShard(m, c.Train[:8])
+	var buf bytes.Buffer
+	if err := shard.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadShard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != shard.Size() {
+		t.Fatalf("size %d vs %d", loaded.Size(), shard.Size())
+	}
+	feat := models.Embed(m, c.Test[0]).Data()
+	a := shard.Nearest(feat, 4)
+	b := loaded.Nearest(feat, 4)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("reloaded shard differs at %d", i)
+		}
+	}
+}
+
+func TestReadEngineDimMismatch(t *testing.T) {
+	eng, _, _ := testSystem(t)
+	var buf bytes.Buffer
+	if err := eng.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := models.NewC3D(rand.New(rand.NewSource(1)),
+		models.Geometry{Frames: 8, Channels: 3, Height: 12, Width: 12}, 8) // wrong dim
+	if _, err := ReadEngine(&buf, other); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestReadShardGarbage(t *testing.T) {
+	if _, err := ReadShard(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

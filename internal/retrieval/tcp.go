@@ -1,0 +1,166 @@
+package retrieval
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// nearestRequest and nearestResponse form the wire protocol between the
+// coordinator and a TCP data node: length-delimited gob messages over a
+// persistent connection.
+type nearestRequest struct {
+	Feat []float64
+	M    int
+}
+
+type nearestResponse struct {
+	Results []Result
+	Err     string
+}
+
+// NodeServer serves one shard over TCP.
+type NodeServer struct {
+	shard *Shard
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeNode starts serving the shard on addr (use "127.0.0.1:0" for an
+// ephemeral port) and returns immediately.
+func ServeNode(addr string, shard *Shard) (*NodeServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("retrieval: listen %s: %w", addr, err)
+	}
+	s := &NodeServer{shard: shard, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *NodeServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *NodeServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *NodeServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req nearestRequest
+		if err := dec.Decode(&req); err != nil {
+			return // client hung up or connection torn down
+		}
+		var resp nearestResponse
+		if req.M < 0 {
+			resp.Err = fmt.Sprintf("negative m %d", req.M)
+		} else {
+			resp.Results = s.shard.Nearest(req.Feat, req.M)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, tears down open connections, and waits for the
+// handlers to finish.
+func (s *NodeServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// TCPTransport is the coordinator-side client for a TCP data node. It is
+// safe for concurrent use; calls are serialized over one connection.
+type TCPTransport struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// DialNode connects to a NodeServer.
+func DialNode(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("retrieval: dial %s: %w", addr, err)
+	}
+	return &TCPTransport{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Nearest implements Transport.
+func (t *TCPTransport) Nearest(feat []float64, m int) ([]Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("retrieval: transport closed")
+	}
+	if err := t.enc.Encode(&nearestRequest{Feat: feat, M: m}); err != nil {
+		return nil, fmt.Errorf("retrieval: send: %w", err)
+	}
+	var resp nearestResponse
+	if err := t.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("retrieval: recv: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("retrieval: node error: %s", resp.Err)
+	}
+	return resp.Results, nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	return t.conn.Close()
+}

@@ -1,0 +1,49 @@
+package tensor
+
+import "sort"
+
+// ArgsortDesc returns the indices that would sort vals in descending order.
+// The input is not modified. Ties keep ascending index order, which makes
+// the result deterministic.
+func ArgsortDesc(vals []float64) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	return idx
+}
+
+// ArgsortAsc returns the indices that would sort vals in ascending order.
+func ArgsortAsc(vals []float64) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	return idx
+}
+
+// TopK returns the indices of the k largest values in vals, in descending
+// value order. k is clamped to len(vals).
+func TopK(vals []float64, k int) []int {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return ArgsortDesc(vals)[:k]
+}
+
+// BottomK returns the indices of the k smallest values in vals, in ascending
+// value order. k is clamped to len(vals).
+func BottomK(vals []float64, k int) []int {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return ArgsortAsc(vals)[:k]
+}

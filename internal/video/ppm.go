@@ -1,0 +1,81 @@
+package video
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// WriteFramePPM writes one frame as a binary PPM (P6) image, the simplest
+// portable format every image viewer opens — useful for eyeballing how
+// (in)visible an adversarial perturbation is. Videos with one channel are
+// written as grayscale RGB; with ≥3 channels the first three are used.
+func WriteFramePPM(w io.Writer, v *Video, frame int) error {
+	if frame < 0 || frame >= v.Frames() {
+		return fmt.Errorf("video: frame %d out of range [0, %d)", frame, v.Frames())
+	}
+	h, wd, c := v.Height(), v.Width(), v.Channels()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P6\n%d %d\n255\n", wd, h)
+	px := func(ch, y, x int) byte {
+		val := v.Data.At(frame, ch, y, x)
+		return byte(math.Max(0, math.Min(255, math.Round(val))))
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < wd; x++ {
+			if c >= 3 {
+				bw.WriteByte(px(0, y, x))
+				bw.WriteByte(px(1, y, x))
+				bw.WriteByte(px(2, y, x))
+			} else {
+				g := px(0, y, x)
+				bw.WriteByte(g)
+				bw.WriteByte(g)
+				bw.WriteByte(g)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ExportPPMDir writes every frame of v into dir as frame-NNN.ppm files,
+// creating the directory if needed. It returns the written paths.
+func ExportPPMDir(dir string, v *Video) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("video: %w", err)
+	}
+	paths := make([]string, 0, v.Frames())
+	for f := 0; f < v.Frames(); f++ {
+		path := filepath.Join(dir, fmt.Sprintf("frame-%03d.ppm", f))
+		file, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("video: %w", err)
+		}
+		if err := WriteFramePPM(file, v, f); err != nil {
+			file.Close()
+			return nil, err
+		}
+		if err := file.Close(); err != nil {
+			return nil, fmt.Errorf("video: %w", err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// AmplifiedDelta renders the difference between two videos as a video with
+// the perturbation magnified by gain and re-centred at mid-gray, so sparse
+// perturbations become visible in exported frames.
+func AmplifiedDelta(original, adv *Video, gain float64) *Video {
+	out := original.Clone()
+	out.ID = original.ID + "+delta"
+	od, ad, vd := out.Data.Data(), adv.Data.Data(), original.Data.Data()
+	for i := range od {
+		od[i] = 127.5 + gain*(ad[i]-vd[i])
+	}
+	out.Clip()
+	return out
+}

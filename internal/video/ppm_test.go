@@ -1,0 +1,106 @@
+package video
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFramePPMHeaderAndSize(t *testing.T) {
+	v := New(2, 3, 4, 5)
+	v.Data.Fill(128)
+	var buf bytes.Buffer
+	if err := WriteFramePPM(&buf, v, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !strings.HasPrefix(string(out), "P6\n5 4\n255\n") {
+		t.Fatalf("header = %q", out[:12])
+	}
+	header := len("P6\n5 4\n255\n")
+	if len(out)-header != 4*5*3 {
+		t.Errorf("payload = %d bytes, want %d", len(out)-header, 60)
+	}
+	// All pixels 128.
+	for _, b := range out[header:] {
+		if b != 128 {
+			t.Fatalf("pixel byte %d", b)
+		}
+	}
+}
+
+func TestWriteFramePPMGrayscale(t *testing.T) {
+	v := New(1, 1, 2, 2)
+	v.Data.Fill(10)
+	var buf bytes.Buffer
+	if err := WriteFramePPM(&buf, v, 0); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()[len("P6\n2 2\n255\n"):]
+	for _, b := range payload {
+		if b != 10 {
+			t.Fatalf("grayscale replication broken: %d", b)
+		}
+	}
+}
+
+func TestWriteFramePPMClampsOutOfRange(t *testing.T) {
+	v := New(1, 3, 1, 1)
+	// Values must already be clipped in practice, but the writer guards.
+	v.Data.Data()[0] = -5
+	v.Data.Data()[1] = 300
+	v.Data.Data()[2] = 99.6
+	var buf bytes.Buffer
+	if err := WriteFramePPM(&buf, v, 0); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()[len("P6\n1 1\n255\n"):]
+	if payload[0] != 0 || payload[1] != 255 || payload[2] != 100 {
+		t.Errorf("payload = %v", payload)
+	}
+}
+
+func TestWriteFramePPMBadFrame(t *testing.T) {
+	v := New(2, 3, 2, 2)
+	var buf bytes.Buffer
+	if err := WriteFramePPM(&buf, v, 2); err == nil {
+		t.Error("out-of-range frame accepted")
+	}
+	if err := WriteFramePPM(&buf, v, -1); err == nil {
+		t.Error("negative frame accepted")
+	}
+}
+
+func TestExportPPMDir(t *testing.T) {
+	v := New(3, 3, 2, 2)
+	v.Data.Fill(42)
+	dir := filepath.Join(t.TempDir(), "frames")
+	paths, err := ExportPPMDir(dir, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("wrote %d frames", len(paths))
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("missing %s: %v", p, err)
+		}
+	}
+}
+
+func TestAmplifiedDelta(t *testing.T) {
+	v := New(1, 1, 1, 2)
+	v.Data.Fill(100)
+	adv := v.Clone()
+	adv.Data.Set(110, 0, 0, 0, 0) // +10 at one element
+	amp := AmplifiedDelta(v, adv, 5)
+	if got := amp.Data.At(0, 0, 0, 0); got != 127.5+50 {
+		t.Errorf("amplified perturbed element = %g, want 177.5", got)
+	}
+	if got := amp.Data.At(0, 0, 0, 1); got != 127.5 {
+		t.Errorf("amplified clean element = %g, want 127.5 (mid-gray)", got)
+	}
+}
