@@ -13,10 +13,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 
 	"duo"
@@ -41,6 +43,10 @@ func run(args []string) error {
 		index   = fs.Int("index", 0, "test-video index to query")
 		m       = fs.Int("m", 10, "retrieval list length")
 		seed    = fs.Int64("seed", 1, "deterministic system seed")
+		timeout = fs.Duration("timeout", retrieval.DefaultCallTimeout, "per-call I/O deadline on node connections")
+		retries = fs.Int("retries", 3, "query mode: attempts per node call (1 disables retry)")
+		breakK  = fs.Int("break-after", 5, "query mode: consecutive failures before a node's circuit breaker opens (0 disables)")
+		policy  = fs.String("policy", "besteffort", "query mode: partial-result policy: besteffort, all, or quorum=N")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,15 +94,32 @@ func run(args []string) error {
 		if *nodes == "" {
 			return fmt.Errorf("query mode needs -nodes")
 		}
+		pol, err := parsePolicy(*policy)
+		if err != nil {
+			return err
+		}
 		var transports []retrieval.Transport
-		for _, a := range strings.Split(*nodes, ",") {
-			tr, err := retrieval.DialNode(strings.TrimSpace(a))
+		for i, a := range strings.Split(*nodes, ",") {
+			tr, err := retrieval.DialNodeTimeout(strings.TrimSpace(a), *timeout)
 			if err != nil {
 				return err
 			}
-			transports = append(transports, tr)
+			// Per-node fault-tolerance chain: breaker outermost so retries
+			// don't hammer a node the breaker already declared dead.
+			var node retrieval.Transport = tr
+			if *retries > 1 {
+				node = retrieval.NewRetryTransport(node, retrieval.RetryConfig{
+					MaxAttempts: *retries, Seed: *seed + int64(i),
+				})
+			}
+			if *breakK > 0 {
+				node = retrieval.NewBreakerTransport(node, retrieval.BreakerConfig{
+					FailureThreshold: *breakK,
+				})
+			}
+			transports = append(transports, node)
 		}
-		cluster := retrieval.NewCluster(sys.VictimModel(), transports)
+		cluster := retrieval.NewCluster(sys.VictimModel(), transports).SetPolicy(pol)
 		defer cluster.Close()
 
 		if *index < 0 || *index >= len(sys.Corpus.Test) {
@@ -105,9 +128,21 @@ func run(args []string) error {
 		q := sys.Corpus.Test[*index]
 		rs, err := cluster.RetrieveErr(q, *m)
 		if err != nil {
-			return err
+			for _, h := range cluster.Health() {
+				if h.LastError != "" {
+					fmt.Fprintf(os.Stderr, "node %d: %d ok, %d failed (breaker %s): %s\n",
+						h.Node, h.Successes, h.Failures, h.Breaker, h.LastError)
+				}
+			}
+			// BestEffort reports node errors alongside a usable partial
+			// merge; that availability is the policy's point, so warn and
+			// print. Strict policies return no results — fail hard.
+			if len(rs) == 0 {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "retrievald: partial results (%s): %v\n", pol, err)
 		}
-		fmt.Printf("query %s (label %d) → top-%d:\n", q.ID, q.Label, *m)
+		fmt.Printf("query %s (label %d) → top-%d [policy %s]:\n", q.ID, q.Label, *m, pol)
 		for i, r := range rs {
 			fmt.Printf("%2d. %-28s label=%d dist=%.4f\n", i+1, r.ID, r.Label, r.Dist)
 		}
@@ -118,30 +153,79 @@ func run(args []string) error {
 	}
 }
 
+// parsePolicy maps the -policy flag to a partial-result policy.
+func parsePolicy(s string) (retrieval.Policy, error) {
+	switch {
+	case s == "besteffort" || s == "best-effort":
+		return retrieval.BestEffort(), nil
+	case s == "all" || s == "require-all":
+		return retrieval.RequireAll(), nil
+	case strings.HasPrefix(s, "quorum="):
+		var q int
+		if _, err := fmt.Sscanf(s, "quorum=%d", &q); err != nil || q < 1 {
+			return retrieval.Policy{}, fmt.Errorf("bad -policy %q (want quorum=N with N ≥ 1)", s)
+		}
+		return retrieval.Quorum(q), nil
+	default:
+		return retrieval.Policy{}, fmt.Errorf("unknown -policy %q (want besteffort, all, or quorum=N)", s)
+	}
+}
+
 // loadOrBuildShard reuses a persisted feature index when available (the
 // expensive part of node startup is feature extraction), otherwise builds
 // the shard and persists it if a path was given.
+//
+// A missing file means "build"; any other open failure (permissions, I/O)
+// is reported rather than silently triggering an expensive rebuild over a
+// file we could not even look at. A file that opens but fails to decode is
+// treated as corrupt: the node warns and rebuilds, overwriting it.
 func loadOrBuildShard(path string, sys *duo.System, mine []*duo.Video) (*retrieval.Shard, bool, error) {
 	if path != "" {
-		if f, err := os.Open(path); err == nil {
-			defer f.Close()
-			shard, err := retrieval.ReadShard(f)
-			if err != nil {
-				return nil, false, err
+		f, err := os.Open(path)
+		switch {
+		case err == nil:
+			shard, rerr := retrieval.ReadShard(f)
+			f.Close()
+			if rerr == nil {
+				return shard, true, nil
 			}
-			return shard, true, nil
+			fmt.Fprintf(os.Stderr, "retrievald: index %s is corrupt (%v); rebuilding\n", path, rerr)
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, false, fmt.Errorf("open index %s: %w", path, err)
 		}
 	}
 	shard := retrieval.NewShard(sys.VictimModel(), mine)
 	if path != "" {
-		f, err := os.Create(path)
-		if err != nil {
-			return nil, false, err
-		}
-		defer f.Close()
-		if err := shard.WriteIndex(f); err != nil {
+		if err := writeShardAtomic(path, shard); err != nil {
 			return nil, false, err
 		}
 	}
 	return shard, false, nil
+}
+
+// writeShardAtomic persists the index via temp file + rename so a crash
+// mid-write can never leave a truncated index that poisons the next
+// startup: readers see either the old file or the complete new one.
+func writeShardAtomic(path string, shard *retrieval.Shard) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist index: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := shard.WriteIndex(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist index: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist index: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist index: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist index: %w", err)
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"duo"
@@ -38,6 +40,85 @@ func TestNodeBadShardSpec(t *testing.T) {
 	}
 	if err := run([]string{"-mode", "node", "-shard", "nonsense"}); err == nil {
 		t.Error("malformed shard accepted")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, ok := range []string{"besteffort", "best-effort", "all", "require-all", "quorum=2"} {
+		if _, err := parsePolicy(ok); err != nil {
+			t.Errorf("parsePolicy(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "quorum=0", "quorum=x", "most"} {
+		if _, err := parsePolicy(bad); err == nil {
+			t.Errorf("parsePolicy(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadOrBuildShardCorruptIndexRebuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sys, err := newTestSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "shard.idx")
+	// A truncated/garbage index (e.g. a crash mid-write under the old
+	// non-atomic persist) must warn and rebuild, not fail or load garbage.
+	if err := os.WriteFile(path, []byte("not a gob index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	shard, fromDisk, err := loadOrBuildShard(path, sys, sys.Corpus.Train[:3])
+	if err != nil {
+		t.Fatalf("corrupt index was not rebuilt: %v", err)
+	}
+	if fromDisk {
+		t.Error("corrupt index reported as loaded from disk")
+	}
+	if shard.Size() != 3 {
+		t.Errorf("rebuilt shard has %d entries, want 3", shard.Size())
+	}
+	// The rebuild overwrote the corrupt file atomically: it now loads.
+	loaded, fromDisk, err := loadOrBuildShard(path, sys, nil)
+	if err != nil || !fromDisk {
+		t.Fatalf("repaired index did not load: fromDisk=%v, err=%v", fromDisk, err)
+	}
+	if loaded.Size() != 3 {
+		t.Errorf("repaired index has %d entries, want 3", loaded.Size())
+	}
+	// Atomic persist leaves no temp droppings behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("index dir has stray files: %v", names)
+	}
+}
+
+func TestLoadOrBuildShardReportsUnreadablePath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sys, err := newTestSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A path under a regular file fails with ENOTDIR — an environment
+	// problem, which must be reported, not conflated with "missing index,
+	// rebuild silently".
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadOrBuildShard(filepath.Join(blocker, "shard.idx"), sys, sys.Corpus.Train[:2]); err == nil {
+		t.Error("unreadable index path did not surface an error")
 	}
 }
 

@@ -44,10 +44,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		transports = append(transports, tr)
+		// Production-shaped per-node chain: retries with deterministic
+		// backoff inside a circuit breaker, under the TCP call deadline.
+		node := retrieval.NewBreakerTransport(
+			retrieval.NewRetryTransport(tr, retrieval.RetryConfig{Seed: int64(i + 1)}),
+			retrieval.BreakerConfig{},
+		)
+		transports = append(transports, node)
 		fmt.Printf("node %d: %d videos on %s\n", i, len(vids), srv.Addr())
 	}
-	cluster := retrieval.NewCluster(sys.VictimModel(), transports)
+	// RequireAll: a flaky node burns retries, never silently truncates the
+	// top-m that the attack objective 𝕋 is computed from.
+	cluster := retrieval.NewCluster(sys.VictimModel(), transports).
+		SetPolicy(retrieval.RequireAll())
 	defer func() {
 		cluster.Close()
 		for _, s := range servers {
@@ -98,4 +107,10 @@ func main() {
 	fmt.Printf("adversarial list shares %d/%d entries with the target's list\n", hits, sys.M)
 	fmt.Printf("Spa %d, frames %d, queries %d (all served by the TCP cluster: %d total)\n",
 		res.Spa(), res.PerturbedFrames(), res.Queries, cluster.QueryCount())
+
+	fmt.Println("\nnode health after the attack:")
+	for _, h := range cluster.Health() {
+		fmt.Printf("node %d: %d ok, %d failed, breaker %s\n",
+			h.Node, h.Successes, h.Failures, h.Breaker)
+	}
 }

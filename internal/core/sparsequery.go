@@ -51,6 +51,13 @@ type QueryConfig struct {
 	Mode Mode
 	// Basis selects Cartesian (default, per the paper) or DCT directions.
 	Basis BasisType
+	// QueryRetries is how many extra attempts a failed victim query gets
+	// before its candidate step is skipped. Every attempt — retries
+	// included — counts against MaxQueries: a flaky victim burns budget,
+	// it never corrupts 𝕋 with a partial list. 0 selects the default (2);
+	// negative disables retries. Only distributed victims exposing
+	// RetrieveErr can fail; plain engines never trigger this path.
+	QueryRetries int
 }
 
 // DefaultQueryConfig returns the paper's SparseQuery settings scaled down
@@ -65,10 +72,14 @@ type QueryResult struct {
 	Adv *video.Video
 	// Trajectory is 𝕋 after each iteration (Fig. 5).
 	Trajectory []float64
-	// Queries is the number of victim queries consumed.
+	// Queries is the number of victim queries consumed (failed attempts
+	// and their retries included — the victim still served them).
 	Queries int
 	// Improved reports whether any coordinate step was accepted.
 	Improved bool
+	// Skipped counts candidate steps abandoned because the victim query
+	// failed even after retries (distributed victims only).
+	Skipped int
 }
 
 // SparseQuery runs Algorithm 2: masked SimBA-style coordinate descent on
@@ -91,35 +102,75 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 		eps = cfg.Tau
 	}
 
+	retries := cfg.QueryRetries
+	if retries == 0 {
+		retries = 2
+	}
+	if retries < 0 {
+		retries = 0
+	}
+
 	queries := 0
-	retrieveIDs := func(qv *video.Video) []string {
-		queries++
-		return retrieval.IDs(ctx.Victim.Retrieve(qv, ctx.M))
+	fallible, _ := ctx.Victim.(retrieval.FallibleRetriever)
+	// retrieveIDs issues one victim query, retrying a fallible victim up
+	// to `retries` extra times; every attempt counts against the budget.
+	// A nil error guarantees the list is complete — a failed node must
+	// never leak a silently-partial top-m into 𝕋 (Eq. 2).
+	retrieveIDs := func(qv *video.Video) ([]string, error) {
+		if fallible == nil {
+			queries++
+			return retrieval.IDs(ctx.Victim.Retrieve(qv, ctx.M)), nil
+		}
+		var lastErr error
+		for attempt := 0; attempt <= retries; attempt++ {
+			if attempt > 0 && queries >= cfg.MaxQueries {
+				break // no budget left to retry
+			}
+			queries++
+			rs, err := fallible.RetrieveErr(qv, ctx.M)
+			if err == nil {
+				return retrieval.IDs(rs), nil
+			}
+			lastErr = err
+		}
+		return nil, fmt.Errorf("core: victim query failed: %w", lastErr)
 	}
 
 	// Reference lists for Eq. (2). Untargeted runs have no target list and
-	// minimize ℍ(R(v_adv), R(v)) + η alone.
-	origList := retrieveIDs(v)
+	// minimize ℍ(R(v_adv), R(v)) + η alone. A victim that cannot answer
+	// the reference queries leaves the round with no objective at all.
+	origList, err := retrieveIDs(v)
+	if err != nil {
+		return nil, err
+	}
 	var targetList []string
 	if cfg.Mode != Untargeted {
 		if vt == nil {
 			return nil, fmt.Errorf("core: targeted SparseQuery needs a target video")
 		}
-		targetList = retrieveIDs(vt)
-	}
-	objective := func(qv *video.Video) float64 {
-		adv := retrieveIDs(qv)
-		if cfg.Mode == Untargeted {
-			return sim(adv, origList) + cfg.Eta
+		if targetList, err = retrieveIDs(vt); err != nil {
+			return nil, err
 		}
-		return metrics.Objective(sim, adv, origList, targetList, cfg.Eta)
+	}
+	objective := func(qv *video.Video) (float64, error) {
+		adv, err := retrieveIDs(qv)
+		if err != nil {
+			return 0, err
+		}
+		if cfg.Mode == Untargeted {
+			return sim(adv, origList) + cfg.Eta, nil
+		}
+		return metrics.Objective(sim, adv, origList, targetList, cfg.Eta), nil
 	}
 
 	// Line 1–2: v_adv⁰ = v + ℐ⊙𝓕⊙θ, 𝕋⁰. The prior is projected into this
 	// stage's τ-ball so the ‖v_adv − v‖∞ ≤ τ contract holds even when the
 	// caller configured a larger transfer-stage budget.
 	adv := v.Add(masks.Compose().Clamp(-cfg.Tau, cfg.Tau))
-	tCur := objective(adv)
+	tCur, err := objective(adv)
+	if err != nil {
+		return nil, err
+	}
 
 	// The Cartesian basis is restricted to the support of ℐ⊙𝓕⊙θ (Eq. 4).
 	support := supportIndices(masks)
@@ -246,7 +297,14 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 			if queries >= cfg.MaxQueries {
 				break
 			}
-			tNew := objective(cand)
+			tNew, err := objective(cand)
+			if err != nil {
+				// Retry-or-skip: the retries inside retrieveIDs are spent;
+				// reject the candidate rather than scoring it against a
+				// partial (availability-degraded) retrieval list.
+				res.Skipped++
+				continue
+			}
 			if tNew <= tCur {
 				if tNew < tCur {
 					res.Improved = true

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"duo/internal/retrieval"
+	"duo/internal/video"
+)
+
+var errFlakyVictim = errors.New("node unreachable")
+
+// flakyVictim wraps the fixture's engine with a scripted failure pattern,
+// standing in for a distributed cluster whose RetrieveErr can fail.
+// SparseQuery is single-goroutine, so no locking is needed.
+type flakyVictim struct {
+	inner *retrieval.Engine
+	calls int
+	// failFrom/failTo fail calls in [failFrom, failTo] (1-based).
+	failFrom, failTo int
+	// failEvery additionally fails every k-th call (0 disables).
+	failEvery int
+}
+
+var _ retrieval.FallibleRetriever = (*flakyVictim)(nil)
+
+func (f *flakyVictim) failing() bool {
+	if f.failFrom > 0 && f.calls >= f.failFrom && f.calls <= f.failTo {
+		return true
+	}
+	return f.failEvery > 0 && f.calls%f.failEvery == 0
+}
+
+func (f *flakyVictim) RetrieveErr(v *video.Video, m int) ([]retrieval.Result, error) {
+	f.calls++
+	if f.failing() {
+		return nil, errFlakyVictim
+	}
+	return f.inner.Retrieve(v, m), nil
+}
+
+func (f *flakyVictim) Retrieve(v *video.Video, m int) []retrieval.Result {
+	rs, _ := f.RetrieveErr(v, m)
+	return rs
+}
+
+func TestSparseQueryRetriesFlakyVictim(t *testing.T) {
+	f := getFixture(t)
+	masks, err := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every 7th victim query fails once; the default retries absorb it.
+	victim := &flakyVictim{inner: f.victim, failEvery: 7}
+	ctx := newCtx(f, 21)
+	ctx.Victim = victim
+	cfg := testQueryConfig()
+	qr, err := SparseQuery(ctx, f.origin, f.target, masks, cfg)
+	if err != nil {
+		t.Fatalf("flaky victim broke SparseQuery: %v", err)
+	}
+	if qr.Queries > cfg.MaxQueries {
+		t.Errorf("queries %d exceeded budget %d (retries must count)", qr.Queries, cfg.MaxQueries)
+	}
+	if qr.Skipped != 0 {
+		t.Errorf("skipped %d candidates; single transient failures should be absorbed by retries", qr.Skipped)
+	}
+	for i := 1; i < len(qr.Trajectory); i++ {
+		if qr.Trajectory[i] > qr.Trajectory[i-1]+1e-12 {
+			t.Fatalf("trajectory increased at %d: %g → %g (partial list fed into 𝕋?)",
+				i, qr.Trajectory[i-1], qr.Trajectory[i])
+		}
+	}
+}
+
+func TestSparseQuerySkipsWhenRetriesExhausted(t *testing.T) {
+	f := getFixture(t)
+	masks, err := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calls 1–3 are the reference lists and 𝕋⁰; calls 4–9 fail, outlasting
+	// the default 2 retries, so at least one candidate step is skipped.
+	victim := &flakyVictim{inner: f.victim, failFrom: 4, failTo: 9}
+	ctx := newCtx(f, 22)
+	ctx.Victim = victim
+	cfg := testQueryConfig()
+	qr, err := SparseQuery(ctx, f.origin, f.target, masks, cfg)
+	if err != nil {
+		t.Fatalf("outage broke SparseQuery: %v", err)
+	}
+	if qr.Skipped == 0 {
+		t.Error("no candidate was skipped despite a 6-call outage")
+	}
+	if qr.Queries > cfg.MaxQueries {
+		t.Errorf("queries %d exceeded budget %d", qr.Queries, cfg.MaxQueries)
+	}
+}
+
+func TestSparseQueryFailsWhenVictimDead(t *testing.T) {
+	f := getFixture(t)
+	masks, err := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every call fails: the reference lists can never be retrieved and the
+	// round must abort with the victim's error, not run on garbage.
+	victim := &flakyVictim{inner: f.victim, failFrom: 1, failTo: 1 << 30}
+	ctx := newCtx(f, 23)
+	ctx.Victim = victim
+	if _, err := SparseQuery(ctx, f.origin, f.target, masks, testQueryConfig()); !errors.Is(err, errFlakyVictim) {
+		t.Fatalf("err = %v, want wrapped %v", err, errFlakyVictim)
+	}
+}
+
+func TestSparseQueryNoRetriesWhenDisabled(t *testing.T) {
+	f := getFixture(t)
+	masks, err := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := &flakyVictim{inner: f.victim, failEvery: 9}
+	ctx := newCtx(f, 24)
+	ctx.Victim = victim
+	cfg := testQueryConfig()
+	cfg.QueryRetries = -1 // disabled: every failure skips its candidate
+	qr, err := SparseQuery(ctx, f.origin, f.target, masks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Skipped == 0 {
+		t.Error("retries disabled but no candidate was skipped under periodic failures")
+	}
+}

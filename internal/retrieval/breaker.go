@@ -1,0 +1,176 @@
+package retrieval
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by a BreakerTransport that is failing fast
+// because its node is presumed dead. Callers (and the cluster's partial
+// result policies) can treat it like any other node failure, but it costs
+// no network round-trip.
+var ErrBreakerOpen = errors.New("retrieval: circuit breaker open")
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int32
+
+const (
+	// BreakerClosed: calls flow through; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls fail fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe call is in flight; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a BreakerTransport. The zero value selects
+// the defaults noted per field.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that trips
+	// the breaker from closed to open (default 5).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 1s).
+	Cooldown time.Duration
+	// Now is the clock; tests inject a fake for deterministic state
+	// transitions (default time.Now).
+	Now func() time.Time
+}
+
+func (c *BreakerConfig) applyDefaults() {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// BreakerTransport wraps a Transport with a per-node circuit breaker so a
+// persistently dead node stops stalling every scatter/gather query: after
+// FailureThreshold consecutive failures the breaker opens and calls fail
+// fast; after Cooldown a single probe is let through (half-open) and its
+// outcome re-closes or re-opens the breaker.
+type BreakerTransport struct {
+	inner Transport
+	cfg   BreakerConfig
+
+	mu           sync.Mutex
+	state        BreakerState
+	consecutive  int
+	openedAt     time.Time
+	probing      bool
+	shortCircuit int64
+}
+
+var _ Transport = (*BreakerTransport)(nil)
+
+// NewBreakerTransport wraps inner with a circuit breaker.
+func NewBreakerTransport(inner Transport, cfg BreakerConfig) *BreakerTransport {
+	cfg.applyDefaults()
+	return &BreakerTransport{inner: inner, cfg: cfg}
+}
+
+// State returns the breaker's current state (recomputing open → half-open
+// eligibility against the clock).
+func (b *BreakerTransport) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// ShortCircuits returns how many calls failed fast without reaching the
+// node.
+func (b *BreakerTransport) ShortCircuits() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shortCircuit
+}
+
+// admit decides whether a call may proceed; it reports whether the call is
+// the half-open probe.
+func (b *BreakerTransport) admit() (allowed, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.shortCircuit++
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, true
+	case BreakerHalfOpen:
+		if b.probing {
+			// A probe is already in flight; don't pile on a maybe-dead node.
+			b.shortCircuit++
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+	return false, false
+}
+
+// report records a call outcome and drives the state machine.
+func (b *BreakerTransport) report(probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	if err == nil {
+		b.state = BreakerClosed
+		b.consecutive = 0
+		return
+	}
+	if b.state == BreakerHalfOpen {
+		// Failed probe: back to open for another cooldown.
+		b.state = BreakerOpen
+		b.openedAt = b.cfg.Now()
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.cfg.FailureThreshold {
+		b.state = BreakerOpen
+		b.openedAt = b.cfg.Now()
+	}
+}
+
+// Nearest implements Transport.
+func (b *BreakerTransport) Nearest(feat []float64, m int) ([]Result, error) {
+	allowed, probe := b.admit()
+	if !allowed {
+		return nil, ErrBreakerOpen
+	}
+	rs, err := b.inner.Nearest(feat, m)
+	b.report(probe, err)
+	return rs, err
+}
+
+// Close implements Transport.
+func (b *BreakerTransport) Close() error { return b.inner.Close() }

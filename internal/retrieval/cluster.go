@@ -2,6 +2,7 @@ package retrieval
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -62,6 +63,83 @@ func (t *LocalTransport) Nearest(feat []float64, m int) ([]Result, error) {
 // Close implements Transport.
 func (t *LocalTransport) Close() error { return nil }
 
+// Policy is the cluster's partial-result policy: what the coordinator does
+// when some nodes fail a scatter/gather query. It trades availability
+// against correctness of the merged top-m — a partial merge is still a
+// valid list, but it can silently omit true global top-m entries from the
+// failed shards, which corrupts rank-similarity signals like the attack
+// objective 𝕋.
+type Policy struct {
+	kind   policyKind
+	quorum int
+}
+
+type policyKind int
+
+const (
+	policyBestEffort policyKind = iota
+	policyRequireAll
+	policyQuorum
+)
+
+// BestEffort merges whatever the reachable nodes returned and reports the
+// first node error alongside (maximum availability, possibly-partial
+// top-m). This is the default and the pre-policy behaviour.
+func BestEffort() Policy { return Policy{kind: policyBestEffort} }
+
+// RequireAll returns an error unless every node answered (a correct global
+// top-m or nothing).
+func RequireAll() Policy { return Policy{kind: policyRequireAll} }
+
+// Quorum returns the merged list only when at least q nodes answered, and
+// an error otherwise.
+func Quorum(q int) Policy { return Policy{kind: policyQuorum, quorum: q} }
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p.kind {
+	case policyRequireAll:
+		return "require-all"
+	case policyQuorum:
+		return fmt.Sprintf("quorum(%d)", p.quorum)
+	}
+	return "best-effort"
+}
+
+// NodeHealth is one node's entry in a Cluster.Health snapshot.
+type NodeHealth struct {
+	// Node is the node's index in the cluster.
+	Node int
+	// Successes and Failures count completed Nearest calls.
+	Successes, Failures int64
+	// ConsecutiveFailures counts failures since the last success.
+	ConsecutiveFailures int
+	// LastError is the most recent failure message ("" if none).
+	LastError string
+	// Breaker is the node's circuit-breaker state, when its transport has
+	// one ("" otherwise).
+	Breaker string
+}
+
+// Healthy reports whether the node's last call succeeded and no breaker is
+// holding it open.
+func (h NodeHealth) Healthy() bool {
+	return h.ConsecutiveFailures == 0 && (h.Breaker == "" || h.Breaker == BreakerClosed.String())
+}
+
+// breakerReporter is implemented by transports that expose a circuit
+// breaker (BreakerTransport); the cluster surfaces its state in Health.
+type breakerReporter interface {
+	State() BreakerState
+}
+
+// nodeStats is the cluster's per-node health accounting.
+type nodeStats struct {
+	successes, failures int64
+	consecutive         int
+	lastErr             string
+}
+
 // Cluster is the distributed retrieval coordinator of Fig. 1: it extracts
 // the query's features once, scatters the feature vector to every data
 // node concurrently, and merges the nodes' top-m lists into a global top-m.
@@ -69,13 +147,68 @@ type Cluster struct {
 	model   models.Model
 	nodes   []Transport
 	queries atomic.Int64
+
+	mu     sync.Mutex
+	policy Policy
+	stats  []nodeStats
 }
 
-var _ Retriever = (*Cluster)(nil)
+var _ FallibleRetriever = (*Cluster)(nil)
 
-// NewCluster builds a coordinator over the given node transports.
+// NewCluster builds a coordinator over the given node transports with the
+// BestEffort partial-result policy.
 func NewCluster(m models.Model, nodes []Transport) *Cluster {
-	return &Cluster{model: m, nodes: nodes}
+	return &Cluster{model: m, nodes: nodes, stats: make([]nodeStats, len(nodes))}
+}
+
+// SetPolicy selects the partial-result policy and returns the cluster for
+// chaining.
+func (c *Cluster) SetPolicy(p Policy) *Cluster {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p.kind == policyQuorum && (p.quorum < 1 || p.quorum > len(c.nodes)) {
+		// An unsatisfiable or trivial quorum is a configuration bug; clamp
+		// into range rather than making every query fail.
+		q := p.quorum
+		if q < 1 {
+			q = 1
+		}
+		if q > len(c.nodes) {
+			q = len(c.nodes)
+		}
+		p.quorum = q
+	}
+	c.policy = p
+	return c
+}
+
+// Policy returns the active partial-result policy.
+func (c *Cluster) Policy() Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policy
+}
+
+// Health returns a per-node health snapshot: call counters, consecutive
+// failures, the last error, and circuit-breaker state when the transport
+// exposes one.
+func (c *Cluster) Health() []NodeHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeHealth, len(c.nodes))
+	for i, st := range c.stats {
+		out[i] = NodeHealth{
+			Node:                i,
+			Successes:           st.successes,
+			Failures:            st.failures,
+			ConsecutiveFailures: st.consecutive,
+			LastError:           st.lastErr,
+		}
+		if br, ok := c.nodes[i].(breakerReporter); ok {
+			out[i].Breaker = br.State().String()
+		}
+	}
+	return out
 }
 
 // NewLocalCluster shards the gallery round-robin across n in-process nodes.
@@ -100,16 +233,23 @@ func (c *Cluster) Nodes() int { return len(c.nodes) }
 // QueryCount returns the number of Retrieve calls served.
 func (c *Cluster) QueryCount() int64 { return c.queries.Load() }
 
-// Retrieve implements Retriever. Node failures degrade gracefully: results
-// from reachable nodes are still merged (partial availability rather than
-// total failure, as a production system would behave).
+// Retrieve implements Retriever. Under the default BestEffort policy node
+// failures degrade gracefully: results from reachable nodes are still
+// merged (partial availability rather than total failure, as a production
+// system would behave). Under RequireAll/Quorum a policy violation yields
+// nil results; failure-aware callers should use RetrieveErr.
 func (c *Cluster) Retrieve(v *video.Video, m int) []Result {
 	rs, _ := c.RetrieveErr(v, m)
 	return rs
 }
 
-// RetrieveErr is Retrieve with error reporting: it returns the merged
-// results plus the first node error encountered, if any.
+// RetrieveErr is Retrieve with error reporting, subject to the cluster's
+// partial-result policy:
+//
+//   - BestEffort: merged results from the reachable nodes plus the first
+//     node error encountered, if any.
+//   - RequireAll: (nil, error) unless every node answered.
+//   - Quorum(q): (nil, error) unless at least q nodes answered.
 func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 	c.queries.Add(1)
 	feat := models.Embed(c.model, v).Data()
@@ -132,14 +272,40 @@ func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 
 	var firstErr error
 	var all []Result
+	ok := 0
+	c.mu.Lock()
+	policy := c.policy
 	for i, r := range replies {
+		st := &c.stats[i]
 		if r.err != nil {
+			st.failures++
+			st.consecutive++
+			st.lastErr = r.err.Error()
 			if firstErr == nil {
 				firstErr = fmt.Errorf("retrieval: node %d: %w", i, r.err)
 			}
 			continue
 		}
+		st.successes++
+		st.consecutive = 0
+		ok++
 		all = append(all, r.rs...)
+	}
+	c.mu.Unlock()
+
+	switch policy.kind {
+	case policyRequireAll:
+		if ok < len(c.nodes) {
+			return nil, fmt.Errorf("retrieval: require-all: %d/%d nodes answered: %w",
+				ok, len(c.nodes), firstErr)
+		}
+	case policyQuorum:
+		if ok < policy.quorum {
+			return nil, fmt.Errorf("retrieval: quorum: %d/%d nodes answered, need %d: %w",
+				ok, len(c.nodes), policy.quorum, firstErr)
+		}
+		// Quorum met: the merge is authoritative by policy choice.
+		firstErr = nil
 	}
 	merged := mergeTopM(all, m)
 	return merged, firstErr
@@ -156,29 +322,25 @@ func (c *Cluster) Close() error {
 	return first
 }
 
-// mergeTopM merges per-node result lists into a global ascending top-m.
+// mergeTopM merges per-node result lists into a global ascending top-m,
+// with the same (distance, ID) ordering as the single-node engine. Ties
+// must be broken BEFORE truncating to m: a tie straddling the cut-off
+// would otherwise keep whichever entry its node happened to deliver first,
+// diverging from the engine's list.
 func mergeTopM(all []Result, m int) []Result {
-	dists := make([]float64, len(all))
-	for i, r := range all {
-		dists[i] = r.Dist
-	}
-	order := tensor.ArgsortAsc(dists)
-	if m > len(order) {
-		m = len(order)
+	out := make([]Result, len(all))
+	copy(out, all)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	if m > len(out) {
+		m = len(out)
 	}
 	if m < 0 {
 		m = 0
 	}
-	out := make([]Result, m)
-	for i := 0; i < m; i++ {
-		out[i] = all[order[i]]
-	}
-	// Stable tie handling to match the single-node engine: equal distances
-	// order by ID.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Dist == out[j-1].Dist && out[j].ID < out[j-1].ID; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
+	return out[:m]
 }

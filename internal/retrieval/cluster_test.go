@@ -1,0 +1,99 @@
+package retrieval
+
+import (
+	"testing"
+)
+
+func TestMergeTopMTieBreaking(t *testing.T) {
+	// Two "nodes" contribute interleaved distances with ties across nodes;
+	// the merge must order ties by ID exactly like the single-node engine.
+	all := []Result{
+		{ID: "b", Dist: 1.0}, {ID: "d", Dist: 2.0}, // node 1
+		{ID: "a", Dist: 1.0}, {ID: "c", Dist: 2.0}, // node 2
+		{ID: "e", Dist: 0.5},
+	}
+	got := mergeTopM(all, 5)
+	want := []string{"e", "a", "b", "c", "d"}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("position %d: got %s, want %s (full: %v)", i, got[i].ID, id, IDs(got))
+		}
+	}
+}
+
+func TestMergeTopMClamps(t *testing.T) {
+	all := []Result{{ID: "a", Dist: 1}, {ID: "b", Dist: 2}}
+	if got := mergeTopM(all, 10); len(got) != 2 {
+		t.Errorf("m beyond input: %d results", len(got))
+	}
+	if got := mergeTopM(all, 0); len(got) != 0 {
+		t.Errorf("m=0: %d results", len(got))
+	}
+	if got := mergeTopM(all, -3); len(got) != 0 {
+		t.Errorf("m<0: %d results", len(got))
+	}
+	if got := mergeTopM(nil, 4); len(got) != 0 {
+		t.Errorf("empty input: %d results", len(got))
+	}
+}
+
+func TestMergeTopMAllTied(t *testing.T) {
+	all := []Result{
+		{ID: "c", Dist: 1}, {ID: "a", Dist: 1}, {ID: "b", Dist: 1},
+	}
+	got := IDs(mergeTopM(all, 2))
+	if got[0] != "a" || got[1] != "b" {
+		t.Errorf("tied merge = %v, want [a b]", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	cases := map[string]Policy{
+		"best-effort": BestEffort(),
+		"require-all": RequireAll(),
+		"quorum(2)":   Quorum(2),
+	}
+	for want, p := range cases {
+		if p.String() != want {
+			t.Errorf("%v.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestSetPolicyClampsQuorum(t *testing.T) {
+	m, c := chaosSystem(t)
+	cl := NewCluster(m, []Transport{
+		&LocalTransport{Shard: NewShard(m, c.Train[:2])},
+		&LocalTransport{Shard: NewShard(m, c.Train[2:4])},
+	})
+	defer cl.Close()
+	cl.SetPolicy(Quorum(99))
+	if _, err := cl.RetrieveErr(c.Test[0], 2); err != nil {
+		t.Errorf("clamped quorum made a healthy cluster fail: %v", err)
+	}
+	cl.SetPolicy(Quorum(-1))
+	if _, err := cl.RetrieveErr(c.Test[0], 2); err != nil {
+		t.Errorf("clamped quorum made a healthy cluster fail: %v", err)
+	}
+}
+
+func TestHealthInitialSnapshot(t *testing.T) {
+	m, c := chaosSystem(t)
+	cl := NewCluster(m, []Transport{
+		&LocalTransport{Shard: NewShard(m, c.Train)},
+	})
+	defer cl.Close()
+	h := cl.Health()
+	if len(h) != 1 {
+		t.Fatalf("health has %d entries", len(h))
+	}
+	if !h[0].Healthy() || h[0].Successes != 0 || h[0].Failures != 0 || h[0].Breaker != "" {
+		t.Errorf("fresh node health = %+v", h[0])
+	}
+	if _, err := cl.RetrieveErr(c.Test[0], 2); err != nil {
+		t.Fatal(err)
+	}
+	if h := cl.Health(); h[0].Successes != 1 {
+		t.Errorf("successes = %d after one query", h[0].Successes)
+	}
+}

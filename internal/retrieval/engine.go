@@ -32,6 +32,18 @@ type Retriever interface {
 	Retrieve(v *video.Video, m int) []Result
 }
 
+// FallibleRetriever is a Retriever whose queries can fail (a distributed
+// service with unreachable nodes, per its partial-result policy).
+// Failure-aware callers — the attack loop in particular — should prefer
+// RetrieveErr over Retrieve so a degraded answer is never mistaken for a
+// complete one.
+type FallibleRetriever interface {
+	Retriever
+	// RetrieveErr is Retrieve with error reporting; a nil error means the
+	// result list satisfies the service's completeness policy.
+	RetrieveErr(v *video.Video, m int) ([]Result, error)
+}
+
 // Engine is a single-node retrieval system: one feature extractor plus an
 // in-memory gallery index.
 type Engine struct {

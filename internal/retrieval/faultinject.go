@@ -1,0 +1,160 @@
+package retrieval
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Injected fault errors, distinguishable from real transport errors so
+// chaos tests can assert exactly which path fired.
+var (
+	// ErrInjectedDrop simulates a request lost on the wire (connection
+	// reset before any response).
+	ErrInjectedDrop = errors.New("retrieval: injected drop")
+	// ErrInjectedFailure simulates a node-side error response.
+	ErrInjectedFailure = errors.New("retrieval: injected failure")
+	// ErrInjectedCorrupt simulates a response truncated mid-payload: the
+	// caller sees a partial result list plus a decode error.
+	ErrInjectedCorrupt = errors.New("retrieval: injected corrupt response")
+)
+
+// FaultConfig parameterizes a FaultTransport. Per-call fault probabilities
+// are evaluated in the order drop, error, corrupt, delay from a single
+// seeded RNG, so a given seed always yields the same fault sequence.
+type FaultConfig struct {
+	// Seed drives the deterministic fault schedule (default 1).
+	Seed int64
+	// PDrop is the probability a call is dropped (error, inner not called).
+	PDrop float64
+	// PError is the probability a call fails with ErrInjectedFailure.
+	PError float64
+	// PCorrupt is the probability a call returns a truncated result list
+	// together with ErrInjectedCorrupt.
+	PCorrupt float64
+	// PDelay is the probability a call is delayed by Delay before being
+	// forwarded (models a slow node; combine with transport deadlines).
+	PDelay float64
+	// Delay is the injected latency for delay faults (default 50ms).
+	Delay time.Duration
+	// Sleep is the delay function; tests may inject a recorder
+	// (default time.Sleep).
+	Sleep func(time.Duration)
+}
+
+func (c *FaultConfig) applyDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Delay <= 0 {
+		c.Delay = 50 * time.Millisecond
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+}
+
+// FaultStats counts the faults a FaultTransport injected, by mode.
+type FaultStats struct {
+	Calls, Drops, Errors, Corrupts, Delays int64
+}
+
+// FaultTransport wraps a Transport with seeded, deterministic fault
+// injection for chaos tests: drop, error, corrupt-truncate, and delay
+// modes, each with a configurable per-call probability, plus an explicit
+// FailNext script for tests that need an exact failure pattern rather
+// than a statistical one.
+type FaultTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	stats     FaultStats
+	scripted  int   // fail the next N calls...
+	scriptErr error // ...with this error
+}
+
+var _ Transport = (*FaultTransport)(nil)
+
+// NewFaultTransport wraps inner with the given fault schedule.
+func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
+	cfg.applyDefaults()
+	return &FaultTransport{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// FailNext makes the next n calls fail with err (before any probabilistic
+// fault is considered). It overrides the seeded schedule for exactly those
+// calls, giving tests precise failure patterns.
+func (t *FaultTransport) FailNext(n int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.scripted = n
+	t.scriptErr = err
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (t *FaultTransport) Stats() FaultStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// plan draws this call's fault from the script or the seeded schedule.
+// It returns the fault kind ("" = none).
+func (t *FaultTransport) plan() (kind string, scriptErr error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Calls++
+	if t.scripted > 0 {
+		t.scripted--
+		return "script", t.scriptErr
+	}
+	// One draw per mode keeps the schedule stable when probabilities for
+	// other modes change.
+	u1, u2, u3, u4 := t.rng.Float64(), t.rng.Float64(), t.rng.Float64(), t.rng.Float64()
+	switch {
+	case u1 < t.cfg.PDrop:
+		t.stats.Drops++
+		return "drop", nil
+	case u2 < t.cfg.PError:
+		t.stats.Errors++
+		return "error", nil
+	case u3 < t.cfg.PCorrupt:
+		t.stats.Corrupts++
+		return "corrupt", nil
+	case u4 < t.cfg.PDelay:
+		t.stats.Delays++
+		return "delay", nil
+	}
+	return "", nil
+}
+
+// Nearest implements Transport.
+func (t *FaultTransport) Nearest(feat []float64, m int) ([]Result, error) {
+	kind, scriptErr := t.plan()
+	switch kind {
+	case "script":
+		if scriptErr == nil {
+			scriptErr = ErrInjectedFailure
+		}
+		return nil, scriptErr
+	case "drop":
+		return nil, ErrInjectedDrop
+	case "error":
+		return nil, ErrInjectedFailure
+	case "corrupt":
+		rs, err := t.inner.Nearest(feat, m)
+		if err != nil {
+			return nil, err
+		}
+		return rs[:len(rs)/2], ErrInjectedCorrupt
+	case "delay":
+		t.cfg.Sleep(t.cfg.Delay)
+	}
+	return t.inner.Nearest(feat, m)
+}
+
+// Close implements Transport.
+func (t *FaultTransport) Close() error { return t.inner.Close() }

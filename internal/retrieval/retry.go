@@ -1,0 +1,113 @@
+package retrieval
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryConfig parameterizes a RetryTransport. The zero value selects the
+// defaults noted per field.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries per call, including the
+	// first (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 1s).
+	MaxDelay time.Duration
+	// Seed drives the deterministic jitter (default 1).
+	Seed int64
+	// Sleep is the delay function; tests inject a recorder to assert the
+	// schedule without waiting (default time.Sleep).
+	Sleep func(time.Duration)
+}
+
+func (c *RetryConfig) applyDefaults() {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 10 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+}
+
+// RetryTransport wraps a Transport with capped exponential backoff and
+// deterministic jitter: attempt k (0-based) sleeps
+// min(MaxDelay, BaseDelay·2^k)/2 · (1 + u) with u ~ U[0,1) drawn from a
+// seeded RNG, so two runs with the same seed retry on an identical
+// schedule — chaos tests stay reproducible.
+//
+// A breaker fast-fail (ErrBreakerOpen) is not retried: backing off against
+// a breaker that will stay open for its whole cooldown only adds latency.
+type RetryTransport struct {
+	inner Transport
+	cfg   RetryConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	retries int64
+}
+
+var _ Transport = (*RetryTransport)(nil)
+
+// NewRetryTransport wraps inner with retry-with-backoff semantics.
+func NewRetryTransport(inner Transport, cfg RetryConfig) *RetryTransport {
+	cfg.applyDefaults()
+	return &RetryTransport{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Retries returns the total number of retry attempts performed (attempts
+// beyond the first per call).
+func (t *RetryTransport) Retries() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.retries
+}
+
+// backoff returns the jittered delay before retry k (0-based).
+func (t *RetryTransport) backoff(k int) time.Duration {
+	d := t.cfg.BaseDelay << uint(k)
+	if d <= 0 || d > t.cfg.MaxDelay { // <<-overflow guards land on the cap
+		d = t.cfg.MaxDelay
+	}
+	t.mu.Lock()
+	u := t.rng.Float64()
+	t.mu.Unlock()
+	return time.Duration(float64(d) / 2 * (1 + u))
+}
+
+// Nearest implements Transport.
+func (t *RetryTransport) Nearest(feat []float64, m int) ([]Result, error) {
+	var lastErr error
+	for k := 0; k < t.cfg.MaxAttempts; k++ {
+		if k > 0 {
+			t.mu.Lock()
+			t.retries++
+			t.mu.Unlock()
+			t.cfg.Sleep(t.backoff(k - 1))
+		}
+		rs, err := t.inner.Nearest(feat, m)
+		if err == nil {
+			return rs, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrBreakerOpen) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// Close implements Transport.
+func (t *RetryTransport) Close() error { return t.inner.Close() }

@@ -6,6 +6,20 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+)
+
+// Default wire-protocol deadlines. Queries embed on the client and scan an
+// in-memory shard on the node, so seconds are already generous; the idle
+// timeout only bounds how long a node keeps a silent connection around.
+const (
+	// DefaultCallTimeout bounds one client-side request/response exchange.
+	DefaultCallTimeout = 10 * time.Second
+	// DefaultIdleTimeout is how long a node waits for the next request on
+	// a persistent connection before dropping it.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultWriteTimeout bounds writing one response on the node.
+	DefaultWriteTimeout = 30 * time.Second
 )
 
 // nearestRequest and nearestResponse form the wire protocol between the
@@ -21,10 +35,30 @@ type nearestResponse struct {
 	Err     string
 }
 
+// NodeServerConfig parameterizes a NodeServer's deadlines. The zero value
+// selects the package defaults; negative values disable the deadline.
+type NodeServerConfig struct {
+	// IdleTimeout is the per-request read deadline: the maximum wait for
+	// the next complete request on a connection.
+	IdleTimeout time.Duration
+	// WriteTimeout is the per-response write deadline.
+	WriteTimeout time.Duration
+}
+
+func (c *NodeServerConfig) applyDefaults() {
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+}
+
 // NodeServer serves one shard over TCP.
 type NodeServer struct {
 	shard *Shard
 	ln    net.Listener
+	cfg   NodeServerConfig
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -33,13 +67,19 @@ type NodeServer struct {
 }
 
 // ServeNode starts serving the shard on addr (use "127.0.0.1:0" for an
-// ephemeral port) and returns immediately.
+// ephemeral port) with default deadlines and returns immediately.
 func ServeNode(addr string, shard *Shard) (*NodeServer, error) {
+	return ServeNodeConfig(addr, shard, NodeServerConfig{})
+}
+
+// ServeNodeConfig is ServeNode with explicit deadline configuration.
+func ServeNodeConfig(addr string, shard *Shard, cfg NodeServerConfig) (*NodeServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("retrieval: listen %s: %w", addr, err)
 	}
-	s := &NodeServer{shard: shard, ln: ln, conns: make(map[net.Conn]struct{})}
+	cfg.applyDefaults()
+	s := &NodeServer{shard: shard, ln: ln, cfg: cfg, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -79,15 +119,21 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		var req nearestRequest
 		if err := dec.Decode(&req); err != nil {
-			return // client hung up or connection torn down
+			return // client hung up, idled out, or connection torn down
 		}
 		var resp nearestResponse
 		if req.M < 0 {
 			resp.Err = fmt.Sprintf("negative m %d", req.M)
 		} else {
 			resp.Results = s.shard.Nearest(req.Feat, req.M)
+		}
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
@@ -115,23 +161,77 @@ func (s *NodeServer) Close() error {
 
 // TCPTransport is the coordinator-side client for a TCP data node. It is
 // safe for concurrent use; calls are serialized over one connection.
+//
+// Every call runs under a deadline, and any transport-level error (timeout,
+// broken pipe, decode failure) discards the connection: gob streams are
+// stateful, so a half-read response would desync every later message. The
+// next call transparently redials with fresh encoder/decoder state instead
+// of poisoning the session.
 type TCPTransport struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	closed bool
+	addr    string
+	timeout time.Duration
+
+	mu         sync.Mutex
+	conn       net.Conn
+	enc        *gob.Encoder
+	dec        *gob.Decoder
+	closed     bool
+	reconnects int64
 }
 
 var _ Transport = (*TCPTransport)(nil)
 
-// DialNode connects to a NodeServer.
+// DialNode connects to a NodeServer with the default per-call deadline.
 func DialNode(addr string) (*TCPTransport, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("retrieval: dial %s: %w", addr, err)
+	return DialNodeTimeout(addr, DefaultCallTimeout)
+}
+
+// DialNodeTimeout connects to a NodeServer with an explicit per-call
+// deadline covering dial, send, and receive (≤ 0 disables deadlines).
+func DialNodeTimeout(addr string, timeout time.Duration) (*TCPTransport, error) {
+	t := &TCPTransport{addr: addr, timeout: timeout}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.redialLocked(); err != nil {
+		return nil, err
 	}
-	return &TCPTransport{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return t, nil
+}
+
+// Reconnects returns how many times the transport re-established its
+// connection after a transport error.
+func (t *TCPTransport) Reconnects() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reconnects
+}
+
+// redialLocked (re)establishes the connection and resets codec state.
+func (t *TCPTransport) redialLocked() error {
+	conn, err := net.DialTimeout("tcp", t.addr, t.dialTimeout())
+	if err != nil {
+		return fmt.Errorf("retrieval: dial %s: %w", t.addr, err)
+	}
+	t.conn = conn
+	t.enc = gob.NewEncoder(conn)
+	t.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+func (t *TCPTransport) dialTimeout() time.Duration {
+	if t.timeout > 0 {
+		return t.timeout
+	}
+	return DefaultCallTimeout
+}
+
+// breakLocked discards a desynced or dead connection so the next call
+// redials instead of reusing poisoned codec state.
+func (t *TCPTransport) breakLocked() {
+	if t.conn != nil {
+		t.conn.Close()
+	}
+	t.conn, t.enc, t.dec = nil, nil, nil
 }
 
 // Nearest implements Transport.
@@ -141,14 +241,30 @@ func (t *TCPTransport) Nearest(feat []float64, m int) ([]Result, error) {
 	if t.closed {
 		return nil, errors.New("retrieval: transport closed")
 	}
+	if t.conn == nil {
+		if err := t.redialLocked(); err != nil {
+			return nil, err
+		}
+		t.reconnects++
+	}
+	if t.timeout > 0 {
+		t.conn.SetDeadline(time.Now().Add(t.timeout))
+	}
 	if err := t.enc.Encode(&nearestRequest{Feat: feat, M: m}); err != nil {
+		t.breakLocked()
 		return nil, fmt.Errorf("retrieval: send: %w", err)
 	}
 	var resp nearestResponse
 	if err := t.dec.Decode(&resp); err != nil {
+		t.breakLocked()
 		return nil, fmt.Errorf("retrieval: recv: %w", err)
 	}
+	if t.timeout > 0 {
+		t.conn.SetDeadline(time.Time{})
+	}
 	if resp.Err != "" {
+		// A node-side application error arrives as a complete, well-framed
+		// response: the stream is still in sync, keep the connection.
 		return nil, fmt.Errorf("retrieval: node error: %s", resp.Err)
 	}
 	return resp.Results, nil
@@ -162,5 +278,8 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
+	if t.conn == nil {
+		return nil
+	}
 	return t.conn.Close()
 }
