@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"duo/internal/experiments"
+	"duo/internal/parallel"
 )
 
 func main() {
@@ -39,9 +40,13 @@ func run(args []string) error {
 		datasets = fs.String("datasets", "", "restrict datasets (comma-separated)")
 		victims  = fs.String("victims", "", "restrict victim backbones (comma-separated)")
 		outPath  = fs.String("out", "", "also write the rendered tables to this file")
+		workers  = fs.Int("workers", 0, "worker count for parallel compute (0 = GOMAXPROCS, overrides DUO_PARALLEL)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
 	}
 
 	if *list {

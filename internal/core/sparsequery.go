@@ -58,6 +58,14 @@ type QueryConfig struct {
 	// negative disables retries. Only distributed victims exposing
 	// RetrieveErr can fail; plain engines never trigger this path.
 	QueryRetries int
+	// BatchPairs evaluates each iteration's +ε/−ε candidate pair in one
+	// RetrieveBatch round-trip when the victim implements
+	// retrieval.BatchRetriever. Both arms are billed even when +ε alone
+	// would have been accepted, so the walk trades query-budget efficiency
+	// for round-trip latency; it is therefore opt-in and off by default.
+	// Fallible (distributed) victims always take the sequential path —
+	// their retry accounting needs one query at a time.
+	BatchPairs bool
 }
 
 // DefaultQueryConfig returns the paper's SparseQuery settings scaled down
@@ -80,6 +88,9 @@ type QueryResult struct {
 	// Skipped counts candidate steps abandoned because the victim query
 	// failed even after retries (distributed victims only).
 	Skipped int
+	// BatchedPairs counts iterations whose ±ε pair went to the victim as
+	// one batched round-trip (cfg.BatchPairs against a BatchRetriever).
+	BatchedPairs int
 }
 
 // SparseQuery runs Algorithm 2: masked SimBA-style coordinate descent on
@@ -112,6 +123,12 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 
 	queries := 0
 	fallible, _ := ctx.Victim.(retrieval.FallibleRetriever)
+	// A fallible victim keeps the one-query-at-a-time path so retries are
+	// billed per attempt; batching is only sound when Retrieve cannot fail.
+	var batcher retrieval.BatchRetriever
+	if fallible == nil {
+		batcher, _ = ctx.Victim.(retrieval.BatchRetriever)
+	}
 	// retrieveIDs issues one victim query, retrying a fallible victim up
 	// to `retries` extra times; every attempt counts against the budget.
 	// A nil error guarantees the list is complete — a failed node must
@@ -139,28 +156,41 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 	// Reference lists for Eq. (2). Untargeted runs have no target list and
 	// minimize ℍ(R(v_adv), R(v)) + η alone. A victim that cannot answer
 	// the reference queries leaves the round with no objective at all.
-	origList, err := retrieveIDs(v)
-	if err != nil {
-		return nil, err
+	// Targeted rounds against a batching victim fetch both references in
+	// one round-trip; billing and results are identical to two Retrieves.
+	var origList, targetList []string
+	var err error
+	if cfg.Mode != Untargeted && vt == nil {
+		return nil, fmt.Errorf("core: targeted SparseQuery needs a target video")
 	}
-	var targetList []string
-	if cfg.Mode != Untargeted {
-		if vt == nil {
-			return nil, fmt.Errorf("core: targeted SparseQuery needs a target video")
-		}
-		if targetList, err = retrieveIDs(vt); err != nil {
+	if batcher != nil && cfg.Mode != Untargeted {
+		queries += 2
+		lists := batcher.RetrieveBatch([]*video.Video{v, vt}, ctx.M)
+		origList, targetList = retrieval.IDs(lists[0]), retrieval.IDs(lists[1])
+	} else {
+		if origList, err = retrieveIDs(v); err != nil {
 			return nil, err
 		}
+		if cfg.Mode != Untargeted {
+			if targetList, err = retrieveIDs(vt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// score is the billing-free half of the objective: Eq. (2) on an
+	// already-retrieved list.
+	score := func(advList []string) float64 {
+		if cfg.Mode == Untargeted {
+			return sim(advList, origList) + cfg.Eta
+		}
+		return metrics.Objective(sim, advList, origList, targetList, cfg.Eta)
 	}
 	objective := func(qv *video.Video) (float64, error) {
-		adv, err := retrieveIDs(qv)
+		advList, err := retrieveIDs(qv)
 		if err != nil {
 			return 0, err
 		}
-		if cfg.Mode == Untargeted {
-			return sim(adv, origList) + cfg.Eta, nil
-		}
-		return metrics.Objective(sim, adv, origList, targetList, cfg.Eta), nil
+		return score(advList), nil
 	}
 
 	// Line 1–2: v_adv⁰ = v + ℐ⊙𝓕⊙θ, 𝕋⁰. The prior is projected into this
@@ -269,6 +299,52 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 		}
 		return cand, changed
 	}
+	buildCandidate := func(sign float64) (*video.Video, bool) {
+		if cfg.Basis == BasisDCT {
+			return dctCandidate(sign)
+		}
+		return cartesianCandidate(sign)
+	}
+	// accept applies Eq. (3): keep a candidate whose 𝕋 did not increase.
+	accept := func(cand *video.Video, tNew float64) bool {
+		if tNew > tCur {
+			return false
+		}
+		if tNew < tCur {
+			res.Improved = true
+		}
+		adv = cand
+		tCur = tNew
+		return true
+	}
+	// trySequential walks prebuilt arms in Eq. (3) order (+ε before −ε),
+	// one victim query each, keeping the first non-increasing candidate.
+	type arm struct {
+		cand    *video.Video
+		changed bool
+	}
+	trySequential := func(arms []arm) {
+		for _, a := range arms {
+			if !a.changed {
+				continue // no-op candidate, don't waste a query
+			}
+			if queries >= cfg.MaxQueries {
+				break
+			}
+			tNew, err := objective(a.cand)
+			if err != nil {
+				// Retry-or-skip: the retries inside retrieveIDs are spent;
+				// reject the candidate rather than scoring it against a
+				// partial (availability-degraded) retrieval list.
+				res.Skipped++
+				continue
+			}
+			if accept(a.cand, tNew) {
+				break
+			}
+		}
+	}
+	pairBatch := cfg.BatchPairs && batcher != nil
 
 	for queries < cfg.MaxQueries {
 		// Line 5: sample q from the basis without replacement; reshuffle
@@ -283,36 +359,29 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 
 		// Lines 6–14 / Eq. (3): try +ε then −ε, keeping the first
 		// candidate that does not increase 𝕋.
-		for _, sign := range []float64{1, -1} {
-			var cand *video.Video
-			var changed bool
-			if cfg.Basis == BasisDCT {
-				cand, changed = dctCandidate(sign)
-			} else {
-				cand, changed = cartesianCandidate(sign)
-			}
-			if !changed {
-				continue // no-op candidate, don't waste a query
-			}
-			if queries >= cfg.MaxQueries {
-				break
-			}
-			tNew, err := objective(cand)
-			if err != nil {
-				// Retry-or-skip: the retries inside retrieveIDs are spent;
-				// reject the candidate rather than scoring it against a
-				// partial (availability-degraded) retrieval list.
-				res.Skipped++
-				continue
-			}
-			if tNew <= tCur {
-				if tNew < tCur {
-					res.Improved = true
+		if pairBatch {
+			candP, okP := buildCandidate(1)
+			candM, okM := buildCandidate(-1)
+			if okP && okM && queries+2 <= cfg.MaxQueries {
+				// Both arms go out in one round-trip; both are billed.
+				// Acceptance order is unchanged: +ε wins whenever it
+				// qualifies, so the per-iteration walk matches the
+				// sequential one exactly.
+				queries += 2
+				res.BatchedPairs++
+				lists := batcher.RetrieveBatch([]*video.Video{candP, candM}, ctx.M)
+				if !accept(candP, score(retrieval.IDs(lists[0]))) {
+					accept(candM, score(retrieval.IDs(lists[1])))
 				}
-				adv = cand
-				tCur = tNew
-				break
+			} else {
+				// A no-op arm or budget for at most one query: fall back
+				// to the sequential walk over the prebuilt pair.
+				trySequential([]arm{{candP, okP}, {candM, okM}})
 			}
+		} else {
+			candP, okP := buildCandidate(1)
+			candM, okM := buildCandidate(-1)
+			trySequential([]arm{{candP, okP}, {candM, okM}})
 		}
 		pi++
 		res.Trajectory = append(res.Trajectory, tCur)

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"duo/internal/attack"
+	"duo/internal/retrieval"
+	"duo/internal/video"
+)
+
+// retrieverOnly hides every optional victim interface (BatchRetriever,
+// FallibleRetriever) so SparseQuery must take the one-query-at-a-time path.
+type retrieverOnly struct{ r retrieval.Retriever }
+
+func (w retrieverOnly) Retrieve(v *video.Video, m int) []retrieval.Result {
+	return w.r.Retrieve(v, m)
+}
+
+func runSparseQuery(t *testing.T, f *fixture, victim retrieval.Retriever, seed int64, cfg QueryConfig) *QueryResult {
+	t.Helper()
+	masks, err := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &attack.Context{Victim: victim, M: f.m, Rng: rand.New(rand.NewSource(seed))}
+	qr, err := SparseQuery(ctx, f.origin, f.target, masks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+func expectSameResult(t *testing.T, name string, a, b *QueryResult) {
+	t.Helper()
+	if a.Queries != b.Queries {
+		t.Fatalf("%s: queries %d vs %d", name, a.Queries, b.Queries)
+	}
+	if len(a.Trajectory) != len(b.Trajectory) {
+		t.Fatalf("%s: trajectory length %d vs %d", name, len(a.Trajectory), len(b.Trajectory))
+	}
+	for i := range a.Trajectory {
+		if a.Trajectory[i] != b.Trajectory[i] {
+			t.Fatalf("%s: trajectory[%d] = %v vs %v", name, i, a.Trajectory[i], b.Trajectory[i])
+		}
+	}
+	ad, bd := a.Adv.Data.Data(), b.Adv.Data.Data()
+	for i := range ad {
+		if ad[i] != bd[i] {
+			t.Fatalf("%s: adversarial video differs at element %d: %v vs %v", name, i, ad[i], bd[i])
+		}
+	}
+}
+
+// TestSparseQueryHiddenBatcherEquivalence: the reference-query batching that
+// kicks in automatically against a BatchRetriever must be invisible — same
+// adversarial video, same trajectory, same bill as a victim that only
+// exposes Retrieve.
+func TestSparseQueryHiddenBatcherEquivalence(t *testing.T) {
+	f := getFixture(t)
+	cfg := testQueryConfig()
+	batched := runSparseQuery(t, f, f.victim, 7, cfg)
+	plain := runSparseQuery(t, f, retrieverOnly{f.victim}, 7, cfg)
+	expectSameResult(t, "hidden batcher", batched, plain)
+	if batched.BatchedPairs != 0 {
+		t.Errorf("BatchPairs off but %d pairs batched", batched.BatchedPairs)
+	}
+}
+
+// TestSparseQueryBatchPairsDeterministic: with pair batching on, two runs
+// from the same seed are bitwise-identical.
+func TestSparseQueryBatchPairsDeterministic(t *testing.T) {
+	f := getFixture(t)
+	cfg := testQueryConfig()
+	cfg.BatchPairs = true
+	a := runSparseQuery(t, f, f.victim, 11, cfg)
+	b := runSparseQuery(t, f, f.victim, 11, cfg)
+	expectSameResult(t, "batch-pairs determinism", a, b)
+	if a.BatchedPairs == 0 {
+		t.Error("no iterations used the batched pair path")
+	}
+}
+
+// TestSparseQueryBatchPairsBilling: the victim's own counter must agree
+// exactly with the attack's bookkeeping, and the budget must hold.
+func TestSparseQueryBatchPairsBilling(t *testing.T) {
+	f := getFixture(t)
+	cfg := testQueryConfig()
+	cfg.BatchPairs = true
+	before := f.victim.QueryCount()
+	qr := runSparseQuery(t, f, f.victim, 13, cfg)
+	served := f.victim.QueryCount() - before
+	if served != int64(qr.Queries) {
+		t.Errorf("victim served %d queries, attack billed %d", served, qr.Queries)
+	}
+	if qr.Queries > cfg.MaxQueries {
+		t.Errorf("queries %d exceeded budget %d", qr.Queries, cfg.MaxQueries)
+	}
+}
+
+// TestSparseQueryBatchPairsTrajectoryMonotone: Eq. (3) acceptance keeps 𝕋
+// non-increasing through the batched path too.
+func TestSparseQueryBatchPairsTrajectoryMonotone(t *testing.T) {
+	f := getFixture(t)
+	cfg := testQueryConfig()
+	cfg.BatchPairs = true
+	qr := runSparseQuery(t, f, f.victim, 17, cfg)
+	for i := 1; i < len(qr.Trajectory); i++ {
+		if qr.Trajectory[i] > qr.Trajectory[i-1]+1e-12 {
+			t.Fatalf("𝕋 increased at step %d: %g → %g", i, qr.Trajectory[i-1], qr.Trajectory[i])
+		}
+	}
+}
+
+// TestSparseQueryBatchPairsPlainVictimFallsBack: a victim without
+// RetrieveBatch ignores the flag and still works.
+func TestSparseQueryBatchPairsPlainVictimFallsBack(t *testing.T) {
+	f := getFixture(t)
+	cfg := testQueryConfig()
+	cfg.BatchPairs = true
+	qr := runSparseQuery(t, f, retrieverOnly{f.victim}, 19, cfg)
+	if qr.BatchedPairs != 0 {
+		t.Errorf("plain victim reported %d batched pairs", qr.BatchedPairs)
+	}
+	if qr.Queries > cfg.MaxQueries {
+		t.Errorf("queries %d exceeded budget %d", qr.Queries, cfg.MaxQueries)
+	}
+}
+
+// TestSparseQueryBatchPairsDCT exercises the batched pair path with the
+// DCT basis (candidate construction touches the rng before the pair is
+// built, so the stream must stay aligned between runs).
+func TestSparseQueryBatchPairsDCT(t *testing.T) {
+	f := getFixture(t)
+	cfg := testQueryConfig()
+	cfg.BatchPairs = true
+	cfg.Basis = BasisDCT
+	a := runSparseQuery(t, f, f.victim, 23, cfg)
+	b := runSparseQuery(t, f, f.victim, 23, cfg)
+	expectSameResult(t, "batch-pairs dct", a, b)
+}

@@ -1,9 +1,11 @@
 package nn
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"duo/internal/parallel"
 	"duo/internal/tensor"
 )
 
@@ -47,6 +49,46 @@ func BenchmarkLinearForward(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, _ = l.Forward(x)
+	}
+}
+
+// BenchmarkConvForwardParallel measures the filter-sharded Conv3D forward
+// at several worker counts (workers=1 is the sequential path).
+func BenchmarkConvForwardParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	l := NewConv3DFull(rng, 3, 8, [3]int{3, 3, 3}, [3]int{1, 2, 2}, [3]int{1, 1, 1})
+	x := tensor.RandNormal(rng, 0, 1, 3, 16, 16, 16)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _ = l.Forward(x)
+			}
+		})
+	}
+}
+
+// BenchmarkConvBackwardParallel measures the two-pass parallel Conv3D
+// backward against the sequential scatter (workers=1).
+func BenchmarkConvBackwardParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	l := NewConv3DFull(rng, 3, 8, [3]int{3, 3, 3}, [3]int{1, 2, 2}, [3]int{1, 1, 1})
+	x := tensor.RandNormal(rng, 0, 1, 3, 16, 16, 16)
+	y, cache := l.Forward(x)
+	g := tensor.RandNormal(rng, 0, 1, y.Shape()...)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = l.Backward(cache, g)
+			}
+		})
 	}
 }
 

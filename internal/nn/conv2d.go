@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"duo/internal/parallel"
 	"duo/internal/tensor"
 )
 
@@ -40,7 +41,9 @@ func (l *Conv2D) OutShape(in []int) []int {
 	return []int{l.OutC, outDim(in[1], l.KH, l.SH, l.PH), outDim(in[2], l.KW, l.SW, l.PW)}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Filters are sharded across workers when the
+// arithmetic is worth it; every output element has a single writer, so the
+// result is bitwise-identical at every worker count.
 func (l *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 	if x.Rank() != 3 || x.Dim(0) != l.InC {
 		panic(fmt.Sprintf("nn: Conv2D(in=%d) got input shape %v", l.InC, x.Shape()))
@@ -58,9 +61,9 @@ func (l *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 	xsC, xsH := H*W, W
 	wsF, wsC := l.InC*l.KH*l.KW, l.KH*l.KW
 
-	oi := 0
-	for f := 0; f < l.OutC; f++ {
+	computeF := func(f int) {
 		wf := wd[f*wsF : (f+1)*wsF]
+		oi := f * Ho * Wo
 		for ho := 0; ho < Ho; ho++ {
 			h0 := ho*l.SH - l.PH
 			for wo := 0; wo < Wo; wo++ {
@@ -88,10 +91,25 @@ func (l *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 			}
 		}
 	}
+	workers := parallel.Workers()
+	if workers > 1 && l.OutC > 1 && Ho*Wo*l.InC*l.KH*l.KW >= parallelThreshold {
+		parallel.ForN(workers, l.OutC, func(_, fs, fe int) {
+			for f := fs; f < fe; f++ {
+				computeF(f)
+			}
+		})
+	} else {
+		for f := 0; f < l.OutC; f++ {
+			computeF(f)
+		}
+	}
 	return out, &conv2dCache{x: x.Clone()}
 }
 
-// Backward implements Layer.
+// Backward implements Layer. With one worker it runs the reference scatter
+// pass; with more it splits into a per-filter pass (wg, bg — disjoint
+// slices) and a per-input-element gather pass (dx), both reproducing the
+// scatter's floating-point accumulation order exactly (DESIGN.md §9).
 func (l *Conv2D) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
 	cc := c.(*conv2dCache)
 	x := cc.x
@@ -107,41 +125,129 @@ func (l *Conv2D) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
 	xsC, xsH := H*W, W
 	wsF, wsC := l.InC*l.KH*l.KW, l.KH*l.KW
 
-	gi := 0
-	for f := 0; f < l.OutC; f++ {
-		wf := wd[f*wsF : (f+1)*wsF]
-		wgf := wg[f*wsF : (f+1)*wsF]
-		for ho := 0; ho < Ho; ho++ {
-			h0 := ho*l.SH - l.PH
-			for wo := 0; wo < Wo; wo++ {
-				w0 := wo*l.SW - l.PW
-				g := gd[gi]
-				gi++
-				if g == 0 {
-					continue
-				}
-				bg[f] += g
-				for c := 0; c < l.InC; c++ {
-					for kh := 0; kh < l.KH; kh++ {
-						hi := h0 + kh
-						if hi < 0 || hi >= H {
-							continue
-						}
-						base := c*xsC + hi*xsH
-						wbase := c*wsC + kh*l.KW
-						for kw := 0; kw < l.KW; kw++ {
-							wi := w0 + kw
-							if wi < 0 || wi >= W {
+	workers := parallel.Workers()
+	if workers <= 1 {
+		gi := 0
+		for f := 0; f < l.OutC; f++ {
+			wf := wd[f*wsF : (f+1)*wsF]
+			wgf := wg[f*wsF : (f+1)*wsF]
+			for ho := 0; ho < Ho; ho++ {
+				h0 := ho*l.SH - l.PH
+				for wo := 0; wo < Wo; wo++ {
+					w0 := wo*l.SW - l.PW
+					g := gd[gi]
+					gi++
+					if g == 0 {
+						continue
+					}
+					bg[f] += g
+					for c := 0; c < l.InC; c++ {
+						for kh := 0; kh < l.KH; kh++ {
+							hi := h0 + kh
+							if hi < 0 || hi >= H {
 								continue
 							}
-							wgf[wbase+kw] += g * xd[base+wi]
-							dxd[base+wi] += g * wf[wbase+kw]
+							base := c*xsC + hi*xsH
+							wbase := c*wsC + kh*l.KW
+							for kw := 0; kw < l.KW; kw++ {
+								wi := w0 + kw
+								if wi < 0 || wi >= W {
+									continue
+								}
+								wgf[wbase+kw] += g * xd[base+wi]
+								dxd[base+wi] += g * wf[wbase+kw]
+							}
 						}
 					}
 				}
 			}
 		}
+		return dx
 	}
+
+	// Pass 1 — weight and bias gradients, sharded over filters. wg[f] and
+	// bg[f] are touched only by filter f, and the per-filter accumulation
+	// order matches the scatter above.
+	parallel.ForN(workers, l.OutC, func(_, fs, fe int) {
+		for f := fs; f < fe; f++ {
+			wgf := wg[f*wsF : (f+1)*wsF]
+			gi := f * Ho * Wo
+			for ho := 0; ho < Ho; ho++ {
+				h0 := ho*l.SH - l.PH
+				for wo := 0; wo < Wo; wo++ {
+					w0 := wo*l.SW - l.PW
+					g := gd[gi]
+					gi++
+					if g == 0 {
+						continue
+					}
+					bg[f] += g
+					for c := 0; c < l.InC; c++ {
+						for kh := 0; kh < l.KH; kh++ {
+							hi := h0 + kh
+							if hi < 0 || hi >= H {
+								continue
+							}
+							base := c*xsC + hi*xsH
+							wbase := c*wsC + kh*l.KW
+							for kw := 0; kw < l.KW; kw++ {
+								wi := w0 + kw
+								if wi < 0 || wi >= W {
+									continue
+								}
+								wgf[wbase+kw] += g * xd[base+wi]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+
+	// Pass 2 — input gradient, sharded over input elements. Each dx element
+	// gathers its contributions in ascending (f, ho, wo) order: exactly the
+	// order the sequential scatter delivers them (kh/kw run descending
+	// because ho/wo grow as the kernel offset shrinks).
+	parallel.ForN(workers, len(dxd), func(_, s, e int) {
+		for idx := s; idx < e; idx++ {
+			c := idx / xsC
+			rem := idx % xsC
+			hi := rem / W
+			wi := rem % W
+			wc := c * wsC
+			sum := 0.0
+			for f := 0; f < l.OutC; f++ {
+				gf := gd[f*Ho*Wo:]
+				wf := wd[f*wsF+wc:]
+				for kh := l.KH - 1; kh >= 0; kh-- {
+					hoS := hi + l.PH - kh
+					if hoS < 0 || hoS%l.SH != 0 {
+						continue
+					}
+					ho := hoS / l.SH
+					if ho >= Ho {
+						continue
+					}
+					for kw := l.KW - 1; kw >= 0; kw-- {
+						woS := wi + l.PW - kw
+						if woS < 0 || woS%l.SW != 0 {
+							continue
+						}
+						wo := woS / l.SW
+						if wo >= Wo {
+							continue
+						}
+						g := gf[ho*Wo+wo]
+						if g == 0 {
+							continue
+						}
+						sum += g * wf[kh*l.KW+kw]
+					}
+				}
+			}
+			dxd[idx] = sum
+		}
+	})
 	return dx
 }
 

@@ -3,14 +3,15 @@ package nn
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
+	"duo/internal/parallel"
 	"duo/internal/tensor"
 )
 
 // parallelThreshold is the per-filter multiply-accumulate count above which
-// Conv3D fans its filters out across goroutines.
-const parallelThreshold = 20000
+// convolution forward passes shard their filters across workers. It is a
+// var so tests can lower it to force the parallel path on tiny layers.
+var parallelThreshold = 20000
 
 // Conv3D is a 3-D convolution over [C, T, H, W] inputs (channel-first,
 // T = temporal depth). Weights have shape [F, C, KT, KH, KW]; zero padding.
@@ -55,7 +56,9 @@ func (l *Conv3D) OutShape(in []int) []int {
 	return []int{l.OutC, outDim(in[1], l.KT, l.ST, l.PT), outDim(in[2], l.KH, l.SH, l.PH), outDim(in[3], l.KW, l.SW, l.PW)}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Filters are sharded across workers when there
+// is enough arithmetic to amortize the fan-out; output planes are disjoint
+// per filter, so the result is bitwise-identical at every worker count.
 func (l *Conv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 	if x.Rank() != 4 || x.Dim(0) != l.InC {
 		panic(fmt.Sprintf("nn: Conv3D(in=%d) got input shape %v", l.InC, x.Shape()))
@@ -120,19 +123,14 @@ func (l *Conv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 			}
 		}
 	}
-	// Fan out across filters when there is enough arithmetic to amortize
-	// goroutine startup (~1µs each); stay sequential for tiny workloads.
+	workers := parallel.Workers()
 	work := perF * l.InC * l.KT * l.KH * l.KW
-	if l.OutC > 1 && work >= parallelThreshold {
-		var wg sync.WaitGroup
-		for f := 0; f < l.OutC; f++ {
-			wg.Add(1)
-			go func(f int) {
-				defer wg.Done()
+	if workers > 1 && l.OutC > 1 && work >= parallelThreshold {
+		parallel.ForN(workers, l.OutC, func(_, fs, fe int) {
+			for f := fs; f < fe; f++ {
 				computeF(f)
-			}(f)
-		}
-		wg.Wait()
+			}
+		})
 	} else {
 		for f := 0; f < l.OutC; f++ {
 			computeF(f)
@@ -141,7 +139,10 @@ func (l *Conv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 	return out, &conv3dCache{x: x.Clone()}
 }
 
-// Backward implements Layer.
+// Backward implements Layer. With one worker it runs the reference scatter
+// pass; with more it splits into a per-filter pass (wg, bg) and a
+// per-input-element gather pass (dx), both reproducing the scatter's
+// floating-point accumulation order exactly (DESIGN.md §9).
 func (l *Conv3D) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
 	cc := c.(*conv3dCache)
 	x := cc.x
@@ -161,43 +162,47 @@ func (l *Conv3D) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
 	xsC, xsT, xsH := T*H*W, H*W, W
 	wsF := l.InC * l.KT * l.KH * l.KW
 	wsC, wsT, wsH := l.KT*l.KH*l.KW, l.KH*l.KW, l.KW
+	perF := To * Ho * Wo
 
-	gi := 0
-	for f := 0; f < l.OutC; f++ {
-		wf := wd[f*wsF : (f+1)*wsF]
-		wgf := wg[f*wsF : (f+1)*wsF]
-		for to := 0; to < To; to++ {
-			t0 := to*l.ST - l.PT
-			for ho := 0; ho < Ho; ho++ {
-				h0 := ho*l.SH - l.PH
-				for wo := 0; wo < Wo; wo++ {
-					w0 := wo*l.SW - l.PW
-					g := gd[gi]
-					gi++
-					if g == 0 {
-						continue
-					}
-					bg[f] += g
-					for c := 0; c < l.InC; c++ {
-						for kt := 0; kt < l.KT; kt++ {
-							ti := t0 + kt
-							if ti < 0 || ti >= T {
-								continue
-							}
-							for kh := 0; kh < l.KH; kh++ {
-								hi := h0 + kh
-								if hi < 0 || hi >= H {
+	workers := parallel.Workers()
+	if workers <= 1 {
+		gi := 0
+		for f := 0; f < l.OutC; f++ {
+			wf := wd[f*wsF : (f+1)*wsF]
+			wgf := wg[f*wsF : (f+1)*wsF]
+			for to := 0; to < To; to++ {
+				t0 := to*l.ST - l.PT
+				for ho := 0; ho < Ho; ho++ {
+					h0 := ho*l.SH - l.PH
+					for wo := 0; wo < Wo; wo++ {
+						w0 := wo*l.SW - l.PW
+						g := gd[gi]
+						gi++
+						if g == 0 {
+							continue
+						}
+						bg[f] += g
+						for c := 0; c < l.InC; c++ {
+							for kt := 0; kt < l.KT; kt++ {
+								ti := t0 + kt
+								if ti < 0 || ti >= T {
 									continue
 								}
-								base := c*xsC + ti*xsT + hi*xsH
-								wbase := c*wsC + kt*wsT + kh*wsH
-								for kw := 0; kw < l.KW; kw++ {
-									wi := w0 + kw
-									if wi < 0 || wi >= W {
+								for kh := 0; kh < l.KH; kh++ {
+									hi := h0 + kh
+									if hi < 0 || hi >= H {
 										continue
 									}
-									wgf[wbase+kw] += g * xd[base+wi]
-									dxd[base+wi] += g * wf[wbase+kw]
+									base := c*xsC + ti*xsT + hi*xsH
+									wbase := c*wsC + kt*wsT + kh*wsH
+									for kw := 0; kw < l.KW; kw++ {
+										wi := w0 + kw
+										if wi < 0 || wi >= W {
+											continue
+										}
+										wgf[wbase+kw] += g * xd[base+wi]
+										dxd[base+wi] += g * wf[wbase+kw]
+									}
 								}
 							}
 						}
@@ -205,7 +210,111 @@ func (l *Conv3D) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
+		return dx
 	}
+
+	// Pass 1 — weight and bias gradients, sharded over filters (wg[f] and
+	// bg[f] have a single writer, per-filter order matches the scatter).
+	parallel.ForN(workers, l.OutC, func(_, fs, fe int) {
+		for f := fs; f < fe; f++ {
+			wgf := wg[f*wsF : (f+1)*wsF]
+			gi := f * perF
+			for to := 0; to < To; to++ {
+				t0 := to*l.ST - l.PT
+				for ho := 0; ho < Ho; ho++ {
+					h0 := ho*l.SH - l.PH
+					for wo := 0; wo < Wo; wo++ {
+						w0 := wo*l.SW - l.PW
+						g := gd[gi]
+						gi++
+						if g == 0 {
+							continue
+						}
+						bg[f] += g
+						for c := 0; c < l.InC; c++ {
+							for kt := 0; kt < l.KT; kt++ {
+								ti := t0 + kt
+								if ti < 0 || ti >= T {
+									continue
+								}
+								for kh := 0; kh < l.KH; kh++ {
+									hi := h0 + kh
+									if hi < 0 || hi >= H {
+										continue
+									}
+									base := c*xsC + ti*xsT + hi*xsH
+									wbase := c*wsC + kt*wsT + kh*wsH
+									for kw := 0; kw < l.KW; kw++ {
+										wi := w0 + kw
+										if wi < 0 || wi >= W {
+											continue
+										}
+										wgf[wbase+kw] += g * xd[base+wi]
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+
+	// Pass 2 — input gradient, sharded over input elements. Contributions
+	// gather in ascending (f, to, ho, wo) order — the scatter's delivery
+	// order — by running the kernel offsets descending.
+	parallel.ForN(workers, len(dxd), func(_, s, e int) {
+		for idx := s; idx < e; idx++ {
+			c := idx / xsC
+			rem := idx % xsC
+			ti := rem / xsT
+			rem %= xsT
+			hi := rem / W
+			wi := rem % W
+			wc := c * wsC
+			sum := 0.0
+			for f := 0; f < l.OutC; f++ {
+				gf := gd[f*perF:]
+				wf := wd[f*wsF+wc:]
+				for kt := l.KT - 1; kt >= 0; kt-- {
+					toS := ti + l.PT - kt
+					if toS < 0 || toS%l.ST != 0 {
+						continue
+					}
+					to := toS / l.ST
+					if to >= To {
+						continue
+					}
+					for kh := l.KH - 1; kh >= 0; kh-- {
+						hoS := hi + l.PH - kh
+						if hoS < 0 || hoS%l.SH != 0 {
+							continue
+						}
+						ho := hoS / l.SH
+						if ho >= Ho {
+							continue
+						}
+						for kw := l.KW - 1; kw >= 0; kw-- {
+							woS := wi + l.PW - kw
+							if woS < 0 || woS%l.SW != 0 {
+								continue
+							}
+							wo := woS / l.SW
+							if wo >= Wo {
+								continue
+							}
+							g := gf[(to*Ho+ho)*Wo+wo]
+							if g == 0 {
+								continue
+							}
+							sum += g * wf[kt*wsT+kh*wsH+kw]
+						}
+					}
+				}
+			}
+			dxd[idx] = sum
+		}
+	})
 	return dx
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"duo/internal/parallel"
 	"duo/internal/tensor"
 )
 
@@ -15,9 +16,27 @@ func lossOf(l Layer, x, w *tensor.Tensor) float64 {
 	return y.Dot(w)
 }
 
-// checkGrads verifies Backward against central finite differences for both
-// the input gradient and every parameter gradient.
+// checkGrads verifies Backward against central finite differences at
+// worker counts 1, 2, and 7, so the parallel backward paths are gradient-
+// checked exactly like the sequential reference. The forward fan-out gate
+// is lowered so even these tiny layers take the sharded code path.
 func checkGrads(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	prevThreshold := parallelThreshold
+	parallelThreshold = 0
+	defer func() { parallelThreshold = prevThreshold }()
+	for _, workers := range []int{1, 2, 7} {
+		prev := parallel.SetWorkers(workers)
+		checkGradsAt(t, l, x, tol, workers)
+		parallel.SetWorkers(prev)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// checkGradsAt is one gradcheck run at the active worker count.
+func checkGradsAt(t *testing.T, l Layer, x *tensor.Tensor, tol float64, workers int) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(99))
 	y, cache := l.Forward(x)
@@ -38,7 +57,7 @@ func checkGrads(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
 		x.Data()[i] = orig
 		num := (up - down) / (2 * h)
 		if math.Abs(num-dx.Data()[i]) > tol*(1+math.Abs(num)) {
-			t.Fatalf("input grad[%d]: analytic %g vs numeric %g", i, dx.Data()[i], num)
+			t.Fatalf("workers=%d: input grad[%d]: analytic %g vs numeric %g", workers, i, dx.Data()[i], num)
 		}
 	}
 	// Parameter gradients.
@@ -52,7 +71,7 @@ func checkGrads(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
 			p.Value.Data()[i] = orig
 			num := (up - down) / (2 * h)
 			if math.Abs(num-p.Grad.Data()[i]) > tol*(1+math.Abs(num)) {
-				t.Fatalf("%s grad[%d]: analytic %g vs numeric %g", p.Name, i, p.Grad.Data()[i], num)
+				t.Fatalf("workers=%d: %s grad[%d]: analytic %g vs numeric %g", workers, p.Name, i, p.Grad.Data()[i], num)
 			}
 		}
 	}
@@ -202,4 +221,32 @@ func TestChannelNormGradcheck(t *testing.T) {
 	l := NewChannelNorm(3)
 	x := tensor.RandNormal(rng, 2, 1.5, 3, 4, 4)
 	checkGrads(t, l, x, 1e-5)
+}
+
+// Coverage audit (pool.go, norm.go, lstm.go): MaxPool3D, AvgPoolTime,
+// GlobalAvgPool, ChannelNorm, and LSTM all had gradchecks; Flatten was the
+// one layer with none of its own (it was only exercised inside Sequential
+// stacks).
+func TestFlattenGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	x := tensor.RandNormal(rng, 0, 1, 2, 3, 4)
+	checkGrads(t, Flatten{}, x, 1e-8)
+}
+
+// TestMaxPool3DKernelLargerThanInputGradcheck covers the kernel-clamp path
+// (kernel bigger than the pooled dimensions collapses them to size 1).
+func TestMaxPool3DKernelLargerThanInputGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	l := MaxPool3D{KT: 4, KH: 4, KW: 4}
+	x := tensor.RandNormal(rng, 0, 1, 2, 2, 3, 3)
+	checkGrads(t, l, x, 1e-5)
+}
+
+// TestAvgPoolTimeKernelLargerThanInputGradcheck covers AvgPoolTime's
+// window clamp (K larger than the temporal extent).
+func TestAvgPoolTimeKernelLargerThanInputGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	l := AvgPoolTime{K: 5}
+	x := tensor.RandNormal(rng, 0, 1, 2, 3, 2, 2)
+	checkGrads(t, l, x, 1e-6)
 }

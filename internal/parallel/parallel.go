@@ -1,0 +1,120 @@
+// Package parallel is the shared parallel-for substrate of the retrieval
+// and training hot paths. It deliberately exposes only deterministic
+// building blocks: work over [0, n) is split into contiguous shards whose
+// bounds depend on nothing but (n, workers), so a caller that keeps
+// per-shard partial results and combines them in shard order gets the same
+// floating-point answer on every run. No primitive here ever reduces
+// across shards itself — racing accumulation is exactly what the package
+// exists to prevent (see DESIGN.md §9 for the determinism contract).
+//
+// The worker count defaults to GOMAXPROCS, can be pinned for a process via
+// the DUO_PARALLEL environment variable, and can be pinned programmatically
+// (tests, cmd/duobench -workers) with SetWorkers.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable that overrides the default worker
+// count (a positive integer; anything else is ignored).
+const EnvVar = "DUO_PARALLEL"
+
+// pinned holds the SetWorkers override (0 = none).
+var pinned atomic.Int64
+
+// envWorkers is the DUO_PARALLEL override, read once at startup.
+var envWorkers = func() int {
+	if s := os.Getenv(EnvVar); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}()
+
+// Workers returns the active worker count: the SetWorkers pin if present,
+// else DUO_PARALLEL, else GOMAXPROCS. Always ≥ 1.
+func Workers() int {
+	if n := pinned.Load(); n > 0 {
+		return int(n)
+	}
+	if envWorkers > 0 {
+		return envWorkers
+	}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// SetWorkers pins the worker count for the whole process and returns the
+// previous pin (0 when none was set). n ≤ 0 removes the pin, restoring the
+// DUO_PARALLEL/GOMAXPROCS default. Safe for concurrent use; callers that
+// need a stable count across several calls should capture Workers() once
+// and use ForN.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(pinned.Swap(int64(n)))
+}
+
+// Bounds returns the half-open [start, end) range of shard s when n items
+// are split into w contiguous shards: every shard gets n/w items and the
+// first n%w shards one extra. The bounds are a pure function of (n, w, s),
+// which is what makes per-shard reductions reproducible run to run.
+func Bounds(n, w, s int) (start, end int) {
+	base, rem := n/w, n%w
+	start = s * base
+	if s < rem {
+		start += s
+	} else {
+		start += rem
+	}
+	end = start + base
+	if s < rem {
+		end++
+	}
+	return start, end
+}
+
+// For splits [0, n) into min(Workers(), n) contiguous shards and runs body
+// once per shard, concurrently, waiting for all shards to finish. body
+// receives its shard index and [start, end) bounds; shard 0 runs on the
+// calling goroutine.
+func For(n int, body func(shard, start, end int)) {
+	ForN(Workers(), n, body)
+}
+
+// ForN is For with an explicit worker count, for callers that must hold
+// the shard layout fixed across several passes (or pin w=1 to stay on the
+// calling goroutine, e.g. inside an already-parallel outer loop).
+func ForN(w, n int, body func(shard, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for s := 1; s < w; s++ {
+		go func(s int) {
+			defer wg.Done()
+			start, end := Bounds(n, w, s)
+			body(s, start, end)
+		}(s)
+	}
+	start, end := Bounds(n, w, 0)
+	body(0, start, end)
+	wg.Wait()
+}

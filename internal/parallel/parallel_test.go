@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBoundsPartitionExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 100, 101} {
+		for _, w := range []int{1, 2, 3, 7, 16} {
+			covered := 0
+			prevEnd := 0
+			for s := 0; s < w; s++ {
+				start, end := Bounds(n, w, s)
+				if start != prevEnd {
+					t.Fatalf("n=%d w=%d shard %d starts at %d, want %d", n, w, s, start, prevEnd)
+				}
+				if end < start {
+					t.Fatalf("n=%d w=%d shard %d has end %d < start %d", n, w, s, end, start)
+				}
+				covered += end - start
+				prevEnd = end
+			}
+			if prevEnd != n || covered != n {
+				t.Fatalf("n=%d w=%d covered %d items ending at %d", n, w, covered, prevEnd)
+			}
+		}
+	}
+}
+
+func TestBoundsBalanced(t *testing.T) {
+	// No shard may be more than one item larger than another.
+	for _, n := range []int{5, 17, 100} {
+		for _, w := range []int{2, 3, 7} {
+			lo, hi := n, 0
+			for s := 0; s < w; s++ {
+				start, end := Bounds(n, w, s)
+				if sz := end - start; sz < lo {
+					lo = sz
+				} else if sz > hi {
+					hi = sz
+				}
+				if sz := end - start; sz > hi {
+					hi = sz
+				}
+			}
+			if hi-lo > 1 {
+				t.Fatalf("n=%d w=%d shard sizes range [%d,%d]", n, w, lo, hi)
+			}
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 7} {
+		for _, n := range []int{0, 1, 3, 7, 8, 50} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			ForN(w, n, func(_, start, end int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := start; i < end; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("w=%d n=%d index %d visited %d times", w, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForNMoreWorkersThanItems(t *testing.T) {
+	var calls atomic.Int64
+	ForN(7, 3, func(shard, start, end int) {
+		calls.Add(1)
+		if end-start != 1 {
+			t.Errorf("shard %d got [%d,%d), want single item", shard, start, end)
+		}
+	})
+	if calls.Load() != 3 {
+		t.Fatalf("got %d shard calls, want 3", calls.Load())
+	}
+}
+
+func TestSetWorkersPinAndRestore(t *testing.T) {
+	prev := SetWorkers(5)
+	defer SetWorkers(prev)
+	if got := Workers(); got != 5 {
+		t.Fatalf("Workers()=%d after SetWorkers(5)", got)
+	}
+	if back := SetWorkers(0); back != 5 {
+		t.Fatalf("SetWorkers(0) returned %d, want previous pin 5", back)
+	}
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers()=%d after unpin, want ≥1", got)
+	}
+}
+
+func TestForRunsShardZeroOnCaller(t *testing.T) {
+	// Deterministic shard bounds: the same (n, w) must produce the same
+	// layout every call, so per-shard reductions are stable.
+	for s := 0; s < 3; s++ {
+		a0, b0 := Bounds(10, 3, s)
+		a1, b1 := Bounds(10, 3, s)
+		if a0 != a1 || b0 != b1 {
+			t.Fatalf("Bounds not stable for shard %d", s)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package retrieval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"duo/internal/tensor"
+)
+
+// benchIndex builds a 1k-video synthetic index with dense 64-d features,
+// isolating the gallery scan (the Retrieve hot loop) from feature
+// extraction.
+func benchIndex(n, dim int) (*Engine, *tensor.Tensor) {
+	rng := rand.New(rand.NewSource(11))
+	e := &Engine{}
+	for i := 0; i < n; i++ {
+		e.ids = append(e.ids, fmt.Sprintf("v%05d", i))
+		e.labels = append(e.labels, i%10)
+		e.feats = append(e.feats, tensor.RandNormal(rng, 0, 1, dim))
+	}
+	return e, tensor.RandNormal(rng, 0, 1, dim)
+}
+
+// BenchmarkRetrieveSequential is the pre-parallel baseline: full sort of
+// the gallery per query (the original `nearest` path).
+func BenchmarkRetrieveSequential(b *testing.B) {
+	e, q := benchIndex(1000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nearest(q, e.ids, e.labels, e.feats, 10)
+	}
+}
+
+// BenchmarkRetrieveParallel measures the sharded top-m scan (with pooled
+// scratch, as Engine.Retrieve runs it) at several worker counts on a
+// 1k-video gallery.
+func BenchmarkRetrieveParallel(b *testing.B) {
+	e, q := benchIndex(1000, 64)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = e.scan(q, 10, w)
+			}
+		})
+	}
+}
+
+// BenchmarkShardNearest measures the per-node scan of the distributed path
+// (single-threaded by design, pooled scratch).
+func BenchmarkShardNearest(b *testing.B) {
+	e, q := benchIndex(1000, 64)
+	s := &Shard{ids: e.ids, labels: e.labels, feats: e.feats}
+	feat := q.Data()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Nearest(feat, 10)
+	}
+}

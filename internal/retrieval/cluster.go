@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"duo/internal/models"
+	"duo/internal/parallel"
 	"duo/internal/tensor"
 	"duo/internal/video"
 )
@@ -15,9 +16,10 @@ import (
 // identity and label metadata. It answers nearest-neighbour queries over
 // its slice only.
 type Shard struct {
-	ids    []string
-	labels []int
-	feats  []*tensor.Tensor
+	ids     []string
+	labels  []int
+	feats   []*tensor.Tensor
+	scratch sync.Pool
 }
 
 // NewShard builds a shard index for the given gallery slice under the
@@ -35,9 +37,14 @@ func NewShard(m models.Model, gallery []*video.Video) *Shard {
 // Size returns the number of indexed entries.
 func (s *Shard) Size() int { return len(s.ids) }
 
-// Nearest returns the shard's top-m entries for the query feature.
+// Nearest returns the shard's top-m entries for the query feature. The
+// scan is single-threaded (the cluster's node fan-out is the unit of
+// parallelism) but uses the pooled top-m heap, so serving a query does not
+// allocate an O(shard) temporary.
 func (s *Shard) Nearest(feat []float64, m int) []Result {
-	return nearest(tensor.From(feat, len(feat)), s.ids, s.labels, s.feats, m)
+	sc := getScratch(&s.scratch)
+	defer s.scratch.Put(sc)
+	return scanTopM(tensor.From(feat, len(feat)), s.ids, s.labels, s.feats, m, 1, sc)
 }
 
 // Transport carries nearest-neighbour calls to a data node. The in-memory
@@ -154,6 +161,7 @@ type Cluster struct {
 }
 
 var _ FallibleRetriever = (*Cluster)(nil)
+var _ BatchRetriever = (*Cluster)(nil)
 
 // NewCluster builds a coordinator over the given node transports with the
 // BestEffort partial-result policy.
@@ -309,6 +317,20 @@ func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 	}
 	merged := mergeTopM(all, m)
 	return merged, firstErr
+}
+
+// RetrieveBatch implements BatchRetriever: independent queries fan out
+// concurrently, each running its own scatter/gather under the active
+// partial-result policy and billing QueryCount once. Transports already
+// serialize per-connection access, so concurrent scatters are safe.
+func (c *Cluster) RetrieveBatch(vs []*video.Video, m int) [][]Result {
+	out := make([][]Result, len(vs))
+	parallel.For(len(vs), func(_, start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = c.Retrieve(vs[i], m)
+		}
+	})
+	return out
 }
 
 // Close closes every node transport, returning the first error.

@@ -6,10 +6,12 @@ package retrieval
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"duo/internal/metrics"
 	"duo/internal/models"
+	"duo/internal/parallel"
 	"duo/internal/tensor"
 	"duo/internal/video"
 )
@@ -32,6 +34,18 @@ type Retriever interface {
 	Retrieve(v *video.Video, m int) []Result
 }
 
+// BatchRetriever is a Retriever that can serve several independent queries
+// in one call, fanning them out across workers. The answers are
+// bitwise-identical to issuing each query through Retrieve, and every
+// query is billed to QueryCount individually — batching buys throughput,
+// never budget.
+type BatchRetriever interface {
+	Retriever
+	// RetrieveBatch returns one top-m list per input video, with
+	// out[i] == Retrieve(vs[i], m).
+	RetrieveBatch(vs []*video.Video, m int) [][]Result
+}
+
 // FallibleRetriever is a Retriever whose queries can fail (a distributed
 // service with unreachable nodes, per its partial-result policy).
 // Failure-aware callers — the attack loop in particular — should prefer
@@ -52,9 +66,13 @@ type Engine struct {
 	labels  []int
 	feats   []*tensor.Tensor
 	queries atomic.Int64
+	// scratch pools the sharded-scan workspace so a steady-state query
+	// allocates only its result slice (see topm.go).
+	scratch sync.Pool
 }
 
 var _ Retriever = (*Engine)(nil)
+var _ BatchRetriever = (*Engine)(nil)
 
 // NewEngine indexes the gallery under the given extractor.
 func NewEngine(m models.Model, gallery []*video.Video) *Engine {
@@ -81,15 +99,41 @@ func (e *Engine) QueryCount() int64 { return e.queries.Load() }
 // ResetQueryCount zeroes the query counter.
 func (e *Engine) ResetQueryCount() { e.queries.Store(0) }
 
-// Retrieve implements Retriever.
+// Retrieve implements Retriever. The gallery scan is sharded across
+// parallel.Workers() with a deterministic top-m merge, so the list is
+// bitwise-identical at every worker count.
 func (e *Engine) Retrieve(v *video.Video, m int) []Result {
 	e.queries.Add(1)
 	feat := models.Embed(e.model, v)
-	return nearest(feat, e.ids, e.labels, e.feats, m)
+	return e.scan(feat, m, parallel.Workers())
+}
+
+// RetrieveBatch implements BatchRetriever: queries fan out across workers
+// (each scanning single-threaded, so the batch is the unit of parallelism)
+// and each one is billed to QueryCount.
+func (e *Engine) RetrieveBatch(vs []*video.Video, m int) [][]Result {
+	e.queries.Add(int64(len(vs)))
+	out := make([][]Result, len(vs))
+	parallel.For(len(vs), func(_, start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = e.scan(models.Embed(e.model, vs[i]), m, 1)
+		}
+	})
+	return out
+}
+
+// scan runs the pooled sharded top-m scan over the engine's index.
+func (e *Engine) scan(feat *tensor.Tensor, m, workers int) []Result {
+	sc := getScratch(&e.scratch)
+	defer e.scratch.Put(sc)
+	return scanTopM(feat, e.ids, e.labels, e.feats, m, workers, sc)
 }
 
 // nearest scores feat against an index and returns the top-m entries,
-// sorted ascending by distance with ID tie-breaking for determinism.
+// sorted ascending by distance with ID tie-breaking for determinism. It is
+// the sequential sort-everything reference that the sharded scan
+// (scanTopM) must reproduce bitwise; tests and the fuzz oracle diff the
+// two paths.
 func nearest(feat *tensor.Tensor, ids []string, labels []int, feats []*tensor.Tensor, m int) []Result {
 	res := make([]Result, len(ids))
 	for i := range ids {
@@ -137,14 +181,25 @@ type Quality struct {
 }
 
 // Evaluate computes retrieval quality over the queries; an item is correct
-// when its label matches the query's.
+// when its label matches the query's. Retrievers that support batching
+// serve the query set with a parallel fan-out; the metrics are identical
+// either way.
 func Evaluate(r Retriever, queries []*video.Video, m int) Quality {
+	var lists [][]Result
+	if br, ok := r.(BatchRetriever); ok {
+		lists = br.RetrieveBatch(queries, m)
+	} else {
+		lists = make([][]Result, len(queries))
+		for i, q := range queries {
+			lists[i] = r.Retrieve(q, m)
+		}
+	}
 	rel := make([][]bool, 0, len(queries))
-	for _, q := range queries {
-		rs := r.Retrieve(q, m)
+	for i, q := range queries {
+		rs := lists[i]
 		row := make([]bool, len(rs))
-		for i, res := range rs {
-			row[i] = res.Label == q.Label
+		for j, res := range rs {
+			row[j] = res.Label == q.Label
 		}
 		rel = append(rel, row)
 	}

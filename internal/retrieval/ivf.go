@@ -3,9 +3,11 @@ package retrieval
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"duo/internal/models"
+	"duo/internal/parallel"
 	"duo/internal/tensor"
 	"duo/internal/video"
 )
@@ -24,8 +26,21 @@ type IVFEngine struct {
 	// lists[c] holds the gallery entries assigned to centroid c.
 	lists [][]ivfEntry
 
-	queries int64
+	queries atomic.Int64
 	size    int
+	// scratch pools the probe workspace (flattened candidates + sharded
+	// top-m heaps) so steady-state queries reuse their buffers.
+	scratch sync.Pool
+}
+
+// ivfScratch is the per-query probe workspace: the probed cells' entries
+// flattened into parallel slices, plus the scan scratch.
+type ivfScratch struct {
+	ids    []string
+	labels []int
+	feats  []*tensor.Tensor
+	cd     []float64
+	scan   scanScratch
 }
 
 type ivfEntry struct {
@@ -35,6 +50,7 @@ type ivfEntry struct {
 }
 
 var _ Retriever = (*IVFEngine)(nil)
+var _ BatchRetriever = (*IVFEngine)(nil)
 
 // IVFConfig parameterizes index construction.
 type IVFConfig struct {
@@ -89,37 +105,56 @@ func NewIVFEngine(m models.Model, gallery []*video.Video, cfg IVFConfig) (*IVFEn
 func (e *IVFEngine) GallerySize() int { return e.size }
 
 // Retrieve implements Retriever: quantize the query, scan the NProbe
-// nearest cells exactly, and return the merged top-m.
+// nearest cells exactly, and return the merged top-m. Both the centroid
+// ranking and the candidate scan are sharded across parallel.Workers();
+// the candidate set and the final (Dist, ID)-ordered list are identical to
+// the sequential scan at every worker count.
 func (e *IVFEngine) Retrieve(v *video.Video, m int) []Result {
-	e.queries++
+	e.queries.Add(1)
 	feat := models.Embed(e.model, v)
+	workers := parallel.Workers()
 
-	// Rank cells by centroid distance.
-	cd := make([]float64, len(e.centroids))
-	for i, c := range e.centroids {
-		cd[i] = feat.SquaredDistance(c)
+	sc, _ := e.scratch.Get().(*ivfScratch)
+	if sc == nil {
+		sc = new(ivfScratch)
 	}
+	defer e.scratch.Put(sc)
+
+	// Rank cells by centroid distance (independent per cell, single
+	// writer per slot).
+	if cap(sc.cd) < len(e.centroids) {
+		sc.cd = make([]float64, len(e.centroids))
+	}
+	cd := sc.cd[:len(e.centroids)]
+	parallel.ForN(workers, len(cd), func(_, start, end int) {
+		for i := start; i < end; i++ {
+			cd[i] = feat.SquaredDistance(e.centroids[i])
+		}
+	})
 	order := tensor.ArgsortAsc(cd)
 
-	var res []Result
+	// Flatten the probed cells, then run the shared sharded top-m scan.
+	sc.ids, sc.labels, sc.feats = sc.ids[:0], sc.labels[:0], sc.feats[:0]
 	for _, ci := range order[:e.nprobe] {
 		for _, entry := range e.lists[ci] {
-			res = append(res, Result{ID: entry.id, Label: entry.label, Dist: feat.Distance(entry.feat)})
+			sc.ids = append(sc.ids, entry.id)
+			sc.labels = append(sc.labels, entry.label)
+			sc.feats = append(sc.feats, entry.feat)
 		}
 	}
-	sort.Slice(res, func(a, b int) bool {
-		if res[a].Dist != res[b].Dist {
-			return res[a].Dist < res[b].Dist
+	return scanTopM(feat, sc.ids, sc.labels, sc.feats, m, workers, &sc.scan)
+}
+
+// RetrieveBatch implements BatchRetriever: independent queries fan out
+// across workers, each billed individually.
+func (e *IVFEngine) RetrieveBatch(vs []*video.Video, m int) [][]Result {
+	out := make([][]Result, len(vs))
+	parallel.For(len(vs), func(_, start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = e.Retrieve(vs[i], m)
 		}
-		return res[a].ID < res[b].ID
 	})
-	if m > len(res) {
-		m = len(res)
-	}
-	if m < 0 {
-		m = 0
-	}
-	return res[:m]
+	return out
 }
 
 // RecallAtM measures the fraction of the exact engine's top-m the IVF

@@ -1,0 +1,146 @@
+package retrieval
+
+import (
+	"sort"
+	"sync"
+
+	"duo/internal/parallel"
+	"duo/internal/tensor"
+)
+
+// This file is the sharded top-m distance scan shared by Engine, IVFEngine,
+// and Shard. The gallery is split into contiguous shards (parallel.Bounds),
+// each shard keeps its own bounded top-m heap, and the per-shard winners
+// are merged under the global (Dist, ID) order. Every per-item distance is
+// computed independently and the merge order is a total order over unique
+// IDs, so the output is bitwise-identical to the sequential sort-everything
+// path (`nearest`) at every worker count — the determinism contract of
+// DESIGN.md §9.
+
+// resultLess is the service-wide result order: ascending distance with ID
+// tie-breaking. It is a strict total order whenever gallery IDs are unique,
+// which is what makes the sharded scan reproduce `nearest` exactly.
+func resultLess(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// scanScratch is the reusable per-query state of a sharded scan: one
+// bounded heap per shard plus a merge buffer. Engines keep these in a
+// sync.Pool so a steady-state query allocates only the caller-owned result
+// slice, never an O(gallery) temporary.
+type scanScratch struct {
+	heaps  [][]Result
+	merged []Result
+}
+
+// shards returns w heap slots, each empty with capacity ≥ m, reusing the
+// scratch's backing arrays.
+func (sc *scanScratch) shards(w, m int) [][]Result {
+	if cap(sc.heaps) < w {
+		sc.heaps = make([][]Result, w)
+	}
+	sc.heaps = sc.heaps[:w]
+	for s := range sc.heaps {
+		if cap(sc.heaps[s]) < m {
+			sc.heaps[s] = make([]Result, 0, m)
+		} else {
+			sc.heaps[s] = sc.heaps[s][:0]
+		}
+	}
+	return sc.heaps
+}
+
+// getScratch fetches a scratch from the pool (a zero-value pool works: a
+// nil Get is replaced with a fresh scratch).
+func getScratch(pool *sync.Pool) *scanScratch {
+	sc, _ := pool.Get().(*scanScratch)
+	if sc == nil {
+		sc = new(scanScratch)
+	}
+	return sc
+}
+
+// pushTopM inserts r into the bounded max-heap h (worst kept entry at the
+// root), retaining the m smallest entries under resultLess.
+func pushTopM(h []Result, r Result, m int) []Result {
+	if len(h) < m {
+		h = append(h, r)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !resultLess(h[p], h[i]) {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+		return h
+	}
+	if !resultLess(r, h[0]) {
+		return h
+	}
+	h[0] = r
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && resultLess(h[big], h[l]) {
+			big = l
+		}
+		if rr < len(h) && resultLess(h[big], h[rr]) {
+			big = rr
+		}
+		if big == i {
+			return h
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// scanTopM scores feat against the index and returns the global top-m in
+// resultLess order, scanning with w shards. The result equals
+// nearest(feat, ids, labels, feats, m) bitwise for any w ≥ 1 (unique IDs
+// assumed, as everywhere in the service). sc may be nil; passing a pooled
+// scratch makes the scan allocation-free apart from the returned slice.
+func scanTopM(feat *tensor.Tensor, ids []string, labels []int, feats []*tensor.Tensor, m, w int, sc *scanScratch) []Result {
+	n := len(ids)
+	if m > n {
+		m = n
+	}
+	if m < 0 {
+		m = 0
+	}
+	out := make([]Result, m)
+	if m == 0 {
+		return out
+	}
+	if sc == nil {
+		sc = new(scanScratch)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	heaps := sc.shards(w, m)
+	parallel.ForN(w, n, func(shard, start, end int) {
+		h := heaps[shard]
+		for i := start; i < end; i++ {
+			h = pushTopM(h, Result{ID: ids[i], Label: labels[i], Dist: feat.Distance(feats[i])}, m)
+		}
+		heaps[shard] = h
+	})
+	merged := sc.merged[:0]
+	for _, h := range heaps {
+		merged = append(merged, h...)
+	}
+	sort.Slice(merged, func(a, b int) bool { return resultLess(merged[a], merged[b]) })
+	sc.merged = merged
+	copy(out, merged[:m])
+	return out
+}
