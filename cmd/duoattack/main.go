@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"duo"
+	"duo/internal/models"
 	"duo/internal/video"
 )
 
@@ -39,9 +40,18 @@ func run(args []string) error {
 		nodes    = fs.Int("nodes", 1, "retrieval data nodes (1 = single engine)")
 		seed     = fs.Int64("seed", 1, "run seed")
 		export   = fs.String("export", "", "directory to write original/adversarial/delta frames as PPM images")
+		telem    = fs.Bool("telemetry", false, "collect and print per-stage timings, query-budget burn, and the 𝕋 trajectory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// With -telemetry every layer of the run is instrumented: the retrieval
+	// engine, the attack stages, and the surrogate's layer graph. The attack
+	// result is identical either way — telemetry is write-only.
+	var reg *duo.Telemetry
+	if *telem {
+		reg = duo.NewTelemetry()
 	}
 
 	fmt.Printf("building victim system (%s + %s)...\n", *victim, *loss)
@@ -55,6 +65,7 @@ func run(args []string) error {
 		return err
 	}
 	defer sys.Close()
+	sys.SetTelemetry(reg)
 	fmt.Printf("victim mAP on test split: %.2f%%\n", sys.MAP()*100)
 
 	fmt.Printf("stealing %s surrogate over the black-box interface...\n", *surrArch)
@@ -62,6 +73,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	surr = models.Instrument(surr, reg)
 
 	pair := sys.SamplePairs(*seed+11, 1)[0]
 	fmt.Printf("attacking: original %s (label %d) → target %s (label %d)\n",
@@ -97,6 +109,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("frames written under %s (original/, adversarial/, delta8x/)\n", *export)
+	}
+
+	if reg != nil {
+		s := reg.Snapshot()
+		fmt.Println()
+		fmt.Printf("query budget burn: %d of %d (%d round(s))\n",
+			s.Counters["attack.queries"], *queries, s.Counters["attack.rounds"])
+		fmt.Print(reg.Summary())
 	}
 	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
 
 func TestRunRejectsUnknownVictim(t *testing.T) {
 	if testing.Short() {
@@ -23,5 +28,46 @@ func TestRunRejectsUnknownLoss(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestTelemetryFlagPrintsStageSummary runs a small end-to-end attack with
+// -telemetry and checks the report covers every instrumented layer: attack
+// stage timings, query-budget burn, surrogate per-layer timings, and the
+// retrieval scan histogram.
+func TestTelemetryFlagPrintsStageSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-queries", "30", "-iternumh", "1", "-telemetry"})
+	w.Close()
+	os.Stdout = old
+	raw, readErr := io.ReadAll(r)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if runErr != nil {
+		t.Fatalf("run -telemetry: %v", runErr)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"query budget burn:",
+		"== telemetry ==",
+		"attack.queries",
+		"attack.sparse_transfer_ns",
+		"attack.sparse_query_ns",
+		"model.C3D.forward_ns",
+		"retrieval.scan_ns",
+		"attack.trajectory",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry output is missing %q", want)
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"duo/internal/experiments"
 	"duo/internal/parallel"
+	"duo/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func run(args []string) error {
 		victims  = fs.String("victims", "", "restrict victim backbones (comma-separated)")
 		outPath  = fs.String("out", "", "also write the rendered tables to this file")
 		workers  = fs.Int("workers", 0, "worker count for parallel compute (0 = GOMAXPROCS, overrides DUO_PARALLEL)")
+		telem    = fs.Bool("telemetry", false, "aggregate instrumentation across all experiments and print a summary at the end")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +59,9 @@ func run(args []string) error {
 	}
 
 	opts := experiments.Options{Seed: *seed}
+	if *telem {
+		opts.Telemetry = telemetry.New()
+	}
 	switch strings.ToLower(*scale) {
 	case "tiny":
 		opts.Scale = experiments.Tiny
@@ -104,6 +109,9 @@ func run(args []string) error {
 			emit(tab.String() + "\n")
 		}
 		emit(fmt.Sprintf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond)))
+	}
+	if opts.Telemetry != nil {
+		emit(opts.Telemetry.Summary())
 	}
 	return nil
 }

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -23,6 +25,7 @@ import (
 
 	"duo"
 	"duo/internal/retrieval"
+	"duo/internal/telemetry"
 )
 
 func main() {
@@ -47,9 +50,24 @@ func run(args []string) error {
 		retries = fs.Int("retries", 3, "query mode: attempts per node call (1 disables retry)")
 		breakK  = fs.Int("break-after", 5, "query mode: consecutive failures before a node's circuit breaker opens (0 disables)")
 		policy  = fs.String("policy", "besteffort", "query mode: partial-result policy: besteffort, all, or quorum=N")
+		admin   = fs.String("admin", "", "serve telemetry admin endpoints (/metrics.json, /debug/vars, /debug/pprof/) on this address; empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Telemetry is opt-in: without -admin the registry stays nil and every
+	// instrument call below is a zero-cost no-op.
+	var reg *telemetry.Registry
+	if *admin != "" {
+		reg = telemetry.New()
+		reg.PublishExpvar("duo")
+		srv, lnAddr, err := serveAdmin(*admin, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("admin endpoints on http://%s/ (metrics.json, debug/vars, debug/pprof/)\n", lnAddr)
 	}
 
 	// Rebuild the identical system in every process.
@@ -74,6 +92,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		shardIdx.SetTelemetry(reg)
 		if fromDisk {
 			fmt.Printf("loaded feature index from %s\n", *idxFile)
 		} else if *idxFile != "" {
@@ -108,18 +127,23 @@ func run(args []string) error {
 			// don't hammer a node the breaker already declared dead.
 			var node retrieval.Transport = tr
 			if *retries > 1 {
-				node = retrieval.NewRetryTransport(node, retrieval.RetryConfig{
+				rt := retrieval.NewRetryTransport(node, retrieval.RetryConfig{
 					MaxAttempts: *retries, Seed: *seed + int64(i),
 				})
+				rt.SetTelemetry(reg, fmt.Sprintf("cluster.node%d.retry", i))
+				node = rt
 			}
 			if *breakK > 0 {
-				node = retrieval.NewBreakerTransport(node, retrieval.BreakerConfig{
+				bt := retrieval.NewBreakerTransport(node, retrieval.BreakerConfig{
 					FailureThreshold: *breakK,
 				})
+				bt.SetTelemetry(reg, fmt.Sprintf("cluster.node%d.breaker", i))
+				node = bt
 			}
 			transports = append(transports, node)
 		}
 		cluster := retrieval.NewCluster(sys.VictimModel(), transports).SetPolicy(pol)
+		cluster.SetTelemetry(reg)
 		defer cluster.Close()
 
 		if *index < 0 || *index >= len(sys.Corpus.Test) {
@@ -151,6 +175,19 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// serveAdmin starts the -admin endpoint server (metrics snapshot, expvar,
+// pprof) on addr and returns the running server plus its bound address, so
+// callers can use ":0" and learn the real port.
+func serveAdmin(addr string, reg *telemetry.Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("admin listener: %w", err)
+	}
+	srv := &http.Server{Handler: telemetry.AdminMux(reg)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
 }
 
 // parsePolicy maps the -policy flag to a partial-result policy.

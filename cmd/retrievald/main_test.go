@@ -1,11 +1,18 @@
 package main
 
 import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"duo"
+	"duo/internal/retrieval"
+	"duo/internal/telemetry"
 )
 
 // newTestSystem builds the deterministic system the daemon uses.
@@ -40,6 +47,122 @@ func TestNodeBadShardSpec(t *testing.T) {
 	}
 	if err := run([]string{"-mode", "node", "-shard", "nonsense"}); err == nil {
 		t.Error("malformed shard accepted")
+	}
+}
+
+// httpGet fetches a URL from the admin server and returns the body.
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestAdminEndpointsServeAllGroups stands up the -admin server exactly as
+// run() does and checks each endpoint group: the registry snapshot at
+// /metrics.json (counters, gauges, histograms), the expvar dump at
+// /debug/vars, and the pprof index at /debug/pprof/.
+func TestAdminEndpointsServeAllGroups(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("cluster.queries").Add(3)
+	reg.Gauge("cluster.node0.breaker_state").Set(1)
+	reg.Latency("retrieval.scan_ns").Observe(1.5e6)
+
+	srv, addr, err := serveAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr.String()
+
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(httpGet(t, base+"/metrics.json"), &snap); err != nil {
+		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+	if snap.Counters["cluster.queries"] != 3 {
+		t.Errorf("counters: got %v, want cluster.queries=3", snap.Counters)
+	}
+	if snap.Gauges["cluster.node0.breaker_state"] != 1 {
+		t.Errorf("gauges: got %v, want cluster.node0.breaker_state=1", snap.Gauges)
+	}
+	if st, ok := snap.Histograms["retrieval.scan_ns"]; !ok || st.Count != 1 {
+		t.Errorf("histograms: got %v, want retrieval.scan_ns with count 1", snap.Histograms)
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(httpGet(t, base+"/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if _, ok := vars["cmdline"]; !ok {
+		t.Error("/debug/vars is missing the standard cmdline var")
+	}
+
+	if body := httpGet(t, base+"/debug/pprof/"); !strings.Contains(string(body), "goroutine") {
+		t.Error("/debug/pprof/ index does not list profiles")
+	}
+}
+
+func TestAdminBadAddressFails(t *testing.T) {
+	if _, _, err := serveAdmin("256.0.0.1:http", telemetry.New()); err == nil {
+		t.Error("unlistenable admin address accepted")
+	}
+}
+
+// TestQueryModeWithAdminPublishesTelemetry runs a real node + query pair
+// through run() with -admin enabled and then checks, via the globally
+// published expvar, that the query-path instrumentation actually fired:
+// one cluster query, one per-node success, breaker closed.
+func TestQueryModeWithAdminPublishesTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sys, err := newTestSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := retrieval.ServeNode("127.0.0.1:0", retrieval.NewShard(sys.VictimModel(), sys.Corpus.Train[:4]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	err = run([]string{
+		"-mode", "query", "-nodes", node.Addr(), "-index", "0", "-m", "3",
+		"-admin", "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("query mode with -admin: %v", err)
+	}
+
+	v := expvar.Get("duo")
+	if v == nil {
+		t.Fatal("-admin did not publish the duo expvar")
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("duo expvar is not a snapshot: %v", err)
+	}
+	if snap.Counters["cluster.queries"] != 1 {
+		t.Errorf("cluster.queries = %d, want 1", snap.Counters["cluster.queries"])
+	}
+	if snap.Counters["cluster.node0.ok"] != 1 {
+		t.Errorf("cluster.node0.ok = %d, want 1", snap.Counters["cluster.node0.ok"])
+	}
+	if got := snap.Gauges["cluster.node0.breaker_state"]; got != 0 {
+		t.Errorf("cluster.node0.breaker_state = %d, want closed (0)", got)
+	}
+	if _, ok := snap.Histograms["cluster.gather_ns"]; !ok {
+		t.Error("cluster.gather_ns histogram missing from snapshot")
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"duo/internal/nn/losses"
 	"duo/internal/retrieval"
 	"duo/internal/surrogate"
+	"duo/internal/telemetry"
 	"duo/internal/video"
 )
 
@@ -45,6 +46,16 @@ type Retriever = retrieval.Retriever
 
 // Result is one retrieved gallery entry.
 type Result = retrieval.Result
+
+// Telemetry is a write-only metrics registry (counters, gauges, latency
+// histograms, trajectory rings). Wire one into a System with SetTelemetry
+// or into a single run with AttackOptions.Telemetry, then read it back via
+// Snapshot, Summary, or the HTTP handlers in internal/telemetry. Enabling
+// telemetry never changes any retrieval or attack result.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns an empty telemetry registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // SystemOptions configure NewSystem.
 type SystemOptions struct {
@@ -150,6 +161,7 @@ type System struct {
 	cluster *retrieval.Cluster
 	model   models.Model
 	geom    models.Geometry
+	tel     *telemetry.Registry
 }
 
 // NewSystem generates a corpus, trains the victim extractor with the
@@ -226,6 +238,20 @@ func (s *System) Close() error {
 		return s.cluster.Close()
 	}
 	return nil
+}
+
+// SetTelemetry wires the system's retrieval service into the registry
+// (per-query scan latencies, cluster gather timings, per-node health
+// counters) and makes it the default registry for Attack runs; nil — the
+// default — disables instrumentation at zero hot-path cost.
+func (s *System) SetTelemetry(r *telemetry.Registry) {
+	s.tel = r
+	if s.engine != nil {
+		s.engine.SetTelemetry(r)
+	}
+	if s.cluster != nil {
+		s.cluster.SetTelemetry(r)
+	}
 }
 
 // VictimModel exposes the victim's extractor for defense evaluation.
@@ -314,6 +340,11 @@ type AttackOptions struct {
 	IterNumH int
 	// Seed drives the query stage's randomness.
 	Seed int64
+	// Telemetry optionally collects this run's stage timings, query-budget
+	// burn, and 𝕋-trajectory tail (write-only; the attack result is
+	// identical either way). Nil falls back to the registry wired with
+	// System.SetTelemetry, if any.
+	Telemetry *telemetry.Registry
 }
 
 // Report summarizes an attack run with the paper's measures.
@@ -365,12 +396,21 @@ func (s *System) Attack(v, vt *Video, surr Model, opts AttackOptions) (*Report, 
 		opts.Seed = s.opts.Seed + 13
 	}
 
-	ctx := &attack.Context{Victim: s.Victim, M: s.M, Rng: rand.New(rand.NewSource(opts.Seed))}
+	ctx := &attack.Context{Victim: s.Victim, M: s.M, Rng: rand.New(rand.NewSource(opts.Seed)), Telemetry: s.attackTelemetry(opts)}
 	res, err := core.Run(ctx, surr, v, vt, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return s.report(v, vt, res.Outcome), nil
+}
+
+// attackTelemetry picks the per-run registry: the run's own, else the
+// system-wide one.
+func (s *System) attackTelemetry(opts AttackOptions) *telemetry.Registry {
+	if opts.Telemetry != nil {
+		return opts.Telemetry
+	}
+	return s.tel
 }
 
 // AttackUntargeted runs the untargeted DUO variant (§I): the adversarial
@@ -402,7 +442,7 @@ func (s *System) AttackUntargeted(v *Video, surr Model, opts AttackOptions) (*Re
 		opts.Seed = s.opts.Seed + 13
 	}
 
-	ctx := &attack.Context{Victim: s.Victim, M: s.M, Rng: rand.New(rand.NewSource(opts.Seed))}
+	ctx := &attack.Context{Victim: s.Victim, M: s.M, Rng: rand.New(rand.NewSource(opts.Seed)), Telemetry: s.attackTelemetry(opts)}
 	res, err := core.Run(ctx, surr, v, nil, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,156 @@
+package duo
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"duo/internal/parallel"
+	"duo/internal/retrieval"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens from the current pipeline output")
+
+// goldenPipeline is the checked-in fingerprint of one full DUO run. Any
+// drift in the attack math, the retrieval ranking, the RNG consumption
+// order, or the query billing changes at least one field and fails the
+// regression test — deliberate changes re-baseline with `go test -update`.
+type goldenPipeline struct {
+	VictimMAP float64  `json:"victim_map"`
+	APBefore  float64  `json:"ap_before"`
+	APAfter   float64  `json:"ap_after"`
+	Spa       int      `json:"spa"`
+	Frames    int      `json:"perturbed_frames"`
+	PScore    float64  `json:"pscore"`
+	Queries   int      `json:"queries"`
+	TopM      []string `json:"top_m"`
+	AdvSHA256 string   `json:"adv_sha256"`
+}
+
+const goldenPath = "testdata/golden_pipeline.json"
+
+// goldenRun executes the full pipeline — corpus, victim training, surrogate
+// stealing, DUO attack — at a fixed seed and summarizes it. The telemetry
+// registry may be nil; the summary must be identical either way.
+func goldenRun(t *testing.T, reg *Telemetry) (*goldenPipeline, *Report) {
+	t.Helper()
+	sys, err := NewSystem(SystemOptions{
+		Categories: 3, TrainPerCategory: 4, TestPerCategory: 2,
+		Frames: 6, Height: 10, Width: 10,
+		FeatureDim: 12, TrainEpochs: 2, M: 6, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetTelemetry(reg)
+	surr, err := sys.StealSurrogate(SurrogateOptions{MaxSamples: 12, Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := sys.SamplePairs(5, 1)[0]
+	rep, err := sys.Attack(pair.Original, pair.Target, surr, AttackOptions{Queries: 80, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &goldenPipeline{
+		VictimMAP: sys.MAP(),
+		APBefore:  rep.APBefore,
+		APAfter:   rep.APAfter,
+		Spa:       rep.Spa,
+		Frames:    rep.PerturbedFrames,
+		PScore:    rep.PScore,
+		Queries:   rep.Queries,
+		TopM:      retrieval.IDs(sys.Retrieve(rep.Adv, sys.M)),
+		AdvSHA256: videoSHA256(rep.Adv),
+	}, rep
+}
+
+// videoSHA256 hashes the exact float64 bit patterns of a video, so two
+// videos share a hash iff they are bitwise-identical.
+func videoSHA256(v *Video) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, x := range v.Data.Data() {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenPipeline locks the end-to-end DUO pipeline to its checked-in
+// fingerprint at workers=1, then reruns the entire pipeline at workers=4
+// and requires a bitwise-identical adversarial video and identical
+// fingerprint — the determinism contract of internal/parallel, asserted at
+// the highest level the repo has. The workers=1 run also collects
+// telemetry, proving an instrumented run produces the same bits as the
+// clean workers=4 run, and that the telemetry query counter agrees exactly
+// with the billed query count.
+func TestGoldenPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+
+	reg := NewTelemetry()
+	got, rep := goldenRun(t, reg)
+
+	if telQ := reg.Snapshot().Counters["attack.queries"]; telQ != int64(got.Queries) {
+		t.Errorf("telemetry attack.queries = %d, billed queries = %d", telQ, got.Queries)
+	}
+	if got.Queries > 80 {
+		t.Errorf("queries = %d exceed the 80-query budget", got.Queries)
+	}
+	if len(got.TopM) == 0 || rep.Adv == nil {
+		t.Fatal("pipeline produced no retrieval list or adversarial video")
+	}
+
+	if *updateGolden {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run `go test -run TestGoldenPipeline -update` to create): %v", err)
+	}
+	var want goldenPipeline
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, &want) {
+		t.Errorf("pipeline drifted from golden:\n got %+v\nwant %+v", got, &want)
+	}
+
+	// Rerun everything at workers=4, telemetry off: identical bits required.
+	parallel.SetWorkers(4)
+	got4, rep4 := goldenRun(t, nil)
+	if !reflect.DeepEqual(got, got4) {
+		t.Errorf("workers=4 fingerprint differs:\n w1 %+v\n w4 %+v", got, got4)
+	}
+	a, b := rep.Adv.Data.Data(), rep4.Adv.Data.Data()
+	if len(a) != len(b) {
+		t.Fatalf("adversarial video lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("adversarial video differs at element %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

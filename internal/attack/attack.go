@@ -9,6 +9,7 @@ import (
 
 	"duo/internal/metrics"
 	"duo/internal/retrieval"
+	"duo/internal/telemetry"
 	"duo/internal/tensor"
 	"duo/internal/video"
 )
@@ -23,6 +24,11 @@ type Context struct {
 	M int
 	// Rng drives all attack randomness (deterministic per seed).
 	Rng *rand.Rand
+	// Telemetry optionally collects write-only attack instrumentation
+	// (stage timings, query-budget burn, 𝕋 trajectory); nil — the default —
+	// disables it at zero cost. Nothing recorded here ever feeds back into
+	// attack math, so enabling telemetry cannot change any result.
+	Telemetry *telemetry.Registry
 }
 
 // Outcome is the result of one attack run on one (v, v_t) pair.

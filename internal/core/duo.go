@@ -76,13 +76,24 @@ func Run(ctx *attack.Context, s models.Model, v, vt *video.Video, cfg Config) (*
 		perRound = 1
 	}
 
+	// Stage instruments resolve to nil (no-op) without a registry. They are
+	// write-only: timings and gauges never feed back into the attack, so a
+	// telemetry-enabled run synthesizes the same video as a disabled one.
+	transferNs := ctx.Telemetry.Latency("attack.sparse_transfer_ns")
+	queryNs := ctx.Telemetry.Latency("attack.sparse_query_ns")
+	rounds := ctx.Telemetry.Counter("attack.rounds")
+	budget := ctx.Telemetry.Gauge("attack.budget_remaining")
+	budget.Set(int64(cfg.Query.MaxQueries))
+
 	cur := v
 	totalQueries := 0
 	var trajectory []float64
 	res := &Result{}
 
 	for h := 0; h < cfg.IterNumH; h++ {
+		sw := transferNs.Start()
 		masks, err := SparseTransfer(s, cur, vt, cfg.Transfer)
+		sw.Stop()
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d: %w", h+1, err)
 		}
@@ -90,11 +101,15 @@ func Run(ctx *attack.Context, s models.Model, v, vt *video.Video, cfg Config) (*
 
 		qcfg := cfg.Query
 		qcfg.MaxQueries = perRound
+		sw = queryNs.Start()
 		qr, err := SparseQuery(ctx, cur, vt, masks, qcfg)
+		sw.Stop()
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d: %w", h+1, err)
 		}
+		rounds.Inc()
 		totalQueries += qr.Queries
+		budget.Set(int64(cfg.Query.MaxQueries - totalQueries))
 		trajectory = append(trajectory, qr.Trajectory...)
 		cur = qr.Adv
 	}

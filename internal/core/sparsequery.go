@@ -121,6 +121,12 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 		retries = 0
 	}
 
+	// Write-only instruments: the query counter burns with the budget and
+	// the ring keeps the tail of the 𝕋 trajectory (Fig. 5) for inspection.
+	// Neither is ever read back, so telemetry cannot perturb the walk.
+	telQueries := ctx.Telemetry.Counter("attack.queries")
+	telTraj := ctx.Telemetry.Ring("attack.trajectory", 512)
+
 	queries := 0
 	fallible, _ := ctx.Victim.(retrieval.FallibleRetriever)
 	// A fallible victim keeps the one-query-at-a-time path so retries are
@@ -136,6 +142,7 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 	retrieveIDs := func(qv *video.Video) ([]string, error) {
 		if fallible == nil {
 			queries++
+			telQueries.Inc()
 			return retrieval.IDs(ctx.Victim.Retrieve(qv, ctx.M)), nil
 		}
 		var lastErr error
@@ -144,6 +151,7 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 				break // no budget left to retry
 			}
 			queries++
+			telQueries.Inc()
 			rs, err := fallible.RetrieveErr(qv, ctx.M)
 			if err == nil {
 				return retrieval.IDs(rs), nil
@@ -165,6 +173,7 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 	}
 	if batcher != nil && cfg.Mode != Untargeted {
 		queries += 2
+		telQueries.Add(2)
 		lists := batcher.RetrieveBatch([]*video.Video{v, vt}, ctx.M)
 		origList, targetList = retrieval.IDs(lists[0]), retrieval.IDs(lists[1])
 	} else {
@@ -209,6 +218,7 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 		support = maskIndices(masks)
 	}
 	if len(support) == 0 {
+		telTraj.Push(tCur)
 		return &QueryResult{Adv: adv, Trajectory: []float64{tCur}, Queries: queries}, nil
 	}
 
@@ -218,6 +228,7 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 	// plateaus and descends whenever it crosses a boundary. Acceptance
 	// never increases 𝕋, so the final state is also the best visited.
 	res := &QueryResult{Trajectory: []float64{tCur}}
+	telTraj.Push(tCur)
 	perm := ctx.Rng.Perm(len(support))
 	pi := 0
 
@@ -368,6 +379,7 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 				// qualifies, so the per-iteration walk matches the
 				// sequential one exactly.
 				queries += 2
+				telQueries.Add(2)
 				res.BatchedPairs++
 				lists := batcher.RetrieveBatch([]*video.Video{candP, candM}, ctx.M)
 				if !accept(candP, score(retrieval.IDs(lists[0]))) {
@@ -385,6 +397,7 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 		}
 		pi++
 		res.Trajectory = append(res.Trajectory, tCur)
+		telTraj.Push(tCur)
 	}
 
 	res.Adv = adv

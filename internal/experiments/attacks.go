@@ -87,7 +87,7 @@ func (s *Scenario) runPairs(victim retrieval.Retriever, pairs []dataset.AttackPa
 		go func(pi int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(s.Opts.Seed + int64(pi)*997))
-			ctx := &attack.Context{Victim: victim, M: s.P.M, Rng: rng}
+			ctx := &attack.Context{Victim: victim, M: s.P.M, Rng: rng, Telemetry: s.Opts.Telemetry}
 			outs[pi], errs[pi] = run(ctx, pairs[pi])
 		}(pi)
 	}

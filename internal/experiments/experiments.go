@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"duo/internal/telemetry"
 )
 
 // Scale selects the experiment size preset (DESIGN.md §5).
@@ -66,6 +68,10 @@ type Options struct {
 	Datasets []string
 	// VictimArchs restricts the victim backbones swept (nil = all four).
 	VictimArchs []string
+	// Telemetry optionally aggregates instrumentation across every victim
+	// engine and attack run of the experiment (write-only; results are
+	// identical with or without it). Nil — the default — disables it.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions returns Tiny-scale, seed-1 options.

@@ -143,6 +143,7 @@ func (s *Scenario) Victim(ds, arch, lossName string) (*retrieval.Engine, error) 
 		return nil, fmt.Errorf("experiments: train victim %s: %w", key, err)
 	}
 	eng := retrieval.NewEngine(m, c.Train)
+	eng.SetTelemetry(s.Opts.Telemetry)
 
 	s.mu.Lock()
 	s.victims[key] = eng

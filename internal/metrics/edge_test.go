@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// The similarity and precision measures sit on the attack's hot path with
+// lists that come straight from retrieval engines — including degenerate
+// ones (empty victims, truncated partial results, galleries with duplicate
+// IDs). These table-driven cases pin down the boundary behavior.
+
+func TestPrecAtEdgeCases(t *testing.T) {
+	ab := []string{"a", "b"}
+	abc := []string{"a", "b", "c"}
+	cases := []struct {
+		name string
+		a, b []string
+		i    int
+		want float64
+	}{
+		{"i zero", abc, abc, 0, 0},
+		{"i negative", abc, abc, -3, 0},
+		{"i beyond a", ab, abc, 3, 0},
+		{"i beyond b", abc, ab, 3, 0},
+		{"both empty", nil, nil, 1, 0},
+		{"empty a", nil, abc, 1, 0},
+		{"empty b", abc, nil, 1, 0},
+		{"i equals both lengths", abc, abc, 3, 1},
+		// Duplicates in a each count against b's top-i set; duplicates in
+		// b collapse into the set, so they widen nothing.
+		{"duplicates in a", []string{"a", "a", "x"}, abc, 3, 2.0 / 3},
+		{"duplicates in b", abc, []string{"a", "a", "a"}, 3, 1.0 / 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := PrecAt(c.a, c.b, c.i); got != c.want {
+				t.Errorf("PrecAt(%v, %v, %d) = %g, want %g", c.a, c.b, c.i, got, c.want)
+			}
+		})
+	}
+}
+
+func TestAPAtMEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []string
+		want float64
+	}{
+		{"both empty", nil, nil, 0},
+		{"empty a", nil, []string{"x"}, 0},
+		{"empty b", []string{"x"}, nil, 0},
+		{"singleton match", []string{"x"}, []string{"x"}, 1},
+		{"singleton miss", []string{"x"}, []string{"y"}, 0},
+		// The shorter list sets the prefix length m.
+		{"length mismatch", []string{"a", "b", "c"}, []string{"a"}, 1},
+		{"all duplicates identical", []string{"a", "a"}, []string{"a", "a"}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := APAtM(c.a, c.b); got != c.want {
+				t.Errorf("APAtM(%v, %v) = %g, want %g", c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+func TestMAPEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		rel  [][]bool
+		want float64
+	}{
+		{"no queries", nil, 0},
+		{"one empty query", [][]bool{{}}, 0},
+		// Empty rows contribute nothing but still divide: a query the
+		// retriever answered with nothing scores zero, it is not dropped.
+		{"empty row averaged in", [][]bool{{true}, {}}, 0.5},
+		{"single hit", [][]bool{{true}}, 1},
+		{"single miss", [][]bool{{false}}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := MAP(c.rel); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("MAP(%v) = %g, want %g", c.rel, got, c.want)
+			}
+		})
+	}
+}
+
+func TestListSimilarityEdgeCases(t *testing.T) {
+	sims := []struct {
+		name string
+		sim  ListSimilarity
+	}{{"CoOccurrence", CoOccurrence}, {"PlainOverlap", PlainOverlap}}
+	cases := []struct {
+		name string
+		a, b []string
+		want float64
+	}{
+		{"both empty", nil, nil, 0},
+		{"empty a", nil, []string{"x"}, 0},
+		{"empty b", []string{"x"}, nil, 0},
+		{"identical", []string{"a", "b"}, []string{"a", "b"}, 1},
+		{"disjoint", []string{"a", "b"}, []string{"c", "d"}, 0},
+		// Duplicate hits in a keep the score normalized to [0, 1].
+		{"duplicate full hit", []string{"a", "a"}, []string{"a"}, 1},
+		{"duplicate no hit", []string{"a", "a"}, []string{"b"}, 0},
+	}
+	for _, s := range sims {
+		for _, c := range cases {
+			t.Run(s.name+"/"+c.name, func(t *testing.T) {
+				got := s.sim(c.a, c.b)
+				if got != c.want {
+					t.Errorf("%s(%v, %v) = %g, want %g", s.name, c.a, c.b, got, c.want)
+				}
+				if got < 0 || got > 1 {
+					t.Errorf("%s(%v, %v) = %g outside [0, 1]", s.name, c.a, c.b, got)
+				}
+			})
+		}
+	}
+}
+
+func TestObjectiveEdgeCases(t *testing.T) {
+	// Empty lists zero both similarity terms, so 𝕋 collapses to η.
+	if got := Objective(CoOccurrence, nil, nil, nil, 0.5); got != 0.5 {
+		t.Errorf("Objective on empty lists = %g, want η = 0.5", got)
+	}
+	// A perfect adversarial list (matches target, disjoint from original)
+	// reaches the minimum η − 1.
+	adv := []string{"t1", "t2"}
+	if got := Objective(CoOccurrence, adv, []string{"o1", "o2"}, adv, 0.5); math.Abs(got-(-0.5)) > 1e-12 {
+		t.Errorf("Objective at optimum = %g, want η − 1 = -0.5", got)
+	}
+}

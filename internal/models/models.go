@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"duo/internal/nn"
+	"duo/internal/telemetry"
 	"duo/internal/tensor"
 	"duo/internal/video"
 )
@@ -59,6 +60,19 @@ func (m *netModel) Forward(x *tensor.Tensor) (*tensor.Tensor, nn.Cache) {
 
 func (m *netModel) Backward(c nn.Cache, grad *tensor.Tensor) *tensor.Tensor {
 	return m.net.Backward(c, grad)
+}
+
+// Instrument returns a model whose layer graph records per-layer
+// forward/backward wall times into r under "model.<name>"; a nil registry
+// returns m unchanged. The instrumented model shares the original's
+// parameters and computes bitwise-identical embeddings and gradients (see
+// nn.Instrument), so it can replace the original anywhere.
+func Instrument(m Model, r *telemetry.Registry) Model {
+	nm, ok := m.(*netModel)
+	if !ok || r == nil {
+		return m
+	}
+	return &netModel{name: nm.name, dim: nm.dim, net: nn.Instrument(nm.net, r, "model."+nm.name)}
 }
 
 // Embed runs a forward pass and returns only the embedding.

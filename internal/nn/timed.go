@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"duo/internal/telemetry"
+	"duo/internal/tensor"
+)
+
+// Timed wraps a Layer and records the wall time of every Forward and
+// Backward call into a pair of latency histograms. It is numerically
+// transparent: the wrapped layer sees the exact tensors it would have seen
+// unwrapped, so outputs, caches, and gradients are bitwise-identical
+// (timed_test.go pins this down).
+type Timed struct {
+	// Inner is the wrapped layer.
+	Inner Layer
+
+	forwardNs  *telemetry.Histogram
+	backwardNs *telemetry.Histogram
+}
+
+var _ Layer = (*Timed)(nil)
+
+// NewTimed wraps inner so its passes record under name.forward_ns and
+// name.backward_ns in r; a nil registry yields a pass-through wrapper.
+func NewTimed(inner Layer, r *telemetry.Registry, name string) *Timed {
+	return &Timed{
+		Inner:      inner,
+		forwardNs:  r.Latency(name + ".forward_ns"),
+		backwardNs: r.Latency(name + ".backward_ns"),
+	}
+}
+
+// Forward implements Layer.
+func (t *Timed) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
+	sw := t.forwardNs.Start()
+	y, c := t.Inner.Forward(x)
+	sw.Stop()
+	return y, c
+}
+
+// Backward implements Layer.
+func (t *Timed) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
+	sw := t.backwardNs.Start()
+	g := t.Inner.Backward(c, gradOut)
+	sw.Stop()
+	return g
+}
+
+// Params implements Layer.
+func (t *Timed) Params() []*Param { return t.Inner.Params() }
+
+// layerName returns a short stable name for a layer type: "*nn.Conv3D" and
+// "nn.ReLU" both render as their bare type name.
+func layerName(l Layer) string {
+	name := strings.TrimPrefix(fmt.Sprintf("%T", l), "*")
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// Instrument wraps a layer graph with per-layer Timed instrumentation
+// under the given name prefix. Sequentials are entered recursively so each
+// stage reports its own forward/backward histograms (named
+// prefix.<index>_<LayerType>); the Sequential itself also reports, giving
+// the end-to-end pass time. A nil registry returns l unchanged.
+func Instrument(l Layer, r *telemetry.Registry, prefix string) Layer {
+	if r == nil {
+		return l
+	}
+	if s, ok := l.(*Sequential); ok {
+		wrapped := make([]Layer, len(s.Layers))
+		for i, inner := range s.Layers {
+			wrapped[i] = Instrument(inner, r, fmt.Sprintf("%s.%d_%s", prefix, i, layerName(inner)))
+		}
+		return NewTimed(NewSequential(wrapped...), r, prefix)
+	}
+	return NewTimed(l, r, prefix)
+}

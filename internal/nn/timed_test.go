@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"duo/internal/telemetry"
+	"duo/internal/tensor"
+)
+
+// buildTimedTestNet returns a small but representative network (nested
+// Sequential, parameterized and parameter-free layers) and an input.
+func buildTimedTestNet() (Layer, *tensor.Tensor) {
+	rng := rand.New(rand.NewSource(7))
+	inner := NewSequential(Scale{Factor: 0.5}, ReLU{})
+	net := NewSequential(inner, Flatten{}, NewLinear(rng, 2*3*4, 5))
+	x := tensor.New(2, 3, 4)
+	d := x.Data()
+	for i := range d {
+		d[i] = float64(i%7) - 3
+	}
+	return net, x
+}
+
+// TestInstrumentIsNumericallyTransparent: wrapping a network with Timed
+// layers must not change its outputs, input gradients, or parameter
+// gradients by a single bit.
+func TestInstrumentIsNumericallyTransparent(t *testing.T) {
+	net, x := buildTimedTestNet()
+
+	wantY, cache := net.Forward(x)
+	gradOut := tensor.New(wantY.Shape()...)
+	for i := range gradOut.Data() {
+		gradOut.Data()[i] = float64(i) - 2
+	}
+	wantGrad := net.Backward(cache, gradOut)
+	wantParamGrads := make([][]float64, 0)
+	for _, p := range net.Params() {
+		wantParamGrads = append(wantParamGrads, append([]float64(nil), p.Grad.Data()...))
+		p.ZeroGrad()
+	}
+
+	r := telemetry.New()
+	timed := Instrument(net, r, "model.test")
+	gotY, cache := timed.Forward(x)
+	gotGrad := timed.Backward(cache, gradOut)
+
+	if !equalData(wantY.Data(), gotY.Data()) {
+		t.Error("instrumented forward differs from plain forward")
+	}
+	if !equalData(wantGrad.Data(), gotGrad.Data()) {
+		t.Error("instrumented backward differs from plain backward")
+	}
+	for i, p := range timed.Params() {
+		if !equalData(wantParamGrads[i], p.Grad.Data()) {
+			t.Errorf("param %d (%s) gradient differs under instrumentation", i, p.Name)
+		}
+	}
+}
+
+// TestInstrumentRecordsPerLayerTimings: every layer (and the enclosing
+// Sequential) reports one forward and one backward observation per pass.
+func TestInstrumentRecordsPerLayerTimings(t *testing.T) {
+	net, x := buildTimedTestNet()
+	r := telemetry.New()
+	timed := Instrument(net, r, "model.test")
+
+	y, cache := timed.Forward(x)
+	timed.Backward(cache, tensor.New(y.Shape()...))
+
+	s := r.Snapshot()
+	sawLayer := false
+	for name, st := range s.Histograms {
+		if !strings.HasPrefix(name, "model.test") {
+			t.Errorf("unexpected histogram %q", name)
+			continue
+		}
+		if st.Count != 1 {
+			t.Errorf("%s count = %d, want 1 per pass", name, st.Count)
+		}
+		if strings.Contains(name, "2_Linear") {
+			sawLayer = true
+		}
+	}
+	if want := "model.test.forward_ns"; s.Histograms[want].Count != 1 {
+		t.Errorf("missing end-to-end histogram %s: have %v", want, len(s.Histograms))
+	}
+	if !sawLayer {
+		t.Error("no per-layer histogram for the Linear stage recorded")
+	}
+}
+
+// TestInstrumentNilRegistryIsIdentity: without a registry the layer graph
+// is returned untouched — no wrappers, no overhead.
+func TestInstrumentNilRegistryIsIdentity(t *testing.T) {
+	net, _ := buildTimedTestNet()
+	if got := Instrument(net, nil, "model.test"); got != net {
+		t.Error("Instrument(nil registry) must return the layer unchanged")
+	}
+}
+
+func equalData(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

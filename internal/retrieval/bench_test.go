@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"duo/internal/telemetry"
 	"duo/internal/tensor"
 )
 
@@ -59,5 +60,56 @@ func BenchmarkShardNearest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.Nearest(feat, 10)
+	}
+}
+
+// TestDisabledTelemetryAddsNoAllocations is the zero-overhead contract on
+// the Retrieve hot path: with no registry wired, the instrumented timedScan
+// must allocate exactly as much as the raw scan — nothing for telemetry.
+func TestDisabledTelemetryAddsNoAllocations(t *testing.T) {
+	e, q := benchIndex(256, 32)
+	baseline := testing.AllocsPerRun(200, func() { _ = e.scan(q, 10, 1) })
+	instrumented := testing.AllocsPerRun(200, func() { _ = e.timedScan(q, 10, 1) })
+	if instrumented != baseline {
+		t.Errorf("disabled telemetry changed allocations: scan %.1f, timedScan %.1f allocs/op",
+			baseline, instrumented)
+	}
+}
+
+// TestEnabledTelemetryAddsNoAllocations: even with a live registry the
+// per-query records are allocation-free (instruments resolve at wiring).
+func TestEnabledTelemetryAddsNoAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs exact allocation counts")
+	}
+	e, q := benchIndex(256, 32)
+	baseline := testing.AllocsPerRun(200, func() { _ = e.scan(q, 10, 1) })
+	e.SetTelemetry(telemetry.New())
+	instrumented := testing.AllocsPerRun(200, func() { _ = e.timedScan(q, 10, 1) })
+	if instrumented != baseline {
+		t.Errorf("enabled telemetry allocated on the hot path: scan %.1f, timedScan %.1f allocs/op",
+			baseline, instrumented)
+	}
+}
+
+// BenchmarkRetrieveTelemetry quantifies the telemetry overhead on the
+// engine scan, disabled (nil registry — must be free) and enabled.
+func BenchmarkRetrieveTelemetry(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "disabled"
+		if enabled {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			e, q := benchIndex(1000, 64)
+			if enabled {
+				e.SetTelemetry(telemetry.New())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = e.timedScan(q, 10, 1)
+			}
+		})
 	}
 }

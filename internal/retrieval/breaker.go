@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"duo/internal/telemetry"
 )
 
 // ErrBreakerOpen is returned by a BreakerTransport that is failing fast
@@ -79,6 +81,13 @@ type BreakerTransport struct {
 	openedAt     time.Time
 	probing      bool
 	shortCircuit int64
+
+	// telShortCircuit mirrors shortCircuit; telState tracks the state the
+	// automaton last settled in (not the clock-recomputed State() view);
+	// telOpened counts closed/half-open → open transitions.
+	telShortCircuit *telemetry.Counter
+	telState        *telemetry.Gauge
+	telOpened       *telemetry.Counter
 }
 
 var _ Transport = (*BreakerTransport)(nil)
@@ -87,6 +96,17 @@ var _ Transport = (*BreakerTransport)(nil)
 func NewBreakerTransport(inner Transport, cfg BreakerConfig) *BreakerTransport {
 	cfg.applyDefaults()
 	return &BreakerTransport{inner: inner, cfg: cfg}
+}
+
+// SetTelemetry wires the breaker's instruments into the registry under the
+// given name prefix (e.g. "cluster.node0.breaker"); nil disables.
+func (b *BreakerTransport) SetTelemetry(r *telemetry.Registry, prefix string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.telShortCircuit = r.Counter(prefix + ".short_circuits")
+	b.telOpened = r.Counter(prefix + ".opened")
+	b.telState = r.Gauge(prefix + ".state")
+	b.telState.Set(int64(b.state))
 }
 
 // State returns the breaker's current state (recomputing open → half-open
@@ -119,15 +139,18 @@ func (b *BreakerTransport) admit() (allowed, probe bool) {
 	case BreakerOpen:
 		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
 			b.shortCircuit++
+			b.telShortCircuit.Inc()
 			return false, false
 		}
 		b.state = BreakerHalfOpen
+		b.telState.Set(int64(b.state))
 		b.probing = true
 		return true, true
 	case BreakerHalfOpen:
 		if b.probing {
 			// A probe is already in flight; don't pile on a maybe-dead node.
 			b.shortCircuit++
+			b.telShortCircuit.Inc()
 			return false, false
 		}
 		b.probing = true
@@ -145,18 +168,23 @@ func (b *BreakerTransport) report(probe bool, err error) {
 	}
 	if err == nil {
 		b.state = BreakerClosed
+		b.telState.Set(int64(b.state))
 		b.consecutive = 0
 		return
 	}
 	if b.state == BreakerHalfOpen {
 		// Failed probe: back to open for another cooldown.
 		b.state = BreakerOpen
+		b.telState.Set(int64(b.state))
+		b.telOpened.Inc()
 		b.openedAt = b.cfg.Now()
 		return
 	}
 	b.consecutive++
 	if b.consecutive >= b.cfg.FailureThreshold {
 		b.state = BreakerOpen
+		b.telState.Set(int64(b.state))
+		b.telOpened.Inc()
 		b.openedAt = b.cfg.Now()
 	}
 }

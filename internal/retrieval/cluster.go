@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"duo/internal/models"
 	"duo/internal/parallel"
+	"duo/internal/telemetry"
 	"duo/internal/tensor"
 	"duo/internal/video"
 )
@@ -20,6 +22,13 @@ type Shard struct {
 	labels  []int
 	feats   []*tensor.Tensor
 	scratch sync.Pool
+	tel     engineTel
+}
+
+// SetTelemetry wires the shard's scan instruments into the registry under
+// the "shard" prefix (used by retrievald data nodes); nil disables.
+func (s *Shard) SetTelemetry(r *telemetry.Registry) {
+	s.tel = resolveEngineTel(r, "shard")
 }
 
 // NewShard builds a shard index for the given gallery slice under the
@@ -42,9 +51,15 @@ func (s *Shard) Size() int { return len(s.ids) }
 // parallelism) but uses the pooled top-m heap, so serving a query does not
 // allocate an O(shard) temporary.
 func (s *Shard) Nearest(feat []float64, m int) []Result {
+	s.tel.queries.Inc()
+	s.tel.topM.Observe(float64(m))
+	sw := s.tel.scanNs.Start()
 	sc := getScratch(&s.scratch)
-	defer s.scratch.Put(sc)
-	return scanTopM(tensor.From(feat, len(feat)), s.ids, s.labels, s.feats, m, 1, sc)
+	rs := scanTopM(tensor.From(feat, len(feat)), s.ids, s.labels, s.feats, m, 1, sc)
+	s.scratch.Put(sc)
+	sw.Stop()
+	s.tel.scanned.Add(int64(len(s.ids)))
+	return rs
 }
 
 // Transport carries nearest-neighbour calls to a data node. The in-memory
@@ -150,6 +165,20 @@ type nodeStats struct {
 // Cluster is the distributed retrieval coordinator of Fig. 1: it extracts
 // the query's features once, scatters the feature vector to every data
 // node concurrently, and merges the nodes' top-m lists into a global top-m.
+// clusterNodeTel is one node's telemetry instrument set: request/error
+// counters plus a breaker-state gauge mirroring Health().
+type clusterNodeTel struct {
+	// ok and errs count completed Nearest calls by outcome. Fast-fails
+	// (ErrBreakerOpen) are counted in fastFail INSTEAD of errs: they never
+	// reached the node, so folding them into errs would double-count the
+	// underlying fault that tripped the breaker.
+	ok, errs, fastFail *telemetry.Counter
+	// breaker mirrors the node's circuit-breaker state as an integer gauge
+	// (BreakerClosed=0, BreakerOpen=1, BreakerHalfOpen=2), -1 when the
+	// transport has no breaker.
+	breaker *telemetry.Gauge
+}
+
 type Cluster struct {
 	model   models.Model
 	nodes   []Transport
@@ -158,6 +187,10 @@ type Cluster struct {
 	mu     sync.Mutex
 	policy Policy
 	stats  []nodeStats
+
+	tel      engineTel
+	gatherNs *telemetry.Histogram
+	nodeTel  []clusterNodeTel
 }
 
 var _ FallibleRetriever = (*Cluster)(nil)
@@ -195,6 +228,34 @@ func (c *Cluster) Policy() Policy {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.policy
+}
+
+// SetTelemetry wires the cluster's instruments into the registry: the
+// coordinator's query counters under "cluster", the scatter/gather latency
+// histogram, and per-node request/error/fast-fail counters plus a
+// breaker-state gauge under "cluster.nodeI". A nil registry disables
+// instrumentation. The per-node counters are the telemetry mirror of
+// Health() — chaos tests assert the two agree with the injected fault
+// schedule exactly.
+func (c *Cluster) SetTelemetry(r *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tel = resolveEngineTel(r, "cluster")
+	c.gatherNs = r.Latency("cluster.gather_ns")
+	c.nodeTel = make([]clusterNodeTel, len(c.nodes))
+	for i := range c.nodes {
+		prefix := fmt.Sprintf("cluster.node%d", i)
+		c.nodeTel[i] = clusterNodeTel{
+			ok:       r.Counter(prefix + ".ok"),
+			errs:     r.Counter(prefix + ".errors"),
+			fastFail: r.Counter(prefix + ".fastfail"),
+			breaker:  r.Gauge(prefix + ".breaker_state"),
+		}
+		c.nodeTel[i].breaker.Set(-1)
+		if br, ok := c.nodes[i].(breakerReporter); ok {
+			c.nodeTel[i].breaker.Set(int64(br.State()))
+		}
+	}
 }
 
 // Health returns a per-node health snapshot: call counters, consecutive
@@ -260,6 +321,8 @@ func (c *Cluster) Retrieve(v *video.Video, m int) []Result {
 //   - Quorum(q): (nil, error) unless at least q nodes answered.
 func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 	c.queries.Add(1)
+	c.tel.queries.Inc()
+	c.tel.topM.Observe(float64(m))
 	feat := models.Embed(c.model, v).Data()
 
 	type reply struct {
@@ -267,6 +330,7 @@ func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 		err error
 	}
 	replies := make([]reply, len(c.nodes))
+	sw := c.gatherNs.Start()
 	var wg sync.WaitGroup
 	for i, node := range c.nodes {
 		wg.Add(1)
@@ -277,6 +341,7 @@ func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 		}(i, node)
 	}
 	wg.Wait()
+	sw.Stop()
 
 	var firstErr error
 	var all []Result
@@ -285,10 +350,22 @@ func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 	policy := c.policy
 	for i, r := range replies {
 		st := &c.stats[i]
+		var nt clusterNodeTel
+		if c.nodeTel != nil {
+			nt = c.nodeTel[i]
+			if br, isBr := c.nodes[i].(breakerReporter); isBr {
+				nt.breaker.Set(int64(br.State()))
+			}
+		}
 		if r.err != nil {
 			st.failures++
 			st.consecutive++
 			st.lastErr = r.err.Error()
+			if errors.Is(r.err, ErrBreakerOpen) {
+				nt.fastFail.Inc()
+			} else {
+				nt.errs.Inc()
+			}
 			if firstErr == nil {
 				firstErr = fmt.Errorf("retrieval: node %d: %w", i, r.err)
 			}
@@ -296,6 +373,7 @@ func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 		}
 		st.successes++
 		st.consecutive = 0
+		nt.ok.Inc()
 		ok++
 		all = append(all, r.rs...)
 	}
@@ -324,6 +402,7 @@ func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 // partial-result policy and billing QueryCount once. Transports already
 // serialize per-connection access, so concurrent scatters are safe.
 func (c *Cluster) RetrieveBatch(vs []*video.Video, m int) [][]Result {
+	c.tel.batchSize.Observe(float64(len(vs)))
 	out := make([][]Result, len(vs))
 	parallel.For(len(vs), func(_, start, end int) {
 		for i := start; i < end; i++ {

@@ -12,9 +12,39 @@ import (
 	"duo/internal/metrics"
 	"duo/internal/models"
 	"duo/internal/parallel"
+	"duo/internal/telemetry"
 	"duo/internal/tensor"
 	"duo/internal/video"
 )
+
+// engineTel holds an engine's resolved telemetry instruments. The zero
+// value (all nil) is the disabled state: every record is a no-op with zero
+// allocations and no clock reads, so the Retrieve hot path costs nothing
+// when telemetry is off (see the zero-alloc test in telemetry_test.go).
+type engineTel struct {
+	// queries counts Retrieve/RetrieveBatch queries served.
+	queries *telemetry.Counter
+	// scanNs times the gallery scan (embed excluded) per query.
+	scanNs *telemetry.Histogram
+	// scanned counts gallery entries scored across all queries.
+	scanned *telemetry.Counter
+	// batchSize records RetrieveBatch fan-out widths.
+	batchSize *telemetry.Histogram
+	// topM records the requested list length per query.
+	topM *telemetry.Histogram
+}
+
+// resolveEngineTel resolves the named instruments under a prefix; a nil
+// registry yields the all-nil (disabled) instrument set.
+func resolveEngineTel(r *telemetry.Registry, prefix string) engineTel {
+	return engineTel{
+		queries:   r.Counter(prefix + ".queries"),
+		scanNs:    r.Latency(prefix + ".scan_ns"),
+		scanned:   r.Counter(prefix + ".entries_scanned"),
+		batchSize: r.Histogram(prefix+".batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		topM:      r.Histogram(prefix+".top_m", []float64{1, 5, 10, 20, 50, 100}),
+	}
+}
 
 // Result is one retrieved gallery entry.
 type Result struct {
@@ -69,6 +99,7 @@ type Engine struct {
 	// scratch pools the sharded-scan workspace so a steady-state query
 	// allocates only its result slice (see topm.go).
 	scratch sync.Pool
+	tel     engineTel
 }
 
 var _ Retriever = (*Engine)(nil)
@@ -92,6 +123,14 @@ func (e *Engine) Model() models.Model { return e.model }
 // GallerySize returns the number of indexed videos.
 func (e *Engine) GallerySize() int { return len(e.ids) }
 
+// SetTelemetry wires the engine's instruments into the registry under the
+// "retrieval" prefix; a nil registry disables instrumentation (the
+// default). Telemetry is write-only — enabling it cannot change any
+// retrieval result.
+func (e *Engine) SetTelemetry(r *telemetry.Registry) {
+	e.tel = resolveEngineTel(r, "retrieval")
+}
+
 // QueryCount returns the number of Retrieve calls served; attacks use it to
 // account for query budgets.
 func (e *Engine) QueryCount() int64 { return e.queries.Load() }
@@ -105,7 +144,7 @@ func (e *Engine) ResetQueryCount() { e.queries.Store(0) }
 func (e *Engine) Retrieve(v *video.Video, m int) []Result {
 	e.queries.Add(1)
 	feat := models.Embed(e.model, v)
-	return e.scan(feat, m, parallel.Workers())
+	return e.timedScan(feat, m, parallel.Workers())
 }
 
 // RetrieveBatch implements BatchRetriever: queries fan out across workers
@@ -113,13 +152,29 @@ func (e *Engine) Retrieve(v *video.Video, m int) []Result {
 // and each one is billed to QueryCount.
 func (e *Engine) RetrieveBatch(vs []*video.Video, m int) [][]Result {
 	e.queries.Add(int64(len(vs)))
+	e.tel.batchSize.Observe(float64(len(vs)))
 	out := make([][]Result, len(vs))
 	parallel.For(len(vs), func(_, start, end int) {
 		for i := start; i < end; i++ {
-			out[i] = e.scan(models.Embed(e.model, vs[i]), m, 1)
+			out[i] = e.timedScan(models.Embed(e.model, vs[i]), m, 1)
 		}
 	})
 	return out
+}
+
+// timedScan is the instrumented Retrieve hot path: the pooled sharded scan
+// plus the per-query telemetry records. With telemetry disabled (nil
+// instruments) it is bit- and allocation-identical to calling scan
+// directly — the zero-overhead contract the disabled-telemetry benchmark
+// pins down.
+func (e *Engine) timedScan(feat *tensor.Tensor, m, workers int) []Result {
+	e.tel.queries.Inc()
+	e.tel.topM.Observe(float64(m))
+	sw := e.tel.scanNs.Start()
+	rs := e.scan(feat, m, workers)
+	sw.Stop()
+	e.tel.scanned.Add(int64(len(e.ids)))
+	return rs
 }
 
 // scan runs the pooled sharded top-m scan over the engine's index.

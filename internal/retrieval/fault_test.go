@@ -12,6 +12,7 @@ import (
 
 	"duo/internal/dataset"
 	"duo/internal/models"
+	"duo/internal/telemetry"
 )
 
 // stubTransport is a canned-answer node for fault-layer unit tests.
@@ -563,6 +564,184 @@ func TestTCPTransportKeepsConnOnNodeError(t *testing.T) {
 	}
 	if tr.Reconnects() != 0 {
 		t.Errorf("reconnects = %d, want 0 (app errors must not break the conn)", tr.Reconnects())
+	}
+}
+
+// TestRetryTelemetryMatchesFaultSchedule scripts an exact fault schedule
+// and requires the retry counters to mirror it exactly: attempts = calls +
+// injected transient faults, retries = injected transient faults.
+func TestRetryTelemetryMatchesFaultSchedule(t *testing.T) {
+	reg := telemetry.New()
+	flaky := NewFaultTransport(&stubTransport{rs: stubResults(4)}, FaultConfig{})
+	rt := NewRetryTransport(flaky, RetryConfig{MaxAttempts: 4, Sleep: func(time.Duration) {}})
+	rt.SetTelemetry(reg, "node.retry")
+
+	// Schedule: call 1 → 2 transient faults then success; call 2 → clean;
+	// call 3 → 1 transient fault then success. Total: 3 retries, 6 attempts.
+	schedule := []int{2, 0, 1}
+	for i, faults := range schedule {
+		flaky.FailNext(faults, ErrInjectedDrop)
+		if _, err := rt.Nearest([]float64{1}, 2); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+
+	s := reg.Snapshot()
+	wantRetries := int64(2 + 0 + 1)
+	if got := s.Counters["node.retry.retries"]; got != wantRetries {
+		t.Errorf("retries counter = %d, want %d (the injected fault count)", got, wantRetries)
+	}
+	if got := s.Counters["node.retry.attempts"]; got != int64(len(schedule))+wantRetries {
+		t.Errorf("attempts counter = %d, want %d", got, int64(len(schedule))+wantRetries)
+	}
+	if got := rt.Retries(); got != wantRetries {
+		t.Errorf("Retries() = %d disagrees with telemetry %d", got, wantRetries)
+	}
+}
+
+// TestRetryTelemetryExcludesBreakerFastFail: a breaker fast-fail aborts the
+// retry loop, so it must appear as one attempt and zero retries — never
+// double-counted as a retried failure.
+func TestRetryTelemetryExcludesBreakerFastFail(t *testing.T) {
+	reg := telemetry.New()
+	inner := &stubTransport{err: ErrBreakerOpen}
+	rt := NewRetryTransport(inner, RetryConfig{MaxAttempts: 5, Sleep: func(time.Duration) {}})
+	rt.SetTelemetry(reg, "node.retry")
+
+	if _, err := rt.Nearest(nil, 1); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v", err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["node.retry.attempts"]; got != 1 {
+		t.Errorf("attempts = %d, want 1 (fast-fail is not retried)", got)
+	}
+	if got := s.Counters["node.retry.retries"]; got != 0 {
+		t.Errorf("retries = %d, want 0 (fast-fail must not count as a retry)", got)
+	}
+}
+
+// TestBreakerTelemetryMatchesFaultSchedule drives the breaker through
+// trip → fast-fail → failed probe → recovery with a scripted fault schedule
+// and asserts every counter and the state gauge track it exactly.
+func TestBreakerTelemetryMatchesFaultSchedule(t *testing.T) {
+	reg := telemetry.New()
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	flaky := NewFaultTransport(&stubTransport{rs: stubResults(4)}, FaultConfig{})
+	br := NewBreakerTransport(flaky, BreakerConfig{
+		FailureThreshold: 3, Cooldown: time.Minute, Now: clock.Now,
+	})
+	br.SetTelemetry(reg, "node.breaker")
+
+	state := func() int64 { return reg.Snapshot().Gauges["node.breaker.state"] }
+	if state() != int64(BreakerClosed) {
+		t.Fatalf("initial state gauge = %d, want closed", state())
+	}
+
+	// 3 consecutive injected failures trip the breaker once.
+	flaky.FailNext(3, ErrInjectedFailure)
+	for i := 0; i < 3; i++ {
+		br.Nearest(nil, 2)
+	}
+	s := reg.Snapshot()
+	if s.Counters["node.breaker.opened"] != 1 {
+		t.Errorf("opened = %d, want 1", s.Counters["node.breaker.opened"])
+	}
+	if state() != int64(BreakerOpen) {
+		t.Errorf("state gauge = %d, want open", state())
+	}
+
+	// 4 calls while open: all short-circuit, none reach the node.
+	for i := 0; i < 4; i++ {
+		if _, err := br.Nearest(nil, 2); !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("open call %d: %v", i, err)
+		}
+	}
+	s = reg.Snapshot()
+	if got := s.Counters["node.breaker.short_circuits"]; got != 4 {
+		t.Errorf("short_circuits = %d, want 4", got)
+	}
+	if got := br.ShortCircuits(); got != 4 {
+		t.Errorf("ShortCircuits() = %d disagrees with telemetry", got)
+	}
+
+	// Failed half-open probe re-opens: a second opened transition.
+	flaky.FailNext(1, ErrInjectedFailure)
+	clock.Advance(time.Minute)
+	br.Nearest(nil, 2)
+	if got := reg.Snapshot().Counters["node.breaker.opened"]; got != 2 {
+		t.Errorf("opened after failed probe = %d, want 2", got)
+	}
+
+	// Successful probe closes; the gauge must settle on closed.
+	clock.Advance(time.Minute)
+	if _, err := br.Nearest(nil, 2); err != nil {
+		t.Fatalf("recovery probe: %v", err)
+	}
+	if state() != int64(BreakerClosed) {
+		t.Errorf("state gauge = %d, want closed after recovery", state())
+	}
+	// No extra short-circuits were recorded along the way.
+	if got := reg.Snapshot().Counters["node.breaker.short_circuits"]; got != 4 {
+		t.Errorf("short_circuits drifted to %d, want 4", got)
+	}
+}
+
+// TestClusterTelemetryMatchesFaultSchedule wires a cluster with one healthy
+// and one dying node (behind a breaker) and checks the per-node counters
+// split exactly: real failures land in .errors, breaker fast-fails in
+// .fastfail, and neither is double-counted.
+func TestClusterTelemetryMatchesFaultSchedule(t *testing.T) {
+	m, c := chaosSystem(t)
+	half := len(c.Train) / 2
+	reg := telemetry.New()
+	clock := &fakeClock{now: time.Unix(0, 0)}
+
+	dead := NewFaultTransport(&LocalTransport{Shard: NewShard(m, c.Train[half:])}, FaultConfig{})
+	dead.FailNext(1<<30, ErrInjectedDrop)
+	br := NewBreakerTransport(dead, BreakerConfig{
+		FailureThreshold: 2, Cooldown: time.Hour, Now: clock.Now,
+	})
+	br.SetTelemetry(reg, "cluster.node1.breaker")
+	cl := NewCluster(m, []Transport{
+		&LocalTransport{Shard: NewShard(m, c.Train[:half])}, br,
+	})
+	cl.SetTelemetry(reg)
+	defer cl.Close()
+
+	q := c.Test[0]
+	// 2 queries reach the dying node and fail, tripping the breaker; the
+	// next 3 fast-fail without touching it.
+	for i := 0; i < 5; i++ {
+		cl.RetrieveErr(q, 4)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["cluster.node1.errors"]; got != 2 {
+		t.Errorf("node1 errors = %d, want exactly the 2 injected pre-trip faults", got)
+	}
+	if got := s.Counters["cluster.node1.fastfail"]; got != 3 {
+		t.Errorf("node1 fastfail = %d, want 3 (open-breaker calls)", got)
+	}
+	if got := s.Counters["cluster.node1.ok"]; got != 0 {
+		t.Errorf("node1 ok = %d, want 0", got)
+	}
+	if got := s.Counters["cluster.node0.ok"]; got != 5 {
+		t.Errorf("node0 ok = %d, want 5", got)
+	}
+	if got := s.Gauges["cluster.node1.breaker_state"]; got != int64(BreakerOpen) {
+		t.Errorf("node1 breaker_state gauge = %d, want open", got)
+	}
+	if got := s.Counters["cluster.node1.breaker.short_circuits"]; got != 3 {
+		t.Errorf("breaker short_circuits = %d, want 3 (must equal cluster fastfail)", got)
+	}
+	if got := s.Counters["cluster.queries"]; got != 5 {
+		t.Errorf("cluster queries = %d, want 5", got)
+	}
+	// Health() and telemetry must tell the same story.
+	h := cl.Health()
+	if int64(h[1].Failures) != s.Counters["cluster.node1.errors"]+s.Counters["cluster.node1.fastfail"] {
+		t.Errorf("health failures %d != telemetry errors+fastfail %d",
+			h[1].Failures, s.Counters["cluster.node1.errors"]+s.Counters["cluster.node1.fastfail"])
 	}
 }
 

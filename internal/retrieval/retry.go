@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"duo/internal/telemetry"
 )
 
 // RetryConfig parameterizes a RetryTransport. The zero value selects the
@@ -57,6 +59,12 @@ type RetryTransport struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	retries int64
+
+	// telRetries mirrors the retries counter into a telemetry registry.
+	// Only genuine re-attempts count: a breaker fast-fail aborts the loop
+	// before the retry bookkeeping, so it is never recorded here.
+	telRetries  *telemetry.Counter
+	telAttempts *telemetry.Counter
 }
 
 var _ Transport = (*RetryTransport)(nil)
@@ -65,6 +73,15 @@ var _ Transport = (*RetryTransport)(nil)
 func NewRetryTransport(inner Transport, cfg RetryConfig) *RetryTransport {
 	cfg.applyDefaults()
 	return &RetryTransport{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetTelemetry wires the transport's retry counters into the registry
+// under the given name prefix (e.g. "cluster.node0.retry"); nil disables.
+func (t *RetryTransport) SetTelemetry(r *telemetry.Registry, prefix string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.telRetries = r.Counter(prefix + ".retries")
+	t.telAttempts = r.Counter(prefix + ".attempts")
 }
 
 // Retries returns the total number of retry attempts performed (attempts
@@ -95,8 +112,10 @@ func (t *RetryTransport) Nearest(feat []float64, m int) ([]Result, error) {
 			t.mu.Lock()
 			t.retries++
 			t.mu.Unlock()
+			t.telRetries.Inc()
 			t.cfg.Sleep(t.backoff(k - 1))
 		}
+		t.telAttempts.Inc()
 		rs, err := t.inner.Nearest(feat, m)
 		if err == nil {
 			return rs, nil

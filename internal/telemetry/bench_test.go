@@ -1,0 +1,95 @@
+package telemetry
+
+import "testing"
+
+// TestDisabledPathAllocatesNothing is the zero-overhead contract: every
+// instrument operation on the nil (disabled) path must perform zero
+// allocations. AllocsPerRun is exact, so this is a hard assertion, not a
+// benchmark eyeball.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Latency("x")
+	rb := r.Ring("x", 8)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		h.Observe(1)
+		sw := h.Start()
+		sw.Stop()
+		rb.Push(1)
+	}); n != 0 {
+		t.Errorf("disabled instruments allocated %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestEnabledHotOpsAllocateNothing: even enabled, the per-observation hot
+// ops are allocation-free (lookup happens once at wiring time).
+func TestEnabledHotOpsAllocateNothing(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	h := r.Latency("x_ns")
+	rb := r.Ring("x", 64)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(250)
+		sw := h.Start()
+		sw.Stop()
+		rb.Push(0.5)
+	}); n != 0 {
+		t.Errorf("enabled hot ops allocated %.1f allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := New().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Latency("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	h := New().Latency("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkStopwatchDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Latency("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sw := h.Start()
+		sw.Stop()
+	}
+}
+
+func BenchmarkStopwatchEnabled(b *testing.B) {
+	h := New().Latency("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sw := h.Start()
+		sw.Stop()
+	}
+}

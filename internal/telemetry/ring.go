@@ -1,0 +1,68 @@
+package telemetry
+
+import "sync"
+
+// Ring is a bounded ring buffer of float64 samples — the 𝕋-objective
+// trajectory buffer of the attack pipeline keeps the most recent window
+// without growing with the query budget. The nil Ring is a valid no-op
+// instrument.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int
+	full  bool
+	total int64
+}
+
+func newRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]float64, capacity)}
+}
+
+// Push appends a sample, evicting the oldest once full; no-op on nil.
+func (r *Ring) Push(v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many samples were ever pushed (0 for nil).
+func (r *Ring) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Values returns the retained samples in push order, oldest first (nil for
+// a nil or empty ring). The returned slice is a copy.
+func (r *Ring) Values() []float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		if r.next == 0 {
+			return nil
+		}
+		return append([]float64(nil), r.buf[:r.next]...)
+	}
+	out := make([]float64, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

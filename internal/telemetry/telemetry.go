@@ -1,0 +1,344 @@
+// Package telemetry is the service's dependency-free instrumentation
+// substrate: a concurrency-safe registry of named counters, gauges,
+// fixed-bucket latency histograms (with p50/p95/p99 estimation), bounded
+// ring buffers, and a value-type stage stopwatch.
+//
+// Two properties are load-bearing and tested:
+//
+//   - Nil safety. A nil *Registry hands out nil instruments, and every
+//     method on a nil instrument is a no-op that performs no allocation
+//     and reads no clock. Components resolve their instruments once at
+//     wiring time and call them unconditionally on the hot path; disabled
+//     telemetry therefore costs zero allocations and zero syscalls.
+//
+//   - Determinism. Telemetry is strictly write-only from the perspective
+//     of the attack and retrieval math: timings and counts are recorded,
+//     never read back into any computation. Disabling or enabling a
+//     registry cannot change a single bit of any result (DESIGN.md §10).
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil Counter is
+// a valid no-op instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n; no-op on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one; no-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (breaker state, active budget,
+// queue depth). The nil Gauge is a valid no-op instrument.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value; no-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram over float64 observations. Bucket
+// i counts observations ≤ bounds[i]; one implicit overflow bucket counts
+// the rest. Writers only touch atomics, so concurrent Observe calls never
+// block each other, and a Snapshot taken mid-write always sees an
+// internally consistent view (the reported count IS the bucket sum).
+//
+// Latency histograms record nanoseconds; use Start/Stop for those.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	min    atomic.Uint64  // float64 bits
+	max    atomic.Uint64  // float64 bits
+	seeded atomic.Bool    // min/max initialized
+}
+
+// newHistogram builds a histogram over ascending bucket upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// DurationBounds returns the default latency bucket bounds in nanoseconds:
+// 1µs doubling up to ~17s (25 buckets), covering everything from a single
+// feature-distance computation to a full SparseTransfer stage.
+func DurationBounds() []float64 {
+	bounds := make([]float64, 25)
+	b := float64(time.Microsecond)
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// Observe records one value; no-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound ≥ v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	addFloat(&h.sum, v)
+	h.updateMinMax(v)
+}
+
+// addFloat CAS-accumulates v into an atomic float64-bits cell.
+func addFloat(cell *atomic.Uint64, v float64) {
+	for {
+		old := cell.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if cell.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (h *Histogram) updateMinMax(v float64) {
+	if h.seeded.CompareAndSwap(false, true) {
+		h.min.Store(math.Float64bits(v))
+		h.max.Store(math.Float64bits(v))
+		return
+	}
+	for {
+		old := h.min.Load()
+		if v >= math.Float64frombits(old) || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Stopwatch times one stage into a histogram. It is a value type: starting
+// and stopping a stopwatch never allocates, and the nil-histogram path
+// never reads the clock.
+type Stopwatch struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins timing a stage; on a nil histogram it returns an inert
+// stopwatch without touching the clock.
+func (h *Histogram) Start() Stopwatch {
+	if h == nil {
+		return Stopwatch{}
+	}
+	return Stopwatch{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed nanoseconds; no-op for an inert stopwatch.
+func (sw Stopwatch) Stop() {
+	if sw.h == nil {
+		return
+	}
+	sw.h.Observe(float64(time.Since(sw.start)))
+}
+
+// HistogramStats is a point-in-time summary of a histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Stats summarizes the histogram. The count is computed as the sum of the
+// bucket counts read in one pass, so a snapshot racing concurrent Observe
+// calls is always internally consistent: every quantile is derived from
+// exactly the observations included in Count. Zero value on nil/empty.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return HistogramStats{}
+	}
+	st := HistogramStats{
+		Count: total,
+		Sum:   math.Float64frombits(h.sum.Load()),
+		Min:   math.Float64frombits(h.min.Load()),
+		Max:   math.Float64frombits(h.max.Load()),
+	}
+	st.Mean = st.Sum / float64(total)
+	st.P50 = h.quantile(counts, total, 0.50)
+	st.P95 = h.quantile(counts, total, 0.95)
+	st.P99 = h.quantile(counts, total, 0.99)
+	return st
+}
+
+// quantile estimates the q-quantile from bucket counts by linear
+// interpolation inside the containing bucket. The overflow bucket reports
+// the observed max (the histogram has no upper bound there).
+func (h *Histogram) quantile(counts []int64, total int64, q float64) float64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.bounds) {
+			return math.Float64frombits(h.max.Load())
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		frac := (rank - prev) / float64(c)
+		return lo + frac*(h.bounds[i]-lo)
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Registry is a named collection of instruments. The nil *Registry is the
+// disabled state: every lookup returns a nil instrument whose methods are
+// no-ops, so call sites never branch on "telemetry enabled?".
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	rings    map[string]*Ring
+}
+
+// New returns an empty enabled registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		rings:    make(map[string]*Ring),
+	}
+}
+
+// Counter returns (creating on first use) the named counter; nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram with the
+// given bucket bounds; nil on a nil registry. Later callers share the
+// first creator's bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Latency returns (creating on first use) a nanosecond latency histogram
+// with the default DurationBounds; nil on a nil registry.
+func (r *Registry) Latency(name string) *Histogram {
+	return r.Histogram(name, DurationBounds())
+}
+
+// Ring returns (creating on first use) the named ring buffer with the
+// given capacity; nil on a nil registry.
+func (r *Registry) Ring(name string, capacity int) *Ring {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rb, ok := r.rings[name]
+	if !ok {
+		rb = newRing(capacity)
+		r.rings[name] = rb
+	}
+	return rb
+}
