@@ -98,7 +98,7 @@ func run(args []string) error {
 		ids = strings.Split(*expFlag, ",")
 	}
 	for _, id := range ids {
-		start := time.Now()
+		start := time.Now() //duolint:allow walltime operator-facing progress timing; never feeds a result
 		tab, err := experiments.Run(strings.TrimSpace(id), opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
@@ -108,7 +108,7 @@ func run(args []string) error {
 		} else {
 			emit(tab.String() + "\n")
 		}
-		emit(fmt.Sprintf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond)))
+		emit(fmt.Sprintf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))) //duolint:allow walltime operator-facing progress timing; never feeds a result
 	}
 	if opts.Telemetry != nil {
 		emit(opts.Telemetry.Summary())

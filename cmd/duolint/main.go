@@ -1,0 +1,117 @@
+// Command duolint runs the project's static-analysis suite
+// (internal/analysis): six analyzers enforcing the determinism contract
+// (DESIGN.md §9), the query-billing invariant, and the write-only
+// telemetry rule (DESIGN.md §10) over every package of the module.
+//
+// Usage:
+//
+//	duolint [-rules detrand,walltime,...] [-json] [packages]
+//
+// Packages default to ./... . Diagnostics print as
+//
+//	file:line:col: [rule] message
+//
+// and the exit status is 1 when there are findings, 2 on a load error,
+// 0 on a clean tree. Legitimate exceptions are annotated in place with
+// //duolint:allow <rule> <reason> (see README.md); an unused or malformed
+// directive is itself a finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"duo/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary, for tests: dir is the working
+// directory package patterns resolve against.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("duolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as a JSON array for tooling")
+	listFlag := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listFlag {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *rulesFlag != "" {
+		names := strings.Split(*rulesFlag, ",")
+		sel, bad := analysis.Select(names)
+		if bad != "" {
+			fmt.Fprintf(stderr, "duolint: unknown rule %q (run duolint -list)\n", bad)
+			return 2
+		}
+		analyzers = sel
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "duolint: %v\n", err)
+		return 2
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "duolint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(abs, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "duolint: %v\n", err)
+		return 2
+	}
+
+	diags := analysis.Run(loader.Fset, pkgs, analyzers, analysis.KnownRules())
+	// Report paths relative to the invocation directory, like go vet.
+	for i := range diags {
+		if rel, err := filepath.Rel(abs, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "duolint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonFlag {
+			fmt.Fprintf(stderr, "duolint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

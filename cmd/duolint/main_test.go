@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var badmodDir = filepath.Join("testdata", "badmod")
+
+// TestBadModuleFindings drives the CLI against the known-bad fixture
+// module and pins the exit code and the diagnostic line format.
+func TestBadModuleFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(badmodDir, nil, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d diagnostics, want 3:\n%s", len(lines), stdout.String())
+	}
+	format := regexp.MustCompile(`^bad\.go:\d+:\d+: \[(detrand|walltime|floateq)\] .+$`)
+	for _, ln := range lines {
+		if !format.MatchString(ln) {
+			t.Errorf("diagnostic %q does not match file:line:col: [rule] message", ln)
+		}
+	}
+	for _, rule := range []string{"detrand", "walltime", "floateq"} {
+		if !strings.Contains(stdout.String(), "["+rule+"]") {
+			t.Errorf("missing a %s finding in:\n%s", rule, stdout.String())
+		}
+	}
+	if !strings.Contains(stderr.String(), "3 finding(s)") {
+		t.Errorf("stderr summary missing: %q", stderr.String())
+	}
+}
+
+// TestRulesSubset checks -rules restricts the run to the named analyzers.
+func TestRulesSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(badmodDir, []string{"-rules", "floateq"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[floateq]") || strings.Contains(out, "[detrand]") || strings.Contains(out, "[walltime]") {
+		t.Errorf("-rules floateq output wrong:\n%s", out)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(badmodDir, []string{"-rules", "billedquery"}, &stdout, &stderr); code != 0 {
+		t.Errorf("-rules billedquery on badmod: exit %d, want 0 (no attack-path packages there)\n%s", code, stdout.String())
+	}
+
+	if code := run(badmodDir, []string{"-rules", "nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown rule: exit %d, want 2", code)
+	}
+}
+
+// TestJSONOutput checks -json emits machine-readable diagnostics carrying
+// the same positions as the text form.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(badmodDir, []string{"-json"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d JSON diagnostics, want 3", len(diags))
+	}
+	for _, d := range diags {
+		if d.File != "bad.go" || d.Line <= 0 || d.Col <= 0 || d.Rule == "" || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestListRules checks -list names every analyzer.
+func TestListRules(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(badmodDir, []string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d, want 0", code)
+	}
+	for _, rule := range []string{"detrand", "walltime", "mapiter", "floateq", "billedquery", "telemetryro"} {
+		if !strings.Contains(stdout.String(), rule) {
+			t.Errorf("-list output missing %s:\n%s", rule, stdout.String())
+		}
+	}
+}

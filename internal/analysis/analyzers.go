@@ -1,0 +1,43 @@
+package analysis
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detrand,
+		Walltime,
+		Mapiter,
+		Floateq,
+		Billedquery,
+		Telemetryro,
+	}
+}
+
+// KnownRules returns the set of every rule name that may appear in a
+// //duolint:allow directive (all analyzers plus the directive pseudo-rule
+// is excluded: directive findings cannot be suppressed).
+func KnownRules() map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// Select returns the analyzers whose names appear in the comma-free list
+// names; it errors (by returning nil and the offending name) on an
+// unknown name.
+func Select(names []string) ([]*Analyzer, string) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, n
+		}
+		out = append(out, a)
+	}
+	return out, ""
+}

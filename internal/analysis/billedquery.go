@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Billedquery enforces the query-billing invariant that makes DUO's
+// query-efficiency numbers measurable: inside the attack path (packages
+// .../internal/core and .../internal/attack), every victim
+// Retrieve/RetrieveErr/RetrieveBatch call must be billed against the query
+// budget. Concretely, the innermost function issuing the call must
+// increment a budget counter (an identifier or field whose name contains
+// "queries") lexically before the call — the `queries++` /
+// `telQueries.Inc()` pattern of SparseQuery's retrieveIDs wrapper.
+// Evaluation-time queries outside the budget (metrics like AP@m) carry
+// //duolint:allow billedquery annotations, which doubles as an inventory
+// of every unbilled victim touchpoint.
+var Billedquery = &Analyzer{
+	Name: "billedquery",
+	Doc:  "victim Retrieve/RetrieveBatch calls in the attack path must be budget-billed in the issuing function",
+	Run:  runBilledquery,
+}
+
+// billedMethods are the victim query entry points.
+var billedMethods = map[string]bool{
+	"Retrieve":      true,
+	"RetrieveErr":   true,
+	"RetrieveBatch": true,
+}
+
+func runBilledquery(p *Pass) {
+	// The invariant binds the attack path only; retrieval engines bill
+	// internally and other packages never hold a victim.
+	if !pathMatches(p.Path, "core", "attack") {
+		return
+	}
+	for _, f := range p.Files {
+		funcBodies(f, func(_ ast.Node, body *ast.BlockStmt) {
+			var billingPos []token.Pos
+			type queryCall struct {
+				pos  token.Pos
+				name string
+			}
+			var calls []queryCall
+			inspectShallow(body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.IncDecStmt:
+					if st.Tok == token.INC && nameMentionsQueries(st.X) {
+						billingPos = append(billingPos, st.Pos())
+					}
+				case *ast.AssignStmt:
+					// Only an increment counts as billing — `queries := 0`
+					// initializes the meter, it does not charge it.
+					if st.Tok != token.ADD_ASSIGN {
+						return true
+					}
+					for _, lhs := range st.Lhs {
+						if nameMentionsQueries(lhs) {
+							billingPos = append(billingPos, st.Pos())
+							break
+						}
+					}
+				case *ast.CallExpr:
+					sel, ok := st.Fun.(*ast.SelectorExpr)
+					if !ok || !billedMethods[sel.Sel.Name] {
+						return true
+					}
+					if pkgNamePath(p.Info, sel.X) != "" {
+						return true // package function, not a victim method
+					}
+					calls = append(calls, queryCall{pos: st.Pos(), name: sel.Sel.Name})
+				}
+				return true
+			})
+			for _, c := range calls {
+				billed := false
+				for _, bp := range billingPos {
+					if bp < c.pos {
+						billed = true
+						break
+					}
+				}
+				if !billed {
+					p.Reportf(c.pos, "victim %s call is not budget-billed in this function; increment the query budget before issuing it", c.name)
+				}
+			}
+		})
+	}
+}
+
+// nameMentionsQueries reports whether the assignment target is an
+// identifier or field whose name contains "queries" (the budget counter
+// naming convention: queries, telQueries, numQueries, ...).
+func nameMentionsQueries(x ast.Expr) bool {
+	var name string
+	switch e := x.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "queries")
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand enforces the determinism contract's randomness rule (DESIGN.md
+// §9): all randomness flows through a seeded *rand.Rand. Any reference to
+// a math/rand (or math/rand/v2) top-level sampling function — rand.Intn,
+// rand.Float64, rand.Perm, rand.Shuffle, rand.Seed, ... — draws from the
+// global, possibly concurrently-shared source and is flagged. Constructors
+// (rand.New, rand.NewSource, rand.NewPCG, ...) are fine: they are how the
+// seeded generator is built.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "no global math/rand top-level functions; randomness must flow through a seeded *rand.Rand",
+	Run:  runDetrand,
+}
+
+// detrandAllowed are math/rand package-level functions that do not sample
+// from the global source.
+var detrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes an explicit *rand.Rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runDetrand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := pkgNamePath(p.Info, sel.X)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Type and constant references (rand.Rand, rand.Source) are
+			// not randomness; only package-level functions sample the
+			// global source. When type info resolved the selector, trust
+			// it; otherwise fall back to the name-based judgment.
+			if obj, ok := p.Info.Uses[sel.Sel]; ok {
+				if _, isFunc := obj.(*types.Func); !isFunc {
+					return true
+				}
+			}
+			if detrandAllowed[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "reference to global %s.%s; route randomness through a seeded *rand.Rand", pathBase(path), sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

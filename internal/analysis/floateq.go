@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags ==/!= between floating-point operands in non-test code.
+// Exact float equality between computed values is almost always a
+// rounding-order bug waiting to happen — and under the determinism
+// contract (DESIGN.md §9) any tolerance-free comparison that "works" only
+// because evaluation order is pinned is a trap for the next refactor. Two
+// idioms are exempt: comparison against an exact constant zero (the
+// sentinel/support-test pattern — a float is exactly 0.0 iff it was never
+// perturbed) and the x != x NaN test. Intentional exact comparisons
+// elsewhere carry //duolint:allow floateq annotations.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= between float operands (exact-zero sentinel tests and x != x NaN checks exempt)",
+	Run:  runFloateq,
+}
+
+func runFloateq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(p.Info, be.X) && !isFloatExpr(p.Info, be.Y) {
+				return true
+			}
+			if isZeroConst(p.Info, be.X) || isZeroConst(p.Info, be.Y) {
+				return true
+			}
+			// x != x / x == x is the canonical NaN test.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos, "float %s comparison; use a tolerance or //duolint:allow floateq with the exactness argument", be.Op)
+			return true
+		})
+	}
+}
+
+// isFloatExpr reports whether x's static type is a floating-point type.
+func isFloatExpr(info *types.Info, x ast.Expr) bool {
+	t := info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether x is a compile-time numeric constant equal
+// to zero.
+func isZeroConst(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pkgNamePath resolves x to an imported package path when x is an
+// identifier naming a package (e.g. the "rand" in rand.Intn); otherwise "".
+func pkgNamePath(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// namedDeclPath returns the declaring package path of t's named type,
+// unwrapping pointers; "" for unnamed/builtin types.
+func namedDeclPath(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// pathMatches reports whether a package import path is, or ends with a
+// path element equal to, one of the targets. It lets rules scoped to real
+// packages ("duo/internal/core") also fire on fixture packages whose path
+// ends in ".../core".
+func pathMatches(path string, targets ...string) bool {
+	for _, t := range targets {
+		if path == t || strings.HasSuffix(path, "/"+t) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcBodies visits every function body in the file — declarations and
+// literals — calling fn with the body and a key identifying the innermost
+// enclosing function (the *ast.FuncDecl or *ast.FuncLit node itself).
+func funcBodies(f *ast.File, fn func(enclosing ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d, d.Body)
+			}
+		case *ast.FuncLit:
+			if d.Body != nil {
+				fn(d, d.Body)
+			}
+		}
+		return true
+	})
+}
+
+// inspectShallow walks the statements of body that belong to the given
+// function itself, NOT descending into nested function literals. Used by
+// rules whose judgment is per-innermost-function (e.g. billing must happen
+// in the same function that issues the query).
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(n)
+	})
+}

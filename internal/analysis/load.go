@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("duo/internal/core").
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types is the type-checker's package object.
+	Types *types.Package
+	// Info is the populated expression/object table.
+	Info *types.Info
+	// TypeErrors collects type-checker errors (tolerated: analysis is
+	// best-effort on the parts of the package that did check).
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of a single module (or of a
+// fixture tree) using only the standard library. Standard-library imports
+// are resolved from GOROOT source via go/importer; imports inside the
+// module are loaded recursively from source; anything else degrades to an
+// empty placeholder package so analysis never hard-fails on an unresolved
+// import.
+type Loader struct {
+	// Fset is shared by every file the loader touches.
+	Fset *token.FileSet
+
+	root    string // module root directory (absolute)
+	modPath string // module path; "" for fixture trees
+	std     types.Importer
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // cycle guard
+	stubs   map[string]*types.Package
+}
+
+// NewLoader finds the enclosing module of dir (by walking up to go.mod)
+// and returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			modPath := modulePath(data)
+			if modPath == "" {
+				return nil, fmt.Errorf("analysis: no module path in %s/go.mod", root)
+			}
+			return newLoader(root, modPath), nil
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+}
+
+// NewFixtureLoader returns a loader rooted at a plain directory tree (no
+// go.mod): every import path that names a subdirectory of root resolves
+// there, so fixture packages can import each other by relative-to-root
+// paths.
+func NewFixtureLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	return newLoader(abs, ""), nil
+}
+
+func newLoader(root, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		stubs:   make(map[string]*types.Package),
+	}
+}
+
+// Root returns the loader's module (or fixture-tree) root directory.
+func (l *Loader) Root() string { return l.root }
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Load resolves the given patterns relative to base (absolute or relative
+// to the loader root if empty) and loads each matched package. A pattern
+// is either a directory ("./cmd/duolint", "internal/core") or a recursive
+// "dir/..." walk that skips testdata, vendor, and hidden directories.
+func (l *Loader) Load(base string, patterns ...string) ([]*Package, error) {
+	if base == "" {
+		base = l.root
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		rec := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec, pat = true, rest
+		} else if pat == "..." {
+			rec, pat = true, "."
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(base, dir)
+		}
+		dir = filepath.Clean(dir)
+		if !rec {
+			add(dir)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: walking %s: %w", dir, err)
+		}
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir, l.importPathFor(dir))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// hasGoFiles reports whether dir contains at least one non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps an absolute directory inside the root to its import
+// path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(dir)
+	}
+	rel = filepath.ToSlash(rel)
+	switch {
+	case rel == ".":
+		if l.modPath != "" {
+			return l.modPath
+		}
+		return "."
+	case l.modPath != "":
+		return l.modPath + "/" + rel
+	default:
+		return rel
+	}
+}
+
+// dirForImport maps an import path to a directory inside the root, or ""
+// when the path does not belong to the module/fixture tree.
+func (l *Loader) dirForImport(path string) string {
+	if l.modPath != "" {
+		if path == l.modPath {
+			return l.root
+		}
+		if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+			return filepath.Join(l.root, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+	// Fixture tree: any path naming an existing subdirectory resolves.
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	if hasGoFiles(dir) {
+		return dir
+	}
+	return ""
+}
+
+// Import implements types.Importer: module-internal packages load from
+// source, everything else (the standard library) comes from GOROOT source,
+// degrading to an empty placeholder on failure so a single unresolvable
+// import cannot abort the whole analysis.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir := l.dirForImport(path); dir != "" {
+		pkg, err := l.loadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, err := l.std.Import(path); err == nil {
+		return pkg, nil
+	}
+	return l.stub(path), nil
+}
+
+// stub returns (creating once) an empty, complete placeholder package so
+// type-checking can continue past an unresolvable import.
+func (l *Loader) stub(path string) *types.Package {
+	if p, ok := l.stubs[path]; ok {
+		return p
+	}
+	name := path
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	l.stubs[path] = p
+	return p
+}
+
+// loadDir parses and type-checks the package in dir (cached by import
+// path). Parse errors are fatal; type errors are collected and tolerated.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check never returns a useful error beyond what Error collected; the
+	// returned *types.Package is valid (if incomplete) even on type errors.
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// goFileNames lists dir's buildable non-test Go files (build-tag aware via
+// go/build), sorted for deterministic load order.
+func goFileNames(dir string) ([]string, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, err
+		}
+		// MultiplePackageError and friends: fall back to every non-test
+		// .go file so the analyzer still sees the code.
+		entries, rerr := os.ReadDir(dir)
+		if rerr != nil {
+			return nil, rerr
+		}
+		var names []string
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		return names, nil
+	}
+	names := append(append([]string(nil), bp.GoFiles...), bp.CgoFiles...)
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Mapiter flags the map-order nondeterminism hazard of the determinism
+// contract (DESIGN.md §9): a `range` over a map whose body builds ordered
+// output — appends to a slice or concatenates onto a string — without a
+// subsequent sort in the same block. Go's map iteration order is
+// randomized per run, so such output differs run to run and corrupts any
+// bitwise-reproducibility guarantee. Aggregations (sums, counts, writes
+// into another map) are order-insensitive and not flagged; a sort call
+// after the loop (package sort/slices, or any function whose name contains
+// "sort") discharges the hazard.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "range over a map must not build ordered output without a subsequent sort",
+	Run:  runMapiter,
+}
+
+func runMapiter(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, st := range block.List {
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok || !isMapType(p.Info, rs.X) {
+					continue
+				}
+				hazard := orderedOutputHazard(p, rs)
+				if hazard == "" {
+					continue
+				}
+				if sortFollows(block.List[i+1:]) {
+					continue
+				}
+				p.Reportf(rs.Pos(), "range over map %s without a subsequent sort; map iteration order is nondeterministic", hazard)
+			}
+			return true
+		})
+	}
+}
+
+// isMapType reports whether x's static type is (or is named with
+// underlying) a map.
+func isMapType(info *types.Info, x ast.Expr) bool {
+	t := info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderedOutputHazard scans the loop body (not nested function literals)
+// for statements that build order-sensitive output; it returns a short
+// description of the first hazard found, or "".
+//
+// Two shapes count: appending to a slice (the list's element order leaks
+// map order) and `+=` accumulation into a variable declared OUTSIDE the
+// loop whose type makes the result order-sensitive — string concatenation,
+// or float addition, whose rounding is not associative so the accumulated
+// bits depend on visit order. Integer sums and per-iteration locals are
+// order-insensitive and not flagged.
+func orderedOutputHazard(p *Pass, rs *ast.RangeStmt) string {
+	hazard := ""
+	inspectShallow(rs.Body, func(n ast.Node) bool {
+		if hazard != "" {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// x = append(x, ...) — order-sensitive slice build.
+		for _, rhs := range as.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+					hazard = "appends to a slice"
+					return false
+				}
+			}
+		}
+		if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 &&
+			crossesIterations(p, as.Lhs[0], rs) && orderSensitiveSum(p, as.Lhs[0]) {
+			hazard = "accumulates order-sensitively (string/float +=)"
+			return false
+		}
+		return true
+	})
+	return hazard
+}
+
+// crossesIterations reports whether the assignment target names a variable
+// declared before the range statement, i.e. one that accumulates across
+// map iterations rather than being reset inside the body.
+func crossesIterations(p *Pass, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return true // field/index target: assume it outlives the loop
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Pos()
+}
+
+// orderSensitiveSum reports whether += on this target depends on operand
+// order: string concatenation, or non-associative float addition.
+func orderSensitiveSum(p *Pass, lhs ast.Expr) bool {
+	t := p.Info.TypeOf(lhs)
+	if t == nil {
+		return true
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsString|types.IsFloat|types.IsComplex) != 0
+}
+
+// sortFollows reports whether any statement after the loop in the same
+// block performs a sort: a call into package sort/slices, or any call
+// whose function name contains "sort".
+func sortFollows(rest []ast.Stmt) bool {
+	found := false
+	for _, st := range rest {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+					found = true
+				}
+				if strings.Contains(strings.ToLower(fun.Sel.Name), "sort") {
+					found = true
+				}
+			case *ast.Ident:
+				if strings.Contains(strings.ToLower(fun.Name), "sort") {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DirectiveRule is the pseudo-rule under which directive hygiene findings
+// (malformed or unused //duolint:allow comments) are reported. It cannot
+// itself be suppressed by a directive.
+const DirectiveRule = "directive"
+
+// directive is one parsed //duolint:allow comment.
+type directive struct {
+	file   string
+	line   int
+	rules  []string
+	reason string
+	used   bool
+}
+
+const directivePrefix = "//duolint:allow"
+
+// parseDirectives scans a file's comments for //duolint:allow directives.
+// A well-formed directive is
+//
+//	//duolint:allow rule[,rule...] reason text
+//
+// and suppresses matching findings on its own line (trailing comment) or
+// on the line immediately below (standalone comment above the offending
+// statement). Malformed directives — unknown rule, missing reason — are
+// reported under the "directive" pseudo-rule.
+func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, report func(Diagnostic)) []*directive {
+	var out []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //duolint:allowance — not ours
+			}
+			fields := strings.Fields(rest)
+			bad := func(msg string) {
+				report(Diagnostic{File: pos.Filename, Line: pos.Line, Col: pos.Column, Rule: DirectiveRule, Message: msg})
+			}
+			if len(fields) == 0 {
+				bad("malformed //duolint:allow: missing rule name")
+				continue
+			}
+			rules := strings.Split(fields[0], ",")
+			ok := true
+			for _, r := range rules {
+				if !known[r] {
+					bad("unknown rule \"" + r + "\" in //duolint:allow (known: " + knownList(known) + ")")
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if len(fields) < 2 {
+				bad("//duolint:allow " + fields[0] + " needs a reason")
+				continue
+			}
+			out = append(out, &directive{
+				file:   pos.Filename,
+				line:   pos.Line,
+				rules:  rules,
+				reason: strings.Join(fields[1:], " "),
+			})
+		}
+	}
+	return out
+}
+
+// knownList renders the sorted known-rule names for error messages.
+func knownList(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// covers reports whether the directive suppresses a finding of the given
+// rule at file:line.
+func (d *directive) covers(diag Diagnostic) bool {
+	if diag.Rule == DirectiveRule || diag.File != d.file {
+		return false
+	}
+	if diag.Line != d.line && diag.Line != d.line+1 {
+		return false
+	}
+	for _, r := range d.rules {
+		if r == diag.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the given analyzers over every package, applies
+// //duolint:allow suppression, reports directive hygiene findings, and
+// returns the surviving diagnostics in stable (file, line, col, rule)
+// order. knownRules should name every rule that exists (the full registry)
+// so a directive for a temporarily disabled rule is not "unknown"; the
+// unused-directive check applies only to directives whose rules are all
+// enabled in this run.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, knownRules map[string]bool) []Diagnostic {
+	enabled := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, runPackage(fset, pkg, analyzers, knownRules, enabled)...)
+	}
+	sortDiagnostics(all)
+	return all
+}
+
+func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, known, enabled map[string]bool) []Diagnostic {
+	var kept []Diagnostic
+	keep := func(d Diagnostic) { kept = append(kept, d) }
+
+	var directives []*directive
+	for _, f := range pkg.Files {
+		directives = append(directives, parseDirectives(fset, f, known, keep)...)
+	}
+
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:   fset,
+			Path:   pkg.Path,
+			Files:  pkg.Files,
+			Pkg:    pkg.Types,
+			Info:   pkg.Info,
+			rule:   a.Name,
+			report: func(d Diagnostic) { raw = append(raw, d) },
+		}
+		a.Run(pass)
+	}
+
+	for _, d := range raw {
+		d.fill()
+		suppressed := false
+		for _, dir := range directives {
+			if dir.covers(d) {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+
+	// An unused directive is itself a finding: stale annotations would
+	// otherwise silently grant future violations a free pass. Only checked
+	// when every rule the directive names ran in this invocation.
+	for _, dir := range directives {
+		if dir.used {
+			continue
+		}
+		allEnabled := true
+		for _, r := range dir.rules {
+			if !enabled[r] {
+				allEnabled = false
+				break
+			}
+		}
+		if !allEnabled {
+			continue
+		}
+		kept = append(kept, Diagnostic{
+			File:    dir.file,
+			Line:    dir.line,
+			Col:     1,
+			Rule:    DirectiveRule,
+			Message: "unused //duolint:allow " + strings.Join(dir.rules, ",") + " (nothing to suppress here — remove it)",
+		})
+	}
+	return kept
+}

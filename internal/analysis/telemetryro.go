@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Telemetryro enforces the write-only telemetry rule (DESIGN.md §10):
+// outside internal/telemetry itself, nothing recorded by an instrument may
+// feed back into a computation. Concretely it flags, in any if/for/switch
+// condition (including the init statement), a method call on a
+// telemetry-declared type (Counter.Value, Gauge.Value, Histogram.Stats,
+// Registry.Snapshot, ...) or a field read off a telemetry-declared struct
+// (snapshot.Counters[...]). Telemetry may be exported, serialized, and
+// displayed — it must never decide a branch, because then enabling or
+// disabling a registry could change a result bit.
+var Telemetryro = &Analyzer{
+	Name: "telemetryro",
+	Doc:  "telemetry reads must not feed branch conditions outside internal/telemetry (instruments are write-only)",
+	Run:  runTelemetryro,
+}
+
+func runTelemetryro(p *Pass) {
+	// The telemetry package itself necessarily reads its own state.
+	if pathMatches(p.Path, "internal/telemetry", "telemetry") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var init ast.Stmt
+			var conds []ast.Expr
+			switch st := n.(type) {
+			case *ast.IfStmt:
+				init, conds = st.Init, []ast.Expr{st.Cond}
+			case *ast.ForStmt:
+				init = st.Init
+				if st.Cond != nil {
+					conds = []ast.Expr{st.Cond}
+				}
+			case *ast.SwitchStmt:
+				init = st.Init
+				if st.Tag != nil {
+					conds = []ast.Expr{st.Tag}
+				}
+			default:
+				return true
+			}
+			if init != nil {
+				ast.Inspect(init, func(m ast.Node) bool { return checkTelemetryRead(p, m) })
+			}
+			for _, cond := range conds {
+				ast.Inspect(cond, func(m ast.Node) bool { return checkTelemetryRead(p, m) })
+			}
+			return true
+		})
+	}
+}
+
+// checkTelemetryRead reports a finding when n reads telemetry state:
+// a method call on, or a field selected from, a type declared in the
+// telemetry package. Pointer identity tests (tel == nil) don't read state
+// and are not flagged. Returns false once reported to avoid duplicate
+// findings on sub-expressions.
+func checkTelemetryRead(p *Pass, n ast.Node) bool {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok {
+		return true
+	}
+	base := p.Info.TypeOf(sel.X)
+	if !isTelemetryType(base) {
+		return true
+	}
+	p.Reportf(sel.Pos(), "telemetry read %s.%s feeds a branch condition; instruments are write-only (DESIGN.md §10)",
+		types.ExprString(sel.X), sel.Sel.Name)
+	return false
+}
+
+// isTelemetryType reports whether t is declared in a telemetry package.
+func isTelemetryType(t types.Type) bool {
+	path := namedDeclPath(t)
+	return path != "" && pathMatches(path, "internal/telemetry", "telemetry")
+}

@@ -1,0 +1,48 @@
+// Package core exercises the billedquery rule inside an attack-path
+// package (the path suffix "core" matches the rule's scope): victim query
+// calls must be preceded, in the same function, by a budget increment.
+package core
+
+type victim interface {
+	Retrieve(q string, m int) []string
+	RetrieveErr(q string, m int) ([]string, error)
+	RetrieveBatch(qs []string, m int) [][]string
+}
+
+func positiveUnbilled(v victim) []string {
+	return v.Retrieve("q", 5) // want `\[billedquery\] victim Retrieve call is not budget-billed`
+}
+
+func positiveInitIsNotBilling(v victim) []string {
+	queries := 0 // initializing the meter does not charge it
+	_ = queries
+	return v.RetrieveBatch(nil, 5)[0] // want `\[billedquery\] victim RetrieveBatch call is not budget-billed`
+}
+
+func positiveClosureScope(v victim) func() []string {
+	queries := 0
+	queries++ // billing in the outer function does not license the closure
+	_ = queries
+	return func() []string {
+		return v.Retrieve("q", 5) // want `\[billedquery\] victim Retrieve call is not budget-billed`
+	}
+}
+
+func negativeBilled(v victim) ([]string, int) {
+	queries := 0
+	queries++
+	return v.Retrieve("q", 5), queries
+}
+
+func negativeBilledBatch(v victim) ([][]string, int) {
+	queries := 0
+	queries += 2
+	return v.RetrieveBatch(nil, 5), queries
+}
+
+func negativeBilledErr(v victim) ([]string, error) {
+	telQueries := 0
+	telQueries++
+	_ = telQueries
+	return v.RetrieveErr("q", 5)
+}

@@ -1,0 +1,13 @@
+// Package other is the billedquery negative scope fixture: it is not an
+// attack-path package (path suffix is neither "core" nor "attack"), so
+// unbilled victim calls are fine here — retrieval engines and evaluation
+// harnesses bill internally or not at all.
+package other
+
+type victim interface {
+	Retrieve(q string, m int) []string
+}
+
+func free(v victim) []string {
+	return v.Retrieve("q", 1)
+}

@@ -1,0 +1,27 @@
+// Package fix exercises the detrand rule: global math/rand references are
+// findings; seeded *rand.Rand usage and constructors are not.
+package fix
+
+import "math/rand"
+
+var source = rand.NewSource(1) // constructor: allowed
+var rng = rand.New(source)     // constructor: allowed
+
+func positives() {
+	_ = rand.Intn(10)     // want `\[detrand\] reference to global rand.Intn`
+	_ = rand.Float64()    // want `\[detrand\] reference to global rand.Float64`
+	_ = rand.Perm(4)      // want `\[detrand\] reference to global rand.Perm`
+	sampler := rand.Int63 // want `\[detrand\] reference to global rand.Int63`
+	_ = sampler
+	rand.Shuffle(3, func(i, j int) {}) // want `\[detrand\] reference to global rand.Shuffle`
+}
+
+func negatives() float64 {
+	_ = rng.Intn(10)
+	_ = rng.Perm(4)
+	var r *rand.Rand // type reference, not a sampling function
+	_ = r
+	z := rand.NewZipf(rng, 1.1, 1, 100) // constructor taking the seeded rng
+	_ = z.Uint64()
+	return rng.Float64()
+}

@@ -1,0 +1,30 @@
+// Package fix exercises the //duolint:allow directive machinery:
+// suppression on the same line and from the line above, the
+// unused-directive finding, and the malformed-directive findings.
+package fix
+
+import "math/rand"
+
+// Same-line suppression: the detrand finding here must not surface.
+var _ = rand.Intn(3) //duolint:allow detrand fixture: same-line suppression
+
+// Line-above suppression: the directive covers the next line.
+//
+//duolint:allow detrand fixture: suppression from the line above
+var _ = rand.Float64()
+
+// A directive with nothing to suppress is itself a finding.
+//
+//duolint:allow detrand nothing here violates; want `\[directive\] unused //duolint:allow detrand`
+var _ = 1
+
+// Unknown rule names are findings.
+//
+//duolint:allow bogusrule some reason; want `\[directive\] unknown rule "bogusrule"`
+var _ = 2
+
+// A reason is mandatory: annotations double as an audit trail.
+var _ = 3 /* want `\[directive\] //duolint:allow detrand needs a reason` */ //duolint:allow detrand
+
+// A bare directive is malformed.
+var _ = 4 /* want `\[directive\] malformed //duolint:allow: missing rule name` */ //duolint:allow

@@ -1,0 +1,34 @@
+// Package fix exercises the floateq rule: exact ==/!= between computed
+// floats is a finding; exact-zero sentinels, NaN self-tests, integer
+// comparisons, and ordered comparisons are not.
+package fix
+
+func positives(a, b float64, xs []float32) bool {
+	if a == b { // want `\[floateq\] float == comparison`
+		return true
+	}
+	if xs[0] != xs[1] { // want `\[floateq\] float != comparison`
+		return false
+	}
+	return a != b+1 // want `\[floateq\] float != comparison`
+}
+
+func positiveConst(a float64) bool {
+	return a == 0.5 // want `\[floateq\] float == comparison`
+}
+
+func negatives(a, b float64, n int) bool {
+	if a == 0 { // exact-zero sentinel: a float is 0.0 iff never perturbed
+		return false
+	}
+	if b != 0.0 {
+		return true
+	}
+	if a != a { // NaN self-test
+		return true
+	}
+	if n == 3 { // integers compare exactly
+		return false
+	}
+	return a < b
+}

@@ -1,0 +1,70 @@
+// Package fix exercises the mapiter rule: building ordered output from a
+// map range without sorting afterwards is a finding; sorted builds and
+// order-insensitive aggregations are not.
+package fix
+
+import "sort"
+
+func positiveAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `\[mapiter\] range over map appends to a slice`
+		out = append(out, k)
+	}
+	return out
+}
+
+func positiveFloatSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `\[mapiter\] range over map accumulates order-sensitively`
+		sum += v
+	}
+	return sum
+}
+
+func positiveConcat(m map[string]string) string {
+	s := ""
+	for _, v := range m { // want `\[mapiter\] range over map accumulates order-sensitively`
+		s += v
+	}
+	return s
+}
+
+func negativeSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func negativeHelperSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(ks []string) { sort.Strings(ks) }
+
+func negativeIntSum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func negativeLocalFloat(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		t := 0.0 // per-iteration accumulator: never crosses map order
+		for _, v := range vs {
+			t += v
+		}
+		out[k] = t
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// Package app exercises the telemetryro rule from outside the telemetry
+// package: instrument reads feeding if/for/switch conditions (including
+// init statements) are findings; writes, straight-line reads for export,
+// and nil identity tests are not.
+package app
+
+import "telemetryro/telemetry"
+
+func positives(c *telemetry.Counter, s telemetry.Snapshot) int {
+	out := 0
+	if c.Value() > 0 { // want `\[telemetryro\] telemetry read c.Value feeds a branch condition`
+		out++
+	}
+	for i := int64(0); i < c.Value(); i++ { // want `\[telemetryro\] telemetry read c.Value feeds a branch condition`
+		out++
+	}
+	if s.Counters["q"] > 0 { // want `\[telemetryro\] telemetry read s.Counters feeds a branch condition`
+		out++
+	}
+	switch c.Value() { // want `\[telemetryro\] telemetry read c.Value feeds a branch condition`
+	case 0:
+		out++
+	}
+	if v := c.Value(); v > 0 { // want `\[telemetryro\] telemetry read c.Value feeds a branch condition`
+		out++
+	}
+	return out
+}
+
+func negatives(c *telemetry.Counter) int64 {
+	c.Inc() // writes are the instruments' purpose
+	if c == nil {
+		return 0 // pointer identity reads no state
+	}
+	v := c.Value() // straight-line read for export/serialization
+	return v
+}

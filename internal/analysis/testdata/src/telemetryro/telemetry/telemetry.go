@@ -1,0 +1,25 @@
+// Package telemetry is a miniature stand-in for the real instrumentation
+// package: its path ends in "/telemetry", so the telemetryro rule exempts
+// it — the instrument substrate necessarily reads its own state.
+package telemetry
+
+// Counter is a toy write/read instrument.
+type Counter struct{ v int64 }
+
+// Inc is the write side.
+func (c *Counter) Inc() { c.v++ }
+
+// Value is the read side.
+func (c *Counter) Value() int64 { return c.v }
+
+// Snapshot is an exported point-in-time view.
+type Snapshot struct{ Counters map[string]int64 }
+
+// reset branches on its own state — legal inside the telemetry package.
+func (c *Counter) reset() {
+	if c.Value() > 0 {
+		c.v = 0
+	}
+}
+
+var _ = (&Counter{}).reset

@@ -1,0 +1,30 @@
+// Package fix exercises the walltime rule: wall-clock observations are
+// findings, whether called or captured as injectable defaults; pure time
+// arithmetic is not.
+package fix
+
+import "time"
+
+type clock struct {
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+func positives() clock {
+	_ = time.Now()          // want `\[walltime\] wall-clock reference time.Now`
+	time.Sleep(time.Second) // want `\[walltime\] wall-clock reference time.Sleep`
+	<-time.After(0)         // want `\[walltime\] wall-clock reference time.After`
+	return clock{
+		now:   time.Now,   // want `\[walltime\] wall-clock reference time.Now`
+		sleep: time.Sleep, // want `\[walltime\] wall-clock reference time.Sleep`
+	}
+}
+
+func negatives(t0, t1 time.Time) time.Duration {
+	epoch := time.Unix(0, 0)
+	d := 3 * time.Second
+	if t1.After(t0) { // method on a value, not the package clock
+		d += t1.Sub(t0)
+	}
+	return d + t0.Sub(epoch)
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Walltime enforces the clock half of the determinism contract (DESIGN.md
+// §9): computation paths never read the wall clock. Any reference to
+// time.Now, time.Since, time.Sleep, time.After, time.Tick, time.NewTimer,
+// time.NewTicker, or time.AfterFunc — as a call or as a value (the default
+// injectable-clock pattern `cfg.Now = time.Now`) — is flagged. The
+// legitimate sites (the telemetry stopwatch, TCP deadline arithmetic, the
+// breaker/retry/faultinject default-clock constructors, CLI progress
+// output) carry //duolint:allow walltime annotations, which doubles as an
+// inventory of every place the system can observe real time.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "no wall-clock reads (time.Now/Since/Sleep/...) outside the annotated injectable-clock sites",
+	Run:  runWalltime,
+}
+
+// walltimeBanned are the time package functions that observe or wait on
+// the real clock. Pure arithmetic/parsing (time.Duration, time.Unix,
+// time.Parse, time.Date) is deterministic and allowed.
+var walltimeBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWalltime(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgNamePath(p.Info, sel.X) != "time" || !walltimeBanned[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "wall-clock reference time.%s; inject a clock (and //duolint:allow walltime at the injection default)", sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -56,8 +56,8 @@ func (o *Outcome) PerturbedFrames() int { return o.Delta.L20() }
 // APAtM evaluates the targeted-attack success AP@m between the adversarial
 // video's retrieval list and the target's (two victim queries).
 func (o *Outcome) APAtM(victim retrieval.Retriever, target *video.Video, m int) float64 {
-	advList := retrieval.IDs(victim.Retrieve(o.Adv, m))
-	tgtList := retrieval.IDs(victim.Retrieve(target, m))
+	advList := retrieval.IDs(victim.Retrieve(o.Adv, m))  //duolint:allow billedquery evaluation-time AP@m measurement, outside the attack's query budget by design
+	tgtList := retrieval.IDs(victim.Retrieve(target, m)) //duolint:allow billedquery evaluation-time AP@m measurement, outside the attack's query budget by design
 	return metrics.APAtM(advList, tgtList)
 }
 

@@ -241,7 +241,7 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 		nv := d[idx] + delta
 		nv = math.Max(base-cfg.Tau, math.Min(base+cfg.Tau, nv))
 		nv = math.Max(video.PixelMin, math.Min(video.PixelMax, nv))
-		if nv == d[idx] {
+		if nv == d[idx] { //duolint:allow floateq exact no-op detection: a clipped step is worth a query iff it changed at least one bit
 			return false
 		}
 		d[idx] = nv

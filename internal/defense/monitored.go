@@ -3,6 +3,7 @@ package defense
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"duo/internal/retrieval"
@@ -62,6 +63,7 @@ func (s *MonitoredService) BlockedAccounts() []string {
 	for a := range s.blocked {
 		out = append(out, a)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,6 +1,7 @@
 package defense
 
 import (
+	"sort"
 	"sync"
 
 	"duo/internal/video"
@@ -106,5 +107,6 @@ func (d *StatefulDetector) FlaggedAccounts() []string {
 			out = append(out, acct)
 		}
 	}
+	sort.Strings(out)
 	return out
 }

@@ -62,7 +62,7 @@ func (c *BreakerConfig) applyDefaults() {
 		c.Cooldown = time.Second
 	}
 	if c.Now == nil {
-		c.Now = time.Now
+		c.Now = time.Now //duolint:allow walltime injectable-clock default; tests pin a fake clock
 	}
 }
 

@@ -431,12 +431,7 @@ func (c *Cluster) Close() error {
 func mergeTopM(all []Result, m int) []Result {
 	out := make([]Result, len(all))
 	copy(out, all)
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist != out[b].Dist {
-			return out[a].Dist < out[b].Dist
-		}
-		return out[a].ID < out[b].ID
-	})
+	sort.Slice(out, func(a, b int) bool { return resultLess(out[a], out[b]) })
 	if m > len(out) {
 		m = len(out)
 	}

@@ -194,12 +194,7 @@ func nearest(feat *tensor.Tensor, ids []string, labels []int, feats []*tensor.Te
 	for i := range ids {
 		res[i] = Result{ID: ids[i], Label: labels[i], Dist: feat.Distance(feats[i])}
 	}
-	sort.Slice(res, func(a, b int) bool {
-		if res[a].Dist != res[b].Dist {
-			return res[a].Dist < res[b].Dist
-		}
-		return res[a].ID < res[b].ID
-	})
+	sort.Slice(res, func(a, b int) bool { return resultLess(res[a], res[b]) })
 	if m > len(res) {
 		m = len(res)
 	}

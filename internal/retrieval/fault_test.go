@@ -378,7 +378,7 @@ func TestChaosBreakerSkipsDeadNode(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(0, 0)}
 
 	dead := NewFaultTransport(&LocalTransport{Shard: NewShard(m, c.Train[half:])}, FaultConfig{})
-	dead.FailNext(1 << 30, ErrInjectedDrop)
+	dead.FailNext(1<<30, ErrInjectedDrop)
 	br := NewBreakerTransport(dead, BreakerConfig{
 		FailureThreshold: 2, Cooldown: time.Minute, Now: clock.Now,
 	})

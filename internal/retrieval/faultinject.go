@@ -51,7 +51,7 @@ func (c *FaultConfig) applyDefaults() {
 		c.Delay = 50 * time.Millisecond
 	}
 	if c.Sleep == nil {
-		c.Sleep = time.Sleep
+		c.Sleep = time.Sleep //duolint:allow walltime injectable-sleep default; tests pin a recording stub
 	}
 }
 

@@ -119,12 +119,7 @@ func (e *HashEngine) Retrieve(v *video.Video, m int) []Result {
 	for i := range e.ids {
 		res[i] = Result{ID: e.ids[i], Label: e.labels[i], Dist: float64(hamming(q, e.codes[i]))}
 	}
-	sort.Slice(res, func(a, b int) bool {
-		if res[a].Dist != res[b].Dist {
-			return res[a].Dist < res[b].Dist
-		}
-		return res[a].ID < res[b].ID
-	})
+	sort.Slice(res, func(a, b int) bool { return resultLess(res[a], res[b]) })
 	if m > len(res) {
 		m = len(res)
 	}

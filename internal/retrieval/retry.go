@@ -40,7 +40,7 @@ func (c *RetryConfig) applyDefaults() {
 		c.Seed = 1
 	}
 	if c.Sleep == nil {
-		c.Sleep = time.Sleep
+		c.Sleep = time.Sleep //duolint:allow walltime injectable-sleep default; tests pin a recording stub
 	}
 }
 

@@ -120,7 +120,7 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 	enc := gob.NewEncoder(conn)
 	for {
 		if s.cfg.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)) //duolint:allow walltime socket deadlines are wall-clock by definition; no result bit depends on them
 		}
 		var req nearestRequest
 		if err := dec.Decode(&req); err != nil {
@@ -133,7 +133,7 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 			resp.Results = s.shard.Nearest(req.Feat, req.M)
 		}
 		if s.cfg.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //duolint:allow walltime socket deadlines are wall-clock by definition; no result bit depends on them
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
@@ -248,7 +248,7 @@ func (t *TCPTransport) Nearest(feat []float64, m int) ([]Result, error) {
 		t.reconnects++
 	}
 	if t.timeout > 0 {
-		t.conn.SetDeadline(time.Now().Add(t.timeout))
+		t.conn.SetDeadline(time.Now().Add(t.timeout)) //duolint:allow walltime socket deadlines are wall-clock by definition; no result bit depends on them
 	}
 	if err := t.enc.Encode(&nearestRequest{Feat: feat, M: m}); err != nil {
 		t.breakLocked()

@@ -21,7 +21,7 @@ import (
 // tie-breaking. It is a strict total order whenever gallery IDs are unique,
 // which is what makes the sharded scan reproduce `nearest` exactly.
 func resultLess(a, b Result) bool {
-	if a.Dist != b.Dist {
+	if a.Dist != b.Dist { //duolint:allow floateq comparator tie-break: exact equality IS the tie, and both operands are the same unrounded computation
 		return a.Dist < b.Dist
 	}
 	return a.ID < b.ID
