@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"duo"
 	"duo/internal/models"
@@ -41,6 +42,9 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "run seed")
 		export   = fs.String("export", "", "directory to write original/adversarial/delta frames as PPM images")
 		telem    = fs.Bool("telemetry", false, "collect and print per-stage timings, query-budget burn, and the 𝕋 trajectory")
+		traceOut = fs.String("trace", "", "write the attack's span tree to this file as JSONL (analyze with duotrace)")
+		traceClk = fs.Bool("traceclock", false, "timestamp trace spans with wall-clock nanoseconds instead of the deterministic logical clock")
+		tiny     = fs.Bool("tiny", false, "shrink corpus, models, and budget for a fast smoke run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,22 +58,44 @@ func run(args []string) error {
 		reg = duo.NewTelemetry()
 	}
 
-	fmt.Printf("building victim system (%s + %s)...\n", *victim, *loss)
-	sys, err := duo.NewSystem(duo.SystemOptions{
+	// With -trace the span tree of the whole pipeline (attack.run → round →
+	// stage → retrieve → node) is recorded and dumped as JSONL. The default
+	// logical clock keeps the dump bitwise reproducible; -traceclock trades
+	// that for real latencies.
+	var tracer *duo.Tracer
+	if *traceOut != "" {
+		tracer = duo.NewTracer("duoattack")
+		if *traceClk {
+			tracer.SetClock(func() int64 { return time.Now().UnixNano() }) //duolint:allow walltime opt-in real-time trace timestamps
+		}
+	}
+
+	sysOpts := duo.SystemOptions{
 		VictimArch: *victim,
 		VictimLoss: *loss,
 		Nodes:      *nodes,
 		Seed:       *seed,
-	})
+	}
+	surrOpts := duo.SurrogateOptions{Arch: *surrArch, Seed: *seed + 7}
+	if *tiny {
+		sysOpts.Categories, sysOpts.TrainPerCategory, sysOpts.TestPerCategory = 3, 4, 2
+		sysOpts.Frames, sysOpts.Height, sysOpts.Width = 6, 10, 10
+		sysOpts.FeatureDim, sysOpts.TrainEpochs, sysOpts.M = 12, 2, 6
+		surrOpts.MaxSamples, surrOpts.Epochs = 12, 3
+	}
+
+	fmt.Printf("building victim system (%s + %s)...\n", *victim, *loss)
+	sys, err := duo.NewSystem(sysOpts)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
 	sys.SetTelemetry(reg)
+	sys.SetTrace(tracer)
 	fmt.Printf("victim mAP on test split: %.2f%%\n", sys.MAP()*100)
 
 	fmt.Printf("stealing %s surrogate over the black-box interface...\n", *surrArch)
-	surr, err := sys.StealSurrogate(duo.SurrogateOptions{Arch: *surrArch, Seed: *seed + 7})
+	surr, err := sys.StealSurrogate(surrOpts)
 	if err != nil {
 		return err
 	}
@@ -118,7 +144,28 @@ func run(args []string) error {
 			s.Counters["attack.queries"], *queries, s.Counters["attack.rounds"])
 		fmt.Print(reg.Summary())
 	}
+
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans written to %s (inspect with duotrace summarize %s)\n",
+			tracer.Len(), *traceOut, *traceOut)
+	}
 	return nil
+}
+
+// writeTrace dumps the tracer's finished spans as JSONL.
+func writeTrace(path string, tr *duo.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // exportFrames writes the original clip, the adversarial clip, and an

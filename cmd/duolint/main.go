@@ -1,5 +1,5 @@
 // Command duolint runs the project's static-analysis suite
-// (internal/analysis): six analyzers enforcing the determinism contract
+// (internal/analysis): seven analyzers enforcing the determinism contract
 // (DESIGN.md §9), the query-billing invariant, and the write-only
 // telemetry rule (DESIGN.md §10) over every package of the module.
 //

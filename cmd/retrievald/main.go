@@ -26,6 +26,7 @@ import (
 	"duo"
 	"duo/internal/retrieval"
 	"duo/internal/telemetry"
+	"duo/internal/trace"
 )
 
 func main() {
@@ -56,18 +57,23 @@ func run(args []string) error {
 		return err
 	}
 
-	// Telemetry is opt-in: without -admin the registry stays nil and every
-	// instrument call below is a zero-cost no-op.
+	// Telemetry and tracing are opt-in: without -admin both stay nil and
+	// every instrument/span call below is a zero-cost no-op. The tracer
+	// records node.serve spans (node mode) or per-attack-query node spans
+	// (query mode), exported live at /trace.jsonl — only finished spans
+	// appear, so scraping mid-serve is safe.
 	var reg *telemetry.Registry
+	var tracer *trace.Tracer
 	if *admin != "" {
 		reg = telemetry.New()
 		reg.PublishExpvar("duo")
-		srv, lnAddr, err := serveAdmin(*admin, reg)
+		tracer = trace.New(fmt.Sprintf("retrievald-%s-%s", *mode, *shard))
+		srv, lnAddr, err := serveAdmin(*admin, reg, tracer)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("admin endpoints on http://%s/ (metrics.json, debug/vars, debug/pprof/)\n", lnAddr)
+		fmt.Printf("admin endpoints on http://%s/ (metrics.json, trace.jsonl, debug/vars, debug/pprof/)\n", lnAddr)
 	}
 
 	// Rebuild the identical system in every process.
@@ -98,7 +104,7 @@ func run(args []string) error {
 		} else if *idxFile != "" {
 			fmt.Printf("built and saved feature index to %s\n", *idxFile)
 		}
-		srv, err := retrieval.ServeNode(*addr, shardIdx)
+		srv, err := retrieval.ServeNodeConfig(*addr, shardIdx, retrieval.NodeServerConfig{Trace: tracer})
 		if err != nil {
 			return err
 		}
@@ -142,7 +148,7 @@ func run(args []string) error {
 			}
 			transports = append(transports, node)
 		}
-		cluster := retrieval.NewCluster(sys.VictimModel(), transports).SetPolicy(pol)
+		cluster := retrieval.NewCluster(sys.VictimModel(), transports).SetPolicy(pol).SetTrace(tracer)
 		cluster.SetTelemetry(reg)
 		defer cluster.Close()
 
@@ -177,15 +183,17 @@ func run(args []string) error {
 	}
 }
 
-// serveAdmin starts the -admin endpoint server (metrics snapshot, expvar,
-// pprof) on addr and returns the running server plus its bound address, so
-// callers can use ":0" and learn the real port.
-func serveAdmin(addr string, reg *telemetry.Registry) (*http.Server, net.Addr, error) {
+// serveAdmin starts the -admin endpoint server (metrics snapshot, span
+// dump, expvar, pprof) on addr and returns the running server plus its
+// bound address, so callers can use ":0" and learn the real port.
+func serveAdmin(addr string, reg *telemetry.Registry, tr *trace.Tracer) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("admin listener: %w", err)
 	}
-	srv := &http.Server{Handler: telemetry.AdminMux(reg)}
+	mux := telemetry.AdminMux(reg)
+	mux.Handle("/trace.jsonl", trace.Handler(tr))
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return srv, ln.Addr(), nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"duo"
 	"duo/internal/retrieval"
 	"duo/internal/telemetry"
+	"duo/internal/trace"
 )
 
 // newTestSystem builds the deterministic system the daemon uses.
@@ -78,7 +80,10 @@ func TestAdminEndpointsServeAllGroups(t *testing.T) {
 	reg.Gauge("cluster.node0.breaker_state").Set(1)
 	reg.Latency("retrieval.scan_ns").Observe(1.5e6)
 
-	srv, addr, err := serveAdmin("127.0.0.1:0", reg)
+	tr := trace.New("admin-test")
+	tr.Start(nil, "warmup").End()
+
+	srv, addr, err := serveAdmin("127.0.0.1:0", reg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,10 +115,18 @@ func TestAdminEndpointsServeAllGroups(t *testing.T) {
 	if body := httpGet(t, base+"/debug/pprof/"); !strings.Contains(string(body), "goroutine") {
 		t.Error("/debug/pprof/ index does not list profiles")
 	}
+
+	recs, err := trace.ReadJSONL(bytes.NewReader(httpGet(t, base+"/trace.jsonl")))
+	if err != nil {
+		t.Fatalf("/trace.jsonl is not valid span JSONL: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Name != "warmup" {
+		t.Errorf("/trace.jsonl served %+v, want the one finished warmup span", recs)
+	}
 }
 
 func TestAdminBadAddressFails(t *testing.T) {
-	if _, _, err := serveAdmin("256.0.0.1:http", telemetry.New()); err == nil {
+	if _, _, err := serveAdmin("256.0.0.1:http", telemetry.New(), trace.New("t")); err == nil {
 		t.Error("unlistenable admin address accepted")
 	}
 }

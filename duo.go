@@ -29,6 +29,7 @@ import (
 	"duo/internal/retrieval"
 	"duo/internal/surrogate"
 	"duo/internal/telemetry"
+	"duo/internal/trace"
 	"duo/internal/video"
 )
 
@@ -56,6 +57,18 @@ type Telemetry = telemetry.Registry
 
 // NewTelemetry returns an empty telemetry registry.
 func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// Tracer is a write-only deterministic span recorder. Wire one into a
+// System with SetTrace or into a single run with AttackOptions.Trace, then
+// export the span tree with WriteJSONL (analyzed offline by cmd/duotrace).
+// With the default logical clock the recorded tree is bitwise reproducible
+// across runs and worker counts; enabling tracing never changes any
+// retrieval or attack result.
+type Tracer = trace.Tracer
+
+// NewTracer returns a tracer recording under the given trace ID (empty
+// selects "trace").
+func NewTracer(id string) *Tracer { return trace.New(id) }
 
 // SystemOptions configure NewSystem.
 type SystemOptions struct {
@@ -162,6 +175,7 @@ type System struct {
 	model   models.Model
 	geom    models.Geometry
 	tel     *telemetry.Registry
+	tracer  *trace.Tracer
 }
 
 // NewSystem generates a corpus, trains the victim extractor with the
@@ -251,6 +265,17 @@ func (s *System) SetTelemetry(r *telemetry.Registry) {
 	}
 	if s.cluster != nil {
 		s.cluster.SetTelemetry(r)
+	}
+}
+
+// SetTrace wires the tracer into the system's retrieval service (a
+// sharded victim records per-node child spans under each attack query) and
+// makes it the default tracer for Attack runs; nil — the default —
+// disables span recording at zero hot-path cost.
+func (s *System) SetTrace(t *Tracer) {
+	s.tracer = t
+	if s.cluster != nil {
+		s.cluster.SetTrace(t)
 	}
 }
 
@@ -345,6 +370,11 @@ type AttackOptions struct {
 	// identical either way). Nil falls back to the registry wired with
 	// System.SetTelemetry, if any.
 	Telemetry *telemetry.Registry
+	// Trace optionally records this run's span tree (attack.run → round →
+	// stage → retrieve, plus per-node children on a sharded victim).
+	// Write-only like Telemetry; nil falls back to the tracer wired with
+	// System.SetTrace, if any.
+	Trace *Tracer
 }
 
 // Report summarizes an attack run with the paper's measures.
@@ -396,7 +426,7 @@ func (s *System) Attack(v, vt *Video, surr Model, opts AttackOptions) (*Report, 
 		opts.Seed = s.opts.Seed + 13
 	}
 
-	ctx := &attack.Context{Victim: s.Victim, M: s.M, Rng: rand.New(rand.NewSource(opts.Seed)), Telemetry: s.attackTelemetry(opts)}
+	ctx := &attack.Context{Victim: s.Victim, M: s.M, Rng: rand.New(rand.NewSource(opts.Seed)), Telemetry: s.attackTelemetry(opts), Trace: s.attackTrace(opts)}
 	res, err := core.Run(ctx, surr, v, vt, cfg)
 	if err != nil {
 		return nil, err
@@ -411,6 +441,17 @@ func (s *System) attackTelemetry(opts AttackOptions) *telemetry.Registry {
 		return opts.Telemetry
 	}
 	return s.tel
+}
+
+// attackTrace picks the per-run tracer: the run's own, else the
+// system-wide one. Note a sharded victim records node spans on the tracer
+// wired with SetTrace — a per-run tracer that differs from it still traces
+// the attack side, with node spans parented remotely across the two.
+func (s *System) attackTrace(opts AttackOptions) *trace.Tracer {
+	if opts.Trace != nil {
+		return opts.Trace
+	}
+	return s.tracer
 }
 
 // AttackUntargeted runs the untargeted DUO variant (§I): the adversarial
@@ -442,7 +483,7 @@ func (s *System) AttackUntargeted(v *Video, surr Model, opts AttackOptions) (*Re
 		opts.Seed = s.opts.Seed + 13
 	}
 
-	ctx := &attack.Context{Victim: s.Victim, M: s.M, Rng: rand.New(rand.NewSource(opts.Seed)), Telemetry: s.attackTelemetry(opts)}
+	ctx := &attack.Context{Victim: s.Victim, M: s.M, Rng: rand.New(rand.NewSource(opts.Seed)), Telemetry: s.attackTelemetry(opts), Trace: s.attackTrace(opts)}
 	res, err := core.Run(ctx, surr, v, nil, cfg)
 	if err != nil {
 		return nil, err

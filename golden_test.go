@@ -38,8 +38,8 @@ const goldenPath = "testdata/golden_pipeline.json"
 
 // goldenRun executes the full pipeline — corpus, victim training, surrogate
 // stealing, DUO attack — at a fixed seed and summarizes it. The telemetry
-// registry may be nil; the summary must be identical either way.
-func goldenRun(t *testing.T, reg *Telemetry) (*goldenPipeline, *Report) {
+// registry and tracer may be nil; the summary must be identical either way.
+func goldenRun(t *testing.T, reg *Telemetry, tr *Tracer) (*goldenPipeline, *Report) {
 	t.Helper()
 	sys, err := NewSystem(SystemOptions{
 		Categories: 3, TrainPerCategory: 4, TestPerCategory: 2,
@@ -50,6 +50,7 @@ func goldenRun(t *testing.T, reg *Telemetry) (*goldenPipeline, *Report) {
 		t.Fatal(err)
 	}
 	sys.SetTelemetry(reg)
+	sys.SetTrace(tr)
 	surr, err := sys.StealSurrogate(SurrogateOptions{MaxSamples: 12, Epochs: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -89,9 +90,10 @@ func videoSHA256(v *Video) string {
 // and requires a bitwise-identical adversarial video and identical
 // fingerprint — the determinism contract of internal/parallel, asserted at
 // the highest level the repo has. The workers=1 run also collects
-// telemetry, proving an instrumented run produces the same bits as the
-// clean workers=4 run, and that the telemetry query counter agrees exactly
-// with the billed query count.
+// telemetry and a span trace, proving an instrumented run produces the
+// same bits as the clean workers=4 run, that the telemetry query counter
+// agrees exactly with the billed query count, and that every billed query
+// is attributed to a leaf retrieve span in the trace.
 func TestGoldenPipeline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full pipeline run")
@@ -100,10 +102,27 @@ func TestGoldenPipeline(t *testing.T) {
 	defer parallel.SetWorkers(prev)
 
 	reg := NewTelemetry()
-	got, rep := goldenRun(t, reg)
+	tr1 := NewTracer("golden")
+	got, rep := goldenRun(t, reg, tr1)
 
 	if telQ := reg.Snapshot().Counters["attack.queries"]; telQ != int64(got.Queries) {
 		t.Errorf("telemetry attack.queries = %d, billed queries = %d", telQ, got.Queries)
+	}
+	// Query-budget attribution: the bare `queries` attribute appears only
+	// on leaf retrieve spans and must sum to exactly the billed count.
+	var attributed int64
+	for _, r := range tr1.Records() {
+		q, ok := r.Int("queries")
+		if !ok {
+			continue
+		}
+		if r.Name != "retrieve" {
+			t.Errorf("span %q carries a `queries` attr; reserved for retrieve leaves", r.Name)
+		}
+		attributed += q
+	}
+	if attributed != int64(got.Queries) {
+		t.Errorf("trace attributes %d queries to retrieve leaves, billed %d", attributed, got.Queries)
 	}
 	if got.Queries > 80 {
 		t.Errorf("queries = %d exceed the 80-query budget", got.Queries)
@@ -138,9 +157,11 @@ func TestGoldenPipeline(t *testing.T) {
 		t.Errorf("pipeline drifted from golden:\n got %+v\nwant %+v", got, &want)
 	}
 
-	// Rerun everything at workers=4, telemetry off: identical bits required.
+	// Rerun everything at workers=4, telemetry off but traced: identical
+	// bits and a bitwise-identical span tree required.
 	parallel.SetWorkers(4)
-	got4, rep4 := goldenRun(t, nil)
+	tr4 := NewTracer("golden")
+	got4, rep4 := goldenRun(t, nil, tr4)
 	if !reflect.DeepEqual(got, got4) {
 		t.Errorf("workers=4 fingerprint differs:\n w1 %+v\n w4 %+v", got, got4)
 	}
@@ -153,4 +174,17 @@ func TestGoldenPipeline(t *testing.T) {
 			t.Fatalf("adversarial video differs at element %d: %v vs %v", i, a[i], b[i])
 		}
 	}
+	if f1, f4 := traceSHA256(t, tr1), traceSHA256(t, tr4); f1 != f4 {
+		t.Errorf("trace fingerprint differs between workers=1 (%s) and workers=4 (%s)", f1, f4)
+	}
+}
+
+// traceSHA256 fingerprints a tracer's JSONL dump.
+func traceSHA256(t *testing.T, tr *Tracer) string {
+	t.Helper()
+	h := sha256.New()
+	if err := tr.WriteJSONL(h); err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }

@@ -49,6 +49,11 @@ type Pass struct {
 	Fset *token.FileSet
 	// Path is the package's import path.
 	Path string
+	// Dir is the package's source directory on disk. Analyzers that need
+	// evidence from files outside the type-checked set (gobsymmetry scans
+	// sibling _test.go files) read it from here; it is empty when the
+	// package was loaded without directory information.
+	Dir string
 	// Files are the package's parsed non-test source files.
 	Files []*ast.File
 	// Pkg is the type-checked package object (never nil; possibly

@@ -30,6 +30,8 @@ var fixtureCases = []struct {
 	{"billedquery/other", []*Analyzer{Billedquery}},
 	{"telemetryro/telemetry", []*Analyzer{Telemetryro}},
 	{"telemetryro/app", []*Analyzer{Telemetryro}},
+	{"gobsymmetry/wire", []*Analyzer{Gobsymmetry}},
+	{"gobsymmetry/naked", []*Analyzer{Gobsymmetry}},
 	{"directive/fix", []*Analyzer{Detrand}},
 }
 

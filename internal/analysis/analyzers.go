@@ -9,6 +9,7 @@ func All() []*Analyzer {
 		Floateq,
 		Billedquery,
 		Telemetryro,
+		Gobsymmetry,
 	}
 }
 

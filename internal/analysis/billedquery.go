@@ -25,9 +25,10 @@ var Billedquery = &Analyzer{
 
 // billedMethods are the victim query entry points.
 var billedMethods = map[string]bool{
-	"Retrieve":      true,
-	"RetrieveErr":   true,
-	"RetrieveBatch": true,
+	"Retrieve":       true,
+	"RetrieveErr":    true,
+	"RetrieveBatch":  true,
+	"RetrieveTraced": true,
 }
 
 func runBilledquery(p *Pass) {

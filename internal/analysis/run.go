@@ -140,6 +140,7 @@ func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, known,
 		pass := &Pass{
 			Fset:   fset,
 			Path:   pkg.Path,
+			Dir:    pkg.Dir,
 			Files:  pkg.Files,
 			Pkg:    pkg.Types,
 			Info:   pkg.Info,

@@ -7,6 +7,7 @@ type victim interface {
 	Retrieve(q string, m int) []string
 	RetrieveErr(q string, m int) ([]string, error)
 	RetrieveBatch(qs []string, m int) [][]string
+	RetrieveTraced(tc any, q string, m int) ([]string, error)
 }
 
 func positiveUnbilled(v victim) []string {
@@ -45,4 +46,15 @@ func negativeBilledErr(v victim) ([]string, error) {
 	telQueries++
 	_ = telQueries
 	return v.RetrieveErr("q", 5)
+}
+
+func positiveUnbilledTraced(v victim) ([]string, error) {
+	return v.RetrieveTraced(nil, "q", 5) // want `\[billedquery\] victim RetrieveTraced call is not budget-billed`
+}
+
+func negativeBilledTraced(v victim) ([]string, error) {
+	queries := 0
+	queries++
+	_ = queries
+	return v.RetrieveTraced(nil, "q", 5)
 }

@@ -1,0 +1,17 @@
+// Package naked exercises the gobsymmetry rule in a package with no test
+// files at all: every wire type is flagged as untested.
+package naked
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// Payload crosses the gob boundary with no test file anywhere nearby.
+type Payload struct { // want `\[gobsymmetry\] gob wire type Payload has no sibling _test.go round-trip coverage`
+	N int
+}
+
+func write(w io.Writer, p Payload) error {
+	return gob.NewEncoder(w).Encode(p)
+}

@@ -1,0 +1,53 @@
+// Package wire exercises the gobsymmetry rule with a sibling test file
+// (fix_test.go) that round-trips some — not all — of the wire types.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Covered is round-tripped by fix_test.go: no findings.
+type Covered struct {
+	A int
+	B string
+}
+
+// Uncovered crosses the gob boundary but no test names it.
+type Uncovered struct { // want `\[gobsymmetry\] gob wire type Uncovered is not covered by a sibling round-trip test`
+	A int
+}
+
+// Leaky is covered by the test but smuggles an unexported field, which gob
+// drops silently.
+type Leaky struct {
+	A int
+	b int // want `\[gobsymmetry\] gob wire type Leaky has unexported field b`
+}
+
+// alias is not a struct passed to gob; only the struct types above count.
+type alias int
+
+func encodeAll() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(Covered{A: 1, B: "x"}); err != nil {
+		return nil, err
+	}
+	if err := enc.Encode(&Uncovered{A: 2}); err != nil {
+		return nil, err
+	}
+	if err := enc.Encode(Leaky{A: 3}); err != nil {
+		return nil, err
+	}
+	if err := enc.Encode(alias(4)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCovered(b []byte) (Covered, error) {
+	var c Covered
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c)
+	return c, err
+}

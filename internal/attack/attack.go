@@ -11,6 +11,7 @@ import (
 	"duo/internal/retrieval"
 	"duo/internal/telemetry"
 	"duo/internal/tensor"
+	"duo/internal/trace"
 	"duo/internal/video"
 )
 
@@ -29,6 +30,11 @@ type Context struct {
 	// disables it at zero cost. Nothing recorded here ever feeds back into
 	// attack math, so enabling telemetry cannot change any result.
 	Telemetry *telemetry.Registry
+	// Trace optionally records the attack's span tree (attack.run → round
+	// → stage → retrieve). Like Telemetry it is write-only and nil — the
+	// default — is a zero-cost no-op; with the default logical clock the
+	// recorded tree is bitwise reproducible across runs and worker counts.
+	Trace *trace.Tracer
 }
 
 // Outcome is the result of one attack run on one (v, v_t) pair.

@@ -5,6 +5,7 @@ import (
 
 	"duo/internal/attack"
 	"duo/internal/models"
+	"duo/internal/trace"
 	"duo/internal/video"
 )
 
@@ -85,26 +86,47 @@ func Run(ctx *attack.Context, s models.Model, v, vt *video.Video, cfg Config) (*
 	budget := ctx.Telemetry.Gauge("attack.budget_remaining")
 	budget.Set(int64(cfg.Query.MaxQueries))
 
+	// The span tree follows the same write-only contract. Stage bodies run
+	// under pprof labels so CPU profiles attribute samples to stage+round
+	// (labels are inherited by the parallel workers the stages spawn).
+	run := ctx.Trace.Start(nil, "attack.run")
+	run.SetInt("budget", int64(cfg.Query.MaxQueries))
+	run.SetInt("iter_num_h", int64(cfg.IterNumH))
+
 	cur := v
 	totalQueries := 0
 	var trajectory []float64
 	res := &Result{}
 
 	for h := 0; h < cfg.IterNumH; h++ {
+		round := ctx.Trace.Start(run, "round")
+		round.SetInt("round", int64(h))
+
+		var masks *Masks
+		var err error
 		sw := transferNs.Start()
-		masks, err := SparseTransfer(s, cur, vt, cfg.Transfer)
+		trace.WithStageLabels("sparsetransfer", h, func() {
+			masks, err = sparseTransfer(ctx.Trace, round, s, cur, vt, cfg.Transfer)
+		})
 		sw.Stop()
 		if err != nil {
+			round.End()
+			run.End()
 			return nil, fmt.Errorf("core: round %d: %w", h+1, err)
 		}
 		res.Rounds = append(res.Rounds, masks)
 
 		qcfg := cfg.Query
 		qcfg.MaxQueries = perRound
+		var qr *QueryResult
 		sw = queryNs.Start()
-		qr, err := SparseQuery(ctx, cur, vt, masks, qcfg)
+		trace.WithStageLabels("sparsequery", h, func() {
+			qr, err = sparseQuery(ctx, round, cur, vt, masks, qcfg)
+		})
 		sw.Stop()
 		if err != nil {
+			round.End()
+			run.End()
 			return nil, fmt.Errorf("core: round %d: %w", h+1, err)
 		}
 		rounds.Inc()
@@ -112,8 +134,19 @@ func Run(ctx *attack.Context, s models.Model, v, vt *video.Video, cfg Config) (*
 		budget.Set(int64(cfg.Query.MaxQueries - totalQueries))
 		trajectory = append(trajectory, qr.Trajectory...)
 		cur = qr.Adv
+
+		// Named round_queries, not queries: the bare `queries` key is
+		// reserved for leaf retrieve spans so Σ queries == QueryCount holds
+		// without double counting (duotrace's budget attribution).
+		round.SetInt("round_queries", int64(qr.Queries))
+		if n := len(qr.Trajectory); n > 0 {
+			round.SetFloat("T", qr.Trajectory[n-1])
+		}
+		round.End()
 	}
 
+	run.SetInt("queries_total", int64(totalQueries))
+	run.End()
 	res.Outcome = attack.NewOutcome(v, cur, totalQueries, trajectory)
 	return res, nil
 }

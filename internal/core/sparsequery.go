@@ -8,6 +8,7 @@ import (
 	"duo/internal/mathx"
 	"duo/internal/metrics"
 	"duo/internal/retrieval"
+	"duo/internal/trace"
 	"duo/internal/video"
 )
 
@@ -98,6 +99,17 @@ type QueryResult struct {
 // prior from SparseTransfer; perturbations stay inside the support of
 // ℐ⊙𝓕⊙θ (Eq. 4) and within ±τ of v on every element.
 func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg QueryConfig) (*QueryResult, error) {
+	return sparseQuery(ctx, nil, v, vt, masks, cfg)
+}
+
+// sparseQuery is SparseQuery with span recording under parent: one
+// sparsequery span, one query.step span per coordinate iteration (with
+// the candidate pixel and post-step 𝕋), and one leaf retrieve span per
+// victim round-trip. The `queries` attribute appears ONLY on retrieve
+// leaves and covers every billing site — reference fetches, walk steps,
+// retries, batched pairs — so Σ queries over retrieve spans equals the
+// round's billed query count exactly (duotrace enforces this).
+func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, masks *Masks, cfg QueryConfig) (*QueryResult, error) {
 	if cfg.MaxQueries <= 0 {
 		return nil, fmt.Errorf("core: non-positive query budget %d", cfg.MaxQueries)
 	}
@@ -127,8 +139,17 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 	telQueries := ctx.Telemetry.Counter("attack.queries")
 	telTraj := ctx.Telemetry.Ring("attack.trajectory", 512)
 
+	tr := ctx.Trace
+	qsp := tr.Start(parent, "sparsequery")
+	defer qsp.End()
+	// retrParent is the span the next leaf retrieve span hangs under: the
+	// sparsequery span for the reference fetches, the current query.step
+	// span during the walk.
+	retrParent := qsp
+
 	queries := 0
 	fallible, _ := ctx.Victim.(retrieval.FallibleRetriever)
+	traced, _ := ctx.Victim.(retrieval.TracedRetriever)
 	// A fallible victim keeps the one-query-at-a-time path so retries are
 	// billed per attempt; batching is only sound when Retrieve cannot fail.
 	var batcher retrieval.BatchRetriever
@@ -138,26 +159,50 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 	// retrieveIDs issues one victim query, retrying a fallible victim up
 	// to `retries` extra times; every attempt counts against the budget.
 	// A nil error guarantees the list is complete — a failed node must
-	// never leak a silently-partial top-m into 𝕋 (Eq. 2).
+	// never leak a silently-partial top-m into 𝕋 (Eq. 2). Each call
+	// records one leaf retrieve span whose `queries` attribute is exactly
+	// what this call billed, retries included.
 	retrieveIDs := func(qv *video.Video) ([]string, error) {
+		rsp := tr.Start(retrParent, "retrieve")
 		if fallible == nil {
 			queries++
 			telQueries.Inc()
-			return retrieval.IDs(ctx.Victim.Retrieve(qv, ctx.M)), nil
+			ids := retrieval.IDs(ctx.Victim.Retrieve(qv, ctx.M))
+			rsp.SetInt("queries", 1)
+			rsp.SetStr("outcome", "ok")
+			rsp.End()
+			return ids, nil
 		}
+		billed := 0
 		var lastErr error
 		for attempt := 0; attempt <= retries; attempt++ {
 			if attempt > 0 && queries >= cfg.MaxQueries {
 				break // no budget left to retry
 			}
 			queries++
+			billed++
 			telQueries.Inc()
-			rs, err := fallible.RetrieveErr(qv, ctx.M)
+			var rs []retrieval.Result
+			var err error
+			// A traced victim (the cluster) attributes per-node child
+			// spans under this retrieve leaf; results and billing are
+			// identical to RetrieveErr.
+			if tc := rsp.Ctx(); traced != nil && tc.Valid() {
+				rs, err = traced.RetrieveTraced(tc, qv, ctx.M)
+			} else {
+				rs, err = fallible.RetrieveErr(qv, ctx.M)
+			}
 			if err == nil {
+				rsp.SetInt("queries", int64(billed))
+				rsp.SetStr("outcome", "ok")
+				rsp.End()
 				return retrieval.IDs(rs), nil
 			}
 			lastErr = err
 		}
+		rsp.SetInt("queries", int64(billed))
+		rsp.SetStr("outcome", "failed")
+		rsp.End()
 		return nil, fmt.Errorf("core: victim query failed: %w", lastErr)
 	}
 
@@ -172,10 +217,15 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 		return nil, fmt.Errorf("core: targeted SparseQuery needs a target video")
 	}
 	if batcher != nil && cfg.Mode != Untargeted {
+		rsp := tr.Start(qsp, "retrieve")
 		queries += 2
 		telQueries.Add(2)
 		lists := batcher.RetrieveBatch([]*video.Video{v, vt}, ctx.M)
 		origList, targetList = retrieval.IDs(lists[0]), retrieval.IDs(lists[1])
+		rsp.SetInt("queries", 2)
+		rsp.SetStr("outcome", "ok")
+		rsp.SetStr("kind", "batch")
+		rsp.End()
 	} else {
 		if origList, err = retrieveIDs(v); err != nil {
 			return nil, err
@@ -364,8 +414,14 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 			perm = ctx.Rng.Perm(len(support))
 			pi = 0
 		}
+		stepSp := tr.Start(qsp, "query.step")
+		retrParent = stepSp
 		if cfg.Basis == BasisDCT {
 			sampleDCT()
+			stepSp.SetInt("frame", int64(dctFrame))
+			stepSp.SetInt("channel", int64(dctChannel))
+		} else {
+			stepSp.SetInt("pixel", int64(support[perm[pi%len(perm)]]))
 		}
 
 		// Lines 6–14 / Eq. (3): try +ε then −ε, keeping the first
@@ -378,10 +434,15 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 				// Acceptance order is unchanged: +ε wins whenever it
 				// qualifies, so the per-iteration walk matches the
 				// sequential one exactly.
+				rsp := tr.Start(stepSp, "retrieve")
 				queries += 2
 				telQueries.Add(2)
 				res.BatchedPairs++
 				lists := batcher.RetrieveBatch([]*video.Video{candP, candM}, ctx.M)
+				rsp.SetInt("queries", 2)
+				rsp.SetStr("outcome", "ok")
+				rsp.SetStr("kind", "pair")
+				rsp.End()
 				if !accept(candP, score(retrieval.IDs(lists[0]))) {
 					accept(candM, score(retrieval.IDs(lists[1])))
 				}
@@ -398,10 +459,17 @@ func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg Quer
 		pi++
 		res.Trajectory = append(res.Trajectory, tCur)
 		telTraj.Push(tCur)
+		stepSp.SetFloat("T", tCur)
+		stepSp.End()
+		retrParent = qsp
 	}
 
 	res.Adv = adv
 	res.Queries = queries
+	qsp.SetInt("support", int64(len(support)))
+	qsp.SetInt("round_queries", int64(res.Queries))
+	qsp.SetInt("skipped", int64(res.Skipped))
+	qsp.SetInt("batched_pairs", int64(res.BatchedPairs))
 	return res, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"duo/internal/models"
 	"duo/internal/opt"
 	"duo/internal/tensor"
+	"duo/internal/trace"
 	"duo/internal/video"
 )
 
@@ -151,6 +152,15 @@ func (m *Masks) ActiveFrames() []int {
 // Eq. (1). In Untargeted mode vt may be nil and the objective flips to
 // maximizing the feature distance from v itself.
 func SparseTransfer(s models.Model, v, vt *video.Video, cfg TransferConfig) (*Masks, error) {
+	return sparseTransfer(nil, nil, s, v, vt, cfg)
+}
+
+// sparseTransfer is SparseTransfer with span recording: one sparsetransfer
+// span under parent, with one transfer.theta / transfer.pixel /
+// transfer.frame child per outer iteration and a final transfer.polish.
+// The stage structure mirrors Algorithm 1's alternation, so duotrace can
+// attribute surrogate-side cost per stage. A nil tracer records nothing.
+func sparseTransfer(tr *trace.Tracer, parent *trace.Span, s models.Model, v, vt *video.Video, cfg TransferConfig) (*Masks, error) {
 	shape := v.Data.Shape()
 	elems := v.Data.Len()
 	frames := v.Frames()
@@ -166,6 +176,9 @@ func SparseTransfer(s models.Model, v, vt *video.Video, cfg TransferConfig) (*Ma
 	if !v.Data.SameShape(vt.Data) {
 		return nil, fmt.Errorf("core: original %v and target %v shapes differ", v.Data.Shape(), vt.Data.Shape())
 	}
+
+	sp := tr.Start(parent, "sparsetransfer")
+	defer sp.End()
 
 	// Line 1: ℐ = 1, 𝓕 = 1, θ = 0.
 	m := &Masks{
@@ -239,6 +252,8 @@ func SparseTransfer(s models.Model, v, vt *video.Video, cfg TransferConfig) (*Ma
 		// depends on the surrogate's depth, so the step is normalized by
 		// ‖·‖∞ and scaled by lr·τ (the same normalization MI-FGSM-family
 		// attacks use) to make the schedule meaningful across models.
+		thetaSp := tr.Start(sp, "transfer.theta")
+		thetaSp.SetInt("iter", int64(it))
 		var loss float64
 		for t := 0; t < cfg.ThetaSteps; t++ {
 			var grad *tensor.Tensor
@@ -254,10 +269,15 @@ func SparseTransfer(s models.Model, v, vt *video.Video, cfg TransferConfig) (*Ma
 			}
 			projectTheta(m.Theta, cfg)
 		}
+		thetaSp.SetInt("steps", int64(cfg.ThetaSteps))
+		thetaSp.SetFloat("loss", loss)
+		thetaSp.End()
 
 		// Line 4: update ℐ with ℓp-box ADMM on the linearized objective:
 		// select the k elements with the highest expected loss reduction
 		// |θ ⊙ ∇L| (cost c = −score).
+		pixelSp := tr.Start(sp, "transfer.pixel")
+		pixelSp.SetInt("iter", int64(it))
 		score := m.Theta.Mul(lastGrad).ApplyInPlace(math.Abs)
 		// Break exact ties (e.g. zero scores) toward elements with larger
 		// magnitudes so the selection stays meaningful early on.
@@ -274,6 +294,7 @@ func SparseTransfer(s models.Model, v, vt *video.Video, cfg TransferConfig) (*Ma
 			}
 			res, err := admm.MinimizeCardinality(cost, cfg.K, admm.DefaultConfig())
 			if err != nil {
+				pixelSp.End()
 				return nil, fmt.Errorf("core: ℐ-step: %w", err)
 			}
 			pixelSel = res.X
@@ -288,9 +309,18 @@ func SparseTransfer(s models.Model, v, vt *video.Video, cfg TransferConfig) (*Ma
 				pd[i] = 0
 			}
 		}
+		pixelSp.SetInt("k", int64(cfg.K))
+		if cfg.UseADMM {
+			pixelSp.SetStr("method", "admm")
+		} else {
+			pixelSp.SetStr("method", "topk")
+		}
+		pixelSp.End()
 
 		// Lines 5–7: relax 𝓕 to 𝒞, update 𝒞 from per-frame energy with
 		// momentum, then keep the top-n frames by ‖𝒞‖₂.
+		frameSp := tr.Start(sp, "transfer.frame")
+		frameSp.SetInt("iter", int64(it))
 		masked := m.Theta.Mul(m.Pixel)
 		gradMasked := lastGrad.Mul(m.Pixel)
 		for f := 0; f < frames; f++ {
@@ -307,6 +337,8 @@ func SparseTransfer(s models.Model, v, vt *video.Video, cfg TransferConfig) (*Ma
 		for _, f := range top {
 			m.Frame.Slice(f).Fill(1)
 		}
+		frameSp.SetInt("n", int64(cfg.N))
+		frameSp.End()
 
 		m.Loss = loss
 		if math.Abs(prevLoss-loss) < cfg.Tol*(1+math.Abs(prevLoss)) {
@@ -318,6 +350,7 @@ func SparseTransfer(s models.Model, v, vt *video.Video, cfg TransferConfig) (*Ma
 
 	// Final polish of θ on the fixed masks so magnitudes reflect the final
 	// support.
+	polishSp := tr.Start(sp, "transfer.polish")
 	for t := 0; t < cfg.ThetaSteps; t++ {
 		loss, grad := evalLoss()
 		noteTheta(loss)
@@ -333,10 +366,18 @@ func SparseTransfer(s models.Model, v, vt *video.Video, cfg TransferConfig) (*Ma
 	if loss, _ := evalLoss(); true {
 		noteTheta(loss)
 	}
+	polishSp.End()
 	if bestTheta != nil {
 		m.Theta = bestTheta
 		m.Loss = bestLoss
 	}
+	sp.SetInt("iterations", int64(m.Iterations))
+	if m.Converged {
+		sp.SetInt("converged", 1)
+	} else {
+		sp.SetInt("converged", 0)
+	}
+	sp.SetFloat("loss", m.Loss)
 	// Quantize θ to whole pixel levels: videos are 8-bit, so sub-0.5
 	// magnitudes cannot survive encoding. Quantization is also what keeps
 	// the *effective* Spa well below k — elements whose optimal magnitude

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"duo/internal/parallel"
+	"duo/internal/trace"
+)
+
+// tracedRun executes a small two-round attack under a fresh tracer and
+// returns the tracer plus the run's result.
+func tracedRun(t *testing.T, f *fixture, workers int) (*trace.Tracer, *Result) {
+	t.Helper()
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	cfg := Config{
+		Transfer: testTransferConfig(f.geom),
+		Query:    testQueryConfig(),
+		IterNumH: 2,
+	}
+	cfg.Query.MaxQueries = 40
+	ctx := newCtx(f, 21)
+	tr := trace.New("core-test")
+	ctx.Trace = tr
+	res, err := Run(ctx, f.surr, f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, res
+}
+
+func TestRunRecordsSpanTree(t *testing.T) {
+	f := getFixture(t)
+	tr, res := tracedRun(t, f, 2)
+
+	recs := tr.Records()
+	if len(recs) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	byID := make(map[uint64]trace.Record, len(recs))
+	byName := make(map[string][]trace.Record)
+	for _, r := range recs {
+		byID[r.ID] = r
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+
+	if n := len(byName["attack.run"]); n != 1 {
+		t.Fatalf("attack.run spans = %d, want 1", n)
+	}
+	run := byName["attack.run"][0]
+	if got, ok := run.Int("queries_total"); !ok || got != int64(res.Queries) {
+		t.Errorf("attack.run queries_total = %d, want %d", got, res.Queries)
+	}
+	if n := len(byName["round"]); n != 2 {
+		t.Fatalf("round spans = %d, want 2", n)
+	}
+	for i, r := range byName["round"] {
+		if r.Parent != run.ID {
+			t.Errorf("round %d parent = %d, want attack.run %d", i, r.Parent, run.ID)
+		}
+	}
+	for _, stage := range []string{"sparsetransfer", "sparsequery"} {
+		if n := len(byName[stage]); n != 2 {
+			t.Fatalf("%s spans = %d, want 2 (one per round)", stage, n)
+		}
+		for _, s := range byName[stage] {
+			if byID[s.Parent].Name != "round" {
+				t.Errorf("%s parent is %q, want round", stage, byID[s.Parent].Name)
+			}
+		}
+	}
+	if len(byName["transfer.theta"]) == 0 || len(byName["transfer.pixel"]) == 0 || len(byName["transfer.frame"]) == 0 {
+		t.Error("missing SparseTransfer stage spans")
+	}
+	if len(byName["query.step"]) == 0 {
+		t.Error("no query.step spans recorded")
+	}
+
+	// Query-budget attribution: the bare `queries` attribute lives only on
+	// leaf retrieve spans and must sum to exactly the billed query count.
+	total := int64(0)
+	for _, r := range recs {
+		if _, ok := r.Attrs["queries"]; !ok {
+			continue
+		}
+		if r.Name != "retrieve" {
+			t.Errorf("span %q carries a `queries` attr; that key is reserved for retrieve leaves", r.Name)
+		}
+		n, _ := r.Int("queries")
+		total += n
+	}
+	if total != int64(res.Queries) {
+		t.Errorf("Σ retrieve queries attrs = %d, want billed %d", total, res.Queries)
+	}
+	for _, r := range byName["retrieve"] {
+		switch p := byID[r.Parent].Name; p {
+		case "sparsequery", "query.step":
+		default:
+			t.Errorf("retrieve parent is %q, want sparsequery or query.step", p)
+		}
+	}
+
+	// Spans End in deterministic order, so Start/End ticks are a strict
+	// 1..2n permutation of the logical clock.
+	seen := make(map[int64]bool, 2*len(recs))
+	for _, r := range recs {
+		if r.Start <= 0 || r.End <= r.Start {
+			t.Fatalf("span %q has ticks [%d,%d]", r.Name, r.Start, r.End)
+		}
+		seen[r.Start] = true
+		seen[r.End] = true
+	}
+	if len(seen) != 2*len(recs) {
+		t.Errorf("clock ticks collide: %d distinct over %d spans", len(seen), len(recs))
+	}
+}
+
+func TestRunTraceIdenticalAcrossWorkerCounts(t *testing.T) {
+	f := getFixture(t)
+	var dumps [][]byte
+	for _, w := range []int{1, 4} {
+		tr, _ := tracedRun(t, f, w)
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dumps = append(dumps, buf.Bytes())
+	}
+	if !bytes.Equal(dumps[0], dumps[1]) {
+		t.Error("trace JSONL differs between workers=1 and workers=4")
+	}
+}
+
+func TestRunTracingDoesNotPerturbAttack(t *testing.T) {
+	f := getFixture(t)
+	cfg := Config{Transfer: testTransferConfig(f.geom), Query: testQueryConfig(), IterNumH: 1}
+	plain, err := Run(newCtx(f, 9), f.surr, f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := newCtx(f, 9)
+	ctx.Trace = trace.New("perturb-check")
+	traced, err := Run(ctx, f.surr, f.origin, f.target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Adv.Data.Equal(traced.Adv.Data, 0) {
+		t.Error("enabling tracing changed the adversarial video")
+	}
+	if plain.Queries != traced.Queries {
+		t.Errorf("enabling tracing changed billing: %d vs %d", plain.Queries, traced.Queries)
+	}
+}

@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// gobRoundTrip encodes in and decodes it into out, failing on any error.
+// videoRecord and corpusRecord are on-disk wire types: their gob layout is
+// an implicit file-format ABI, and this test (enforced repo-wide by the
+// gobsymmetry analyzer) pins that every field actually survives the wire.
+func gobRoundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode %T: %v", in, err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("decode %T: %v", out, err)
+	}
+}
+
+func TestVideoRecordRoundTrip(t *testing.T) {
+	in := videoRecord{
+		Shape: []int{2, 3, 4, 5},
+		Data:  []float64{1, 2.5, -3},
+		Label: 7,
+		ID:    "clip-7",
+	}
+	var got videoRecord
+	gobRoundTrip(t, in, &got)
+	if !reflect.DeepEqual(in, got) {
+		t.Errorf("round trip changed the record:\n in  %+v\n got %+v", in, got)
+	}
+}
+
+func TestCorpusRecordRoundTrip(t *testing.T) {
+	in := corpusRecord{
+		Name:       "UCF101Sim",
+		Categories: 6,
+		Train: []videoRecord{
+			{Shape: []int{1, 1, 1, 1}, Data: []float64{9}, Label: 0, ID: "t0"},
+		},
+		Test: []videoRecord{
+			{Shape: []int{1, 1, 1, 2}, Data: []float64{4, 8}, Label: 1, ID: "q0"},
+		},
+	}
+	var got corpusRecord
+	gobRoundTrip(t, in, &got)
+	if !reflect.DeepEqual(in, got) {
+		t.Errorf("round trip changed the record:\n in  %+v\n got %+v", in, got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"duo/internal/telemetry"
+	"duo/internal/trace"
 )
 
 // ErrBreakerOpen is returned by a BreakerTransport that is failing fast
@@ -191,13 +192,34 @@ func (b *BreakerTransport) report(probe bool, err error) {
 
 // Nearest implements Transport.
 func (b *BreakerTransport) Nearest(feat []float64, m int) ([]Result, error) {
+	return b.do(func() ([]Result, error) { return b.inner.Nearest(feat, m) })
+}
+
+// NearestTraced implements TracedTransport; a fast-fail never reaches the
+// inner transport, so no context crosses the wire for it.
+func (b *BreakerTransport) NearestTraced(tc trace.Context, feat []float64, m int) ([]Result, error) {
+	return b.do(func() ([]Result, error) { return nearestVia(b.inner, tc, feat, m) })
+}
+
+// do runs one call through the breaker state machine.
+func (b *BreakerTransport) do(call func() ([]Result, error)) ([]Result, error) {
 	allowed, probe := b.admit()
 	if !allowed {
 		return nil, ErrBreakerOpen
 	}
-	rs, err := b.inner.Nearest(feat, m)
+	rs, err := call()
 	b.report(probe, err)
 	return rs, err
+}
+
+// Retries forwards the inner chain's retry count when it has one, so the
+// cluster's per-node retry attribution sees through the usual
+// breaker-outside-retry stacking ("0" when nothing underneath counts).
+func (b *BreakerTransport) Retries() int64 {
+	if rr, ok := b.inner.(retryReporter); ok {
+		return rr.Retries()
+	}
+	return 0
 }
 
 // Close implements Transport.

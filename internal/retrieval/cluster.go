@@ -11,6 +11,7 @@ import (
 	"duo/internal/parallel"
 	"duo/internal/telemetry"
 	"duo/internal/tensor"
+	"duo/internal/trace"
 	"duo/internal/video"
 )
 
@@ -70,6 +71,29 @@ type Transport interface {
 	Nearest(feat []float64, m int) ([]Result, error)
 	// Close releases the transport's resources.
 	Close() error
+}
+
+// TracedTransport is the optional Transport extension that carries a span
+// context with the call. TCPTransport implements it by sending the
+// context on the wire; the retry and breaker decorators implement it by
+// forwarding, so a whole decorator chain stays traceable end to end.
+type TracedTransport interface {
+	NearestTraced(tc trace.Context, feat []float64, m int) ([]Result, error)
+}
+
+// retryReporter is implemented by transports that count retry attempts
+// (RetryTransport, and decorators that forward to one).
+type retryReporter interface {
+	Retries() int64
+}
+
+// nearestVia dispatches to the transport's traced entry point when it has
+// one and a span context is present, and to plain Nearest otherwise.
+func nearestVia(t Transport, tc trace.Context, feat []float64, m int) ([]Result, error) {
+	if tt, ok := t.(TracedTransport); ok && tc.Valid() {
+		return tt.NearestTraced(tc, feat, m)
+	}
+	return t.Nearest(feat, m)
 }
 
 // LocalTransport serves a shard in-process.
@@ -191,10 +215,12 @@ type Cluster struct {
 	tel      engineTel
 	gatherNs *telemetry.Histogram
 	nodeTel  []clusterNodeTel
+	tracer   *trace.Tracer
 }
 
 var _ FallibleRetriever = (*Cluster)(nil)
 var _ BatchRetriever = (*Cluster)(nil)
+var _ TracedRetriever = (*Cluster)(nil)
 
 // NewCluster builds a coordinator over the given node transports with the
 // BestEffort partial-result policy.
@@ -256,6 +282,17 @@ func (c *Cluster) SetTelemetry(r *telemetry.Registry) {
 			c.nodeTel[i].breaker.Set(int64(br.State()))
 		}
 	}
+}
+
+// SetTrace wires the span tracer the cluster records node spans into. The
+// tracer must be the one whose contexts arrive via RetrieveTraced (the
+// attack run's tracer — duo.System wires both from one place); nil
+// disables node spans. Returns the cluster for chaining.
+func (c *Cluster) SetTrace(t *trace.Tracer) *Cluster {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+	return c
 }
 
 // Health returns a per-node health snapshot: call counters, consecutive
@@ -320,10 +357,44 @@ func (c *Cluster) Retrieve(v *video.Video, m int) []Result {
 //   - RequireAll: (nil, error) unless every node answered.
 //   - Quorum(q): (nil, error) unless at least q nodes answered.
 func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
+	return c.retrieve(trace.Context{}, v, m)
+}
+
+// RetrieveTraced is RetrieveErr with a span context: one node span per
+// data node is recorded under it, attributed with the node index, the
+// outcome (ok / fastfail / error), the result count, and a best-effort
+// retry delta when the transport counts retries. The context also rides
+// the wire to TCP nodes, whose server-side spans parent under the node
+// span. Callers bill this exactly like RetrieveErr.
+func (c *Cluster) RetrieveTraced(tc trace.Context, v *video.Video, m int) ([]Result, error) {
+	return c.retrieve(tc, v, m)
+}
+
+func (c *Cluster) retrieve(tc trace.Context, v *video.Video, m int) ([]Result, error) {
 	c.queries.Add(1)
 	c.tel.queries.Inc()
 	c.tel.topM.Observe(float64(m))
 	feat := models.Embed(c.model, v).Data()
+
+	// Ordered-concurrency contract (see package trace): node spans are
+	// started here, sequentially, before the fan-out; workers only read
+	// their own span's context; attributes and End happen sequentially in
+	// the merge loop. The exported tree is therefore identical at every
+	// worker count and interleaving. Retry deltas are read around the
+	// call; under concurrent RetrieveBatch scatters they are best-effort
+	// (another scatter's retries may land in this window).
+	var spans []*trace.Span
+	var retriesBefore []int64
+	if c.tracer != nil && tc.Valid() {
+		spans = make([]*trace.Span, len(c.nodes))
+		retriesBefore = make([]int64, len(c.nodes))
+		for i, node := range c.nodes {
+			spans[i] = c.tracer.StartCtx(tc, "node")
+			if rr, isRR := node.(retryReporter); isRR {
+				retriesBefore[i] = rr.Retries()
+			}
+		}
+	}
 
 	type reply struct {
 		rs  []Result
@@ -336,7 +407,11 @@ func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 		wg.Add(1)
 		go func(i int, node Transport) {
 			defer wg.Done()
-			rs, err := node.Nearest(feat, m)
+			var nctx trace.Context
+			if spans != nil {
+				nctx = spans[i].Ctx()
+			}
+			rs, err := nearestVia(node, nctx, feat, m)
 			replies[i] = reply{rs: rs, err: err}
 		}(i, node)
 	}
@@ -357,15 +432,29 @@ func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 				nt.breaker.Set(int64(br.State()))
 			}
 		}
+		var sp *trace.Span
+		if spans != nil {
+			sp = spans[i]
+			sp.SetInt("node", int64(i))
+			sp.SetInt("results", int64(len(r.rs)))
+			if rr, isRR := c.nodes[i].(retryReporter); isRR {
+				if d := rr.Retries() - retriesBefore[i]; d > 0 {
+					sp.SetInt("retries", d)
+				}
+			}
+		}
 		if r.err != nil {
 			st.failures++
 			st.consecutive++
 			st.lastErr = r.err.Error()
 			if errors.Is(r.err, ErrBreakerOpen) {
 				nt.fastFail.Inc()
+				sp.SetStr("outcome", "fastfail")
 			} else {
 				nt.errs.Inc()
+				sp.SetStr("outcome", "error")
 			}
+			sp.End()
 			if firstErr == nil {
 				firstErr = fmt.Errorf("retrieval: node %d: %w", i, r.err)
 			}
@@ -374,6 +463,8 @@ func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 		st.successes++
 		st.consecutive = 0
 		nt.ok.Inc()
+		sp.SetStr("outcome", "ok")
+		sp.End()
 		ok++
 		all = append(all, r.rs...)
 	}

@@ -14,6 +14,7 @@ import (
 	"duo/internal/parallel"
 	"duo/internal/telemetry"
 	"duo/internal/tensor"
+	"duo/internal/trace"
 	"duo/internal/video"
 )
 
@@ -86,6 +87,16 @@ type FallibleRetriever interface {
 	// RetrieveErr is Retrieve with error reporting; a nil error means the
 	// result list satisfies the service's completeness policy.
 	RetrieveErr(v *video.Video, m int) ([]Result, error)
+}
+
+// TracedRetriever is a FallibleRetriever that can attribute one query to a
+// caller's span: the Cluster implements it by recording per-node child
+// spans under tc and forwarding the context over the wire to TCP nodes.
+// Results and billing are identical to RetrieveErr — tracing is write-only.
+type TracedRetriever interface {
+	FallibleRetriever
+	// RetrieveTraced is RetrieveErr under a span context.
+	RetrieveTraced(tc trace.Context, v *video.Video, m int) ([]Result, error)
 }
 
 // Engine is a single-node retrieval system: one feature extractor plus an

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"duo/internal/telemetry"
+	"duo/internal/trace"
 )
 
 // RetryConfig parameterizes a RetryTransport. The zero value selects the
@@ -106,6 +107,17 @@ func (t *RetryTransport) backoff(k int) time.Duration {
 
 // Nearest implements Transport.
 func (t *RetryTransport) Nearest(feat []float64, m int) ([]Result, error) {
+	return t.do(func() ([]Result, error) { return t.inner.Nearest(feat, m) })
+}
+
+// NearestTraced implements TracedTransport: every attempt, including
+// retries, carries the same span context down the chain.
+func (t *RetryTransport) NearestTraced(tc trace.Context, feat []float64, m int) ([]Result, error) {
+	return t.do(func() ([]Result, error) { return nearestVia(t.inner, tc, feat, m) })
+}
+
+// do runs one call through the retry loop.
+func (t *RetryTransport) do(call func() ([]Result, error)) ([]Result, error) {
 	var lastErr error
 	for k := 0; k < t.cfg.MaxAttempts; k++ {
 		if k > 0 {
@@ -116,7 +128,7 @@ func (t *RetryTransport) Nearest(feat []float64, m int) ([]Result, error) {
 			t.cfg.Sleep(t.backoff(k - 1))
 		}
 		t.telAttempts.Inc()
-		rs, err := t.inner.Nearest(feat, m)
+		rs, err := call()
 		if err == nil {
 			return rs, nil
 		}

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"duo/internal/trace"
 )
 
 // Default wire-protocol deadlines. Queries embed on the client and scan an
@@ -25,9 +27,17 @@ const (
 // nearestRequest and nearestResponse form the wire protocol between the
 // coordinator and a TCP data node: length-delimited gob messages over a
 // persistent connection.
+//
+// TC carries the coordinator's span context so node-side spans parent
+// correctly across the process boundary. It is a pointer precisely
+// because gob omits nil pointer fields from the encoded value: an
+// untraced request is byte-identical to the pre-trace protocol, and a
+// gob decoder ignores wire fields its local struct lacks, so an old
+// server simply drops the context (wire_test.go pins both directions).
 type nearestRequest struct {
 	Feat []float64
 	M    int
+	TC   *trace.Context
 }
 
 type nearestResponse struct {
@@ -43,6 +53,10 @@ type NodeServerConfig struct {
 	IdleTimeout time.Duration
 	// WriteTimeout is the per-response write deadline.
 	WriteTimeout time.Duration
+	// Trace, when non-nil, records one node.serve span per request. A
+	// request carrying a coordinator span context parents the span
+	// remotely under it (stitched back together by duotrace).
+	Trace *trace.Tracer
 }
 
 func (c *NodeServerConfig) applyDefaults() {
@@ -126,12 +140,23 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // client hung up, idled out, or connection torn down
 		}
+		var tc trace.Context
+		if req.TC != nil {
+			tc = *req.TC
+		}
+		sp := s.cfg.Trace.StartCtx(tc, "node.serve")
+		sp.SetInt("m", int64(req.M))
 		var resp nearestResponse
 		if req.M < 0 {
 			resp.Err = fmt.Sprintf("negative m %d", req.M)
 		} else {
 			resp.Results = s.shard.Nearest(req.Feat, req.M)
 		}
+		sp.SetInt("results", int64(len(resp.Results)))
+		if resp.Err != "" {
+			sp.SetStr("error", resp.Err)
+		}
+		sp.End()
 		if s.cfg.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //duolint:allow walltime socket deadlines are wall-clock by definition; no result bit depends on them
 		}
@@ -236,6 +261,14 @@ func (t *TCPTransport) breakLocked() {
 
 // Nearest implements Transport.
 func (t *TCPTransport) Nearest(feat []float64, m int) ([]Result, error) {
+	return t.NearestTraced(trace.Context{}, feat, m)
+}
+
+// NearestTraced implements TracedTransport: the span context rides the
+// request's optional TC field, so a traced node server parents its
+// node.serve span under the coordinator's node span. A zero context adds
+// nothing to the encoded request.
+func (t *TCPTransport) NearestTraced(tc trace.Context, feat []float64, m int) ([]Result, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -250,7 +283,11 @@ func (t *TCPTransport) Nearest(feat []float64, m int) ([]Result, error) {
 	if t.timeout > 0 {
 		t.conn.SetDeadline(time.Now().Add(t.timeout)) //duolint:allow walltime socket deadlines are wall-clock by definition; no result bit depends on them
 	}
-	if err := t.enc.Encode(&nearestRequest{Feat: feat, M: m}); err != nil {
+	req := nearestRequest{Feat: feat, M: m}
+	if tc.Valid() {
+		req.TC = &tc
+	}
+	if err := t.enc.Encode(&req); err != nil {
 		t.breakLocked()
 		return nil, fmt.Errorf("retrieval: send: %w", err)
 	}

@@ -1,0 +1,140 @@
+package retrieval
+
+// Round-trip tests for every type that crosses a gob boundary: the TCP
+// wire protocol (nearestRequest/nearestResponse, including the optional
+// trace-context field) and the persisted index format (indexRecord). The
+// gobsymmetry analyzer cross-checks that every gob-encoded type is
+// exercised here, so a new wire field without a round-trip test fails
+// duolint.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"duo/internal/trace"
+)
+
+func gobRoundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode %T: %v", in, err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("decode %T: %v", out, err)
+	}
+}
+
+func TestNearestRequestRoundTrip(t *testing.T) {
+	in := nearestRequest{
+		Feat: []float64{0.25, -1, 3.5},
+		M:    7,
+		TC:   &trace.Context{TraceID: "run-17", SpanID: 42},
+	}
+	var out nearestRequest
+	gobRoundTrip(t, &in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mutated request: %+v -> %+v", in, out)
+	}
+}
+
+func TestNearestResponseRoundTrip(t *testing.T) {
+	in := nearestResponse{
+		Results: []Result{
+			{ID: "v01", Label: 2, Dist: 0.125},
+			{ID: "v02", Label: 0, Dist: 1.5},
+		},
+		Err: "boom",
+	}
+	var out nearestResponse
+	gobRoundTrip(t, &in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mutated response: %+v -> %+v", in, out)
+	}
+}
+
+func TestIndexRecordRoundTrip(t *testing.T) {
+	in := indexRecord{
+		IDs:    []string{"a", "b"},
+		Labels: []int{1, 2},
+		Dim:    2,
+		Feats:  []float64{0.5, 1, 1.5, 2},
+	}
+	var out indexRecord
+	gobRoundTrip(t, &in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mutated index record: %+v -> %+v", in, out)
+	}
+}
+
+// legacyNearestRequest is the pre-trace wire struct, kept here to pin
+// cross-version compatibility of the protocol extension.
+type legacyNearestRequest struct {
+	Feat []float64
+	M    int
+}
+
+func TestNearestRequestBackwardCompatible(t *testing.T) {
+	// New client -> old server: the unknown TC field is skipped.
+	in := nearestRequest{Feat: []float64{1, 2}, M: 3, TC: &trace.Context{TraceID: "t", SpanID: 9}}
+	var old legacyNearestRequest
+	gobRoundTrip(t, &in, &old)
+	if !reflect.DeepEqual(old.Feat, in.Feat) || old.M != in.M {
+		t.Errorf("old server decoded %+v from %+v", old, in)
+	}
+
+	// Old client -> new server: TC stays zero (no phantom span parent).
+	legacy := legacyNearestRequest{Feat: []float64{4, 5}, M: 6}
+	var out nearestRequest
+	gobRoundTrip(t, &legacy, &out)
+	if !reflect.DeepEqual(out.Feat, legacy.Feat) || out.M != legacy.M {
+		t.Errorf("new server decoded %+v from %+v", out, legacy)
+	}
+	if out.TC != nil {
+		t.Errorf("legacy request produced a trace context: %+v", out.TC)
+	}
+}
+
+func TestZeroTraceContextAddsNoPayload(t *testing.T) {
+	// gob omits nil pointer fields from the encoded value (the reason TC
+	// is *trace.Context, not trace.Context: a zero-valued struct field
+	// still costs an empty-struct marker on the wire). An untraced
+	// request must therefore encode to the same value bytes as the legacy
+	// protocol, and a traced one must be strictly longer. Encode two
+	// values per stream so the second message is pure value — no type
+	// descriptor; its leading bytes are the message length and type id,
+	// which legitimately differ between streams, so compare from byte 3.
+	secondMessage := func(v1, v2 any) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		if err := enc.Encode(v1); err != nil {
+			t.Fatal(err)
+		}
+		n := buf.Len()
+		if err := enc.Encode(v2); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()[n:]
+	}
+	untraced := secondMessage(
+		&nearestRequest{Feat: []float64{9}, M: 1},
+		&nearestRequest{Feat: []float64{1, 2}, M: 3},
+	)
+	legacy := secondMessage(
+		&legacyNearestRequest{Feat: []float64{9}, M: 1},
+		&legacyNearestRequest{Feat: []float64{1, 2}, M: 3},
+	)
+	traced := secondMessage(
+		&nearestRequest{Feat: []float64{9}, M: 1},
+		&nearestRequest{Feat: []float64{1, 2}, M: 3, TC: &trace.Context{TraceID: "run", SpanID: 5}},
+	)
+	if len(untraced) < 4 || len(legacy) < 4 || !bytes.Equal(untraced[3:], legacy[3:]) {
+		t.Errorf("untraced request value bytes differ from legacy protocol:\n% x\nvs\n% x", untraced, legacy)
+	}
+	if len(traced) <= len(untraced) {
+		t.Errorf("traced message (%d bytes) not longer than untraced (%d): TC did not ride the wire", len(traced), len(untraced))
+	}
+}

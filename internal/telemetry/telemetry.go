@@ -228,7 +228,11 @@ func (h *Histogram) Stats() HistogramStats {
 
 // quantile estimates the q-quantile from bucket counts by linear
 // interpolation inside the containing bucket. The overflow bucket reports
-// the observed max (the histogram has no upper bound there).
+// the observed max (the histogram has no upper bound there), and every
+// estimate is clamped to the observed [min, max]: interpolation assumes
+// observations spread across the whole bucket, so with few samples the
+// raw estimate can drift past values that were actually seen — a p99
+// above Max reads as a lie in /metrics.json.
 func (h *Histogram) quantile(counts []int64, total int64, q float64) float64 {
 	rank := q * float64(total)
 	var cum float64
@@ -246,9 +250,20 @@ func (h *Histogram) quantile(counts []int64, total int64, q float64) float64 {
 			lo = h.bounds[i-1]
 		}
 		frac := (rank - prev) / float64(c)
-		return lo + frac*(h.bounds[i]-lo)
+		return h.clampObserved(lo + frac*(h.bounds[i]-lo))
 	}
 	return math.Float64frombits(h.max.Load())
+}
+
+// clampObserved limits a quantile estimate to the observed value range.
+func (h *Histogram) clampObserved(v float64) float64 {
+	if max := math.Float64frombits(h.max.Load()); v > max {
+		return max
+	}
+	if min := math.Float64frombits(h.min.Load()); v < min {
+		return min
+	}
+	return v
 }
 
 // Registry is a named collection of instruments. The nil *Registry is the

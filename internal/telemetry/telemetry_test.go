@@ -96,6 +96,31 @@ func TestHistogramQuantileInterpolation(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantilesNeverExceedObservedRange(t *testing.T) {
+	// Regression: all observations sit at the bottom of a wide bucket.
+	// Raw interpolation puts p99 near the bucket's upper bound (≈99 for
+	// the (0, 100] bucket here), far above the observed max of 10 — the
+	// estimate must be clamped to [Min, Max].
+	h := newHistogram([]float64{100})
+	for i := 0; i < 50; i++ {
+		h.Observe(10)
+	}
+	st := h.Stats()
+	if st.P99 > st.Max {
+		t.Errorf("p99 = %g exceeds observed max %g", st.P99, st.Max)
+	}
+	if st.P95 > st.Max || st.P50 > st.Max {
+		t.Errorf("p95/p50 = %g/%g exceed observed max %g", st.P95, st.P50, st.Max)
+	}
+	if st.P50 < st.Min {
+		t.Errorf("p50 = %g below observed min %g", st.P50, st.Min)
+	}
+	// All-equal observations: every quantile collapses to that value.
+	if st.P50 != 10 || st.P95 != 10 || st.P99 != 10 {
+		t.Errorf("quantiles = %g/%g/%g, want all 10", st.P50, st.P95, st.P99)
+	}
+}
+
 func TestStopwatchRecordsElapsed(t *testing.T) {
 	r := New()
 	h := r.Latency("stage_ns")

@@ -1,0 +1,46 @@
+package trace
+
+import "testing"
+
+// TestDisabledTracerAllocatesNothing pins the disabled-path cost contract:
+// with a nil *Tracer every Start/attr/End call on the hot path must be a
+// free no-op. Enforced by the zero-alloc CI step alongside the nil
+// telemetry Registry pins (the test name matches that step's -run regex).
+func TestDisabledTracerAllocatesNothing(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start(nil, "round")
+		sp.SetInt("queries", 1)
+		sp.SetFloat("T", 0.25)
+		sp.SetStr("outcome", "ok")
+		child := tr.StartCtx(sp.Ctx(), "retrieve")
+		child.SetInt("node", 0)
+		child.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %v times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(nil, "round")
+		sp.SetInt("queries", 1)
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New("bench")
+	root := tr.Start(nil, "root")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(root, "round")
+		sp.SetInt("queries", 1)
+		sp.End()
+	}
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// Record is the JSONL export form of one finished span. Attribute values
+// are int64, float64, or string at write time; after a ReadJSONL round
+// trip, numeric values surface as float64 (encoding/json's number type) —
+// use Int/Float to read them without caring which.
+type Record struct {
+	Trace       string         `json:"trace"`
+	ID          uint64         `json:"id"`
+	Parent      uint64         `json:"parent,omitempty"`
+	RemoteTrace string         `json:"remote_trace,omitempty"`
+	RemoteSpan  uint64         `json:"remote_span,omitempty"`
+	Name        string         `json:"name"`
+	Start       int64          `json:"start"`
+	End         int64          `json:"end"`
+	Attrs       map[string]any `json:"attrs,omitempty"`
+}
+
+// Int reads an integer attribute, tolerating the float64 that
+// encoding/json produces on the read side.
+func (r Record) Int(key string) (int64, bool) {
+	switch v := r.Attrs[key].(type) {
+	case int64:
+		return v, true
+	case float64:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+// Float reads a float attribute (or an integer one, widened).
+func (r Record) Float(key string) (float64, bool) {
+	switch v := r.Attrs[key].(type) {
+	case float64:
+		return v, true
+	case int64:
+		return float64(v), true
+	}
+	return 0, false
+}
+
+// Str reads a string attribute.
+func (r Record) Str(key string) (string, bool) {
+	v, ok := r.Attrs[key].(string)
+	return v, ok
+}
+
+// Records returns a snapshot of the finished spans sorted by span ID
+// (creation order), the canonical export ordering. Nil tracer → nil.
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Record, len(t.records))
+	copy(out, t.records)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WriteJSONL writes the finished spans as one JSON object per line, in
+// span-ID order. With the default logical clock the bytes are a pure
+// function of the instrumented code path: no wall-clock reading, no map
+// iteration order (encoding/json sorts attribute keys), no goroutine
+// scheduling influence. Nil tracer writes nothing.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return WriteRecords(w, t.Records())
+}
+
+// WriteRecords writes records as JSONL in the order given.
+func WriteRecords(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace file written by WriteJSONL. Blank lines are
+// skipped; any other malformed line is an error with its line number.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return recs, nil
+}
+
+// Handler serves the tracer's finished spans as JSONL — mounted at
+// /trace.jsonl on retrievald's admin mux. Safe while spans are still
+// being recorded: only spans already Ended appear, snapshotted under the
+// tracer lock.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = t.WriteJSONL(w)
+	})
+}

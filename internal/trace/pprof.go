@@ -1,0 +1,20 @@
+package trace
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+)
+
+// WithStageLabels runs f with pprof labels duo.stage=stage and
+// duo.round=round attached to the current goroutine — and, because label
+// sets are inherited, to every goroutine f spawns, including the
+// parallel.For workers. CPU profiles captured via the admin endpoint can
+// then be filtered per stage and per round (`go tool pprof
+// -tagfocus duo.stage=sparsequery`), which is how profile time is
+// attributed back to the span tree. Labels are profiling metadata only:
+// they never enter the trace output, so they cannot perturb determinism.
+func WithStageLabels(stage string, round int, f func()) {
+	labels := pprof.Labels("duo.stage", stage, "duo.round", strconv.Itoa(round))
+	pprof.Do(context.Background(), labels, func(context.Context) { f() })
+}

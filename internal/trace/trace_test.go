@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTree records a small fixed span tree and returns its JSONL bytes.
+func buildTree(t *testing.T) []byte {
+	t.Helper()
+	tr := New("t1")
+	root := tr.Start(nil, "attack.run")
+	round := tr.Start(root, "round")
+	round.SetInt("round", 0)
+	ret := tr.Start(round, "retrieve")
+	ret.SetInt("queries", 2)
+	ret.SetFloat("T", 0.5)
+	ret.SetStr("outcome", "ok")
+	ret.End()
+	round.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if got := tr.TraceID(); got != "" {
+		t.Fatalf("nil TraceID = %q", got)
+	}
+	tr.SetClock(func() int64 { return 1 })
+	sp := tr.Start(nil, "x")
+	if sp != nil {
+		t.Fatalf("nil tracer Start returned non-nil span")
+	}
+	sp.SetInt("a", 1)
+	sp.SetFloat("b", 2)
+	sp.SetStr("c", "d")
+	sp.End()
+	if got := sp.ID(); got != 0 {
+		t.Fatalf("nil span ID = %d", got)
+	}
+	if ctx := sp.Ctx(); ctx.Valid() {
+		t.Fatalf("nil span Ctx is valid: %+v", ctx)
+	}
+	if sp2 := tr.StartCtx(Context{TraceID: "t", SpanID: 3}, "y"); sp2 != nil {
+		t.Fatalf("nil tracer StartCtx returned non-nil span")
+	}
+	if tr.Len() != 0 || tr.Records() != nil {
+		t.Fatalf("nil tracer has records")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil tracer WriteJSONL wrote %q, err %v", buf.String(), err)
+	}
+}
+
+func TestLogicalClockIsDeterministic(t *testing.T) {
+	a := buildTree(t)
+	b := buildTree(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs produced different traces:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	recs, err := ReadJSONL(bytes.NewReader(buildTree(t)))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// Records come back in span-ID (creation) order regardless of End order.
+	names := []string{"attack.run", "round", "retrieve"}
+	for i, r := range recs {
+		if r.Name != names[i] {
+			t.Fatalf("record %d name = %q, want %q", i, r.Name, names[i])
+		}
+		if r.ID != uint64(i+1) {
+			t.Fatalf("record %d ID = %d, want %d", i, r.ID, i+1)
+		}
+		if r.Trace != "t1" {
+			t.Fatalf("record %d trace = %q", i, r.Trace)
+		}
+	}
+	if recs[0].Parent != 0 || recs[1].Parent != 1 || recs[2].Parent != 2 {
+		t.Fatalf("parent chain wrong: %d %d %d", recs[0].Parent, recs[1].Parent, recs[2].Parent)
+	}
+	// Logical ticks: 3 starts then 3 ends = 6 ticks; each start < its end.
+	if recs[0].Start != 1 || recs[2].End != 4 || recs[0].End != 6 {
+		t.Fatalf("tick layout wrong: %+v", recs)
+	}
+	ret := recs[2]
+	if q, ok := ret.Int("queries"); !ok || q != 2 {
+		t.Fatalf("queries attr = %d, %v", q, ok)
+	}
+	if f, ok := ret.Float("T"); !ok || f != 0.5 {
+		t.Fatalf("T attr = %v, %v", f, ok)
+	}
+	if s, ok := ret.Str("outcome"); !ok || s != "ok" {
+		t.Fatalf("outcome attr = %q, %v", s, ok)
+	}
+	if _, ok := ret.Int("missing"); ok {
+		t.Fatal("Int on missing key reported ok")
+	}
+}
+
+func TestStartCtxParenting(t *testing.T) {
+	tr := New("local")
+	root := tr.Start(nil, "root")
+
+	local := tr.StartCtx(root.Ctx(), "child")
+	local.End()
+	remote := tr.StartCtx(Context{TraceID: "other", SpanID: 9}, "server")
+	remote.End()
+	orphan := tr.StartCtx(Context{}, "orphan")
+	orphan.End()
+	root.End()
+
+	recs := tr.Records()
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if got := byName["child"]; got.Parent != root.ID() || got.RemoteSpan != 0 {
+		t.Fatalf("same-trace ctx should parent locally: %+v", got)
+	}
+	if got := byName["server"]; got.Parent != 0 || got.RemoteTrace != "other" || got.RemoteSpan != 9 {
+		t.Fatalf("cross-trace ctx should record remote parent: %+v", got)
+	}
+	if got := byName["orphan"]; got.Parent != 0 || got.RemoteSpan != 0 {
+		t.Fatalf("invalid ctx should yield a root span: %+v", got)
+	}
+}
+
+func TestInjectedClock(t *testing.T) {
+	tr := New("clocked")
+	var now int64
+	tr.SetClock(func() int64 { now += 10; return now })
+	sp := tr.Start(nil, "s")
+	sp.End()
+	recs := tr.Records()
+	if len(recs) != 1 || recs[0].Start != 10 || recs[0].End != 20 {
+		t.Fatalf("injected clock not used: %+v", recs)
+	}
+}
+
+func TestDefaultTraceID(t *testing.T) {
+	tr := New("")
+	if tr.TraceID() != "trace" {
+		t.Fatalf("empty trace ID not defaulted: %q", tr.TraceID())
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"trace\":\"t\"}\n\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-3 parse error, got %v", err)
+	}
+}
+
+func TestHandlerServesFinishedSpansOnly(t *testing.T) {
+	tr := New("srv")
+	done := tr.Start(nil, "done")
+	done.End()
+	open := tr.Start(nil, "open") // never ended: must not appear
+	_ = open
+
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/trace.jsonl", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/jsonl" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	recs, err := ReadJSONL(rec.Body)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Name != "done" {
+		t.Fatalf("handler served %+v, want only the finished span", recs)
+	}
+}
+
+// TestOrderedConcurrencyContract exercises the documented pattern for
+// parallel sections — spans pre-started and ended on the orchestration
+// goroutine, workers writing attributes only on their own span — and
+// checks the exported tree is identical at 1 and 8 workers.
+func TestOrderedConcurrencyContract(t *testing.T) {
+	run := func(workers int) []byte {
+		tr := New("par")
+		root := tr.Start(nil, "fanout")
+		spans := make([]*Span, 16)
+		for i := range spans {
+			spans[i] = tr.Start(root, "node")
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(spans); i += workers {
+					spans[i].SetInt("shard", int64(i))
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, sp := range spans {
+			sp.End()
+		}
+		root.End()
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		return buf.Bytes()
+	}
+	one := run(1)
+	eight := run(8)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("span tree differs across worker counts:\n%s\nvs\n%s", one, eight)
+	}
+}
+
+func TestWithStageLabelsRunsBody(t *testing.T) {
+	ran := false
+	WithStageLabels("sparsequery", 3, func() { ran = true })
+	if !ran {
+		t.Fatal("WithStageLabels did not run the body")
+	}
+}
