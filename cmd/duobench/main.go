@@ -43,6 +43,18 @@ func run(args []string) error {
 		outPath  = fs.String("out", "", "also write the rendered tables to this file")
 		workers  = fs.Int("workers", 0, "worker count for parallel compute (0 = GOMAXPROCS, overrides DUO_PARALLEL)")
 		telem    = fs.Bool("telemetry", false, "aggregate instrumentation across all experiments and print a summary at the end")
+
+		bench    = fs.String("bench", "", "run micro-benchmarks instead of experiments (comma-separated: retrieve, conv)")
+		benchOut = fs.String("benchout", ".", "directory for BENCH_*.json files (micro-benchmarks and -serve)")
+
+		serve          = fs.Bool("serve", false, "run the closed-loop saturation benchmark against a live TCP cluster")
+		serveNodes     = fs.Int("serve-nodes", 2, "node servers in the saturation cluster")
+		serveClients   = fs.Int("serve-clients", 8, "concurrent load-generator clients")
+		serveQPS       = fs.Float64("serve-qps", 0, "total target queries/s across clients (0 = unthrottled)")
+		serveDuration  = fs.Duration("serve-duration", 2*time.Second, "load duration")
+		maxInFlight    = fs.Int("max-inflight", 2, "per-node admission: max concurrent requests (0 = unlimited)")
+		maxQueue       = fs.Int("queue", 0, "per-node admission: queue slots beyond max-inflight (negative = none)")
+		coalesceWindow = fs.Duration("coalesce-window", 0, "coordinator coalescing window (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +68,22 @@ func run(args []string) error {
 			fmt.Println(id)
 		}
 		return nil
+	}
+
+	if *serve {
+		return runServe(serveOptions{
+			nodes:          *serveNodes,
+			clients:        *serveClients,
+			qps:            *serveQPS,
+			duration:       *serveDuration,
+			maxInFlight:    *maxInFlight,
+			maxQueue:       *maxQueue,
+			coalesceWindow: *coalesceWindow,
+			outDir:         *benchOut,
+		}, func(s string) { fmt.Print(s) })
+	}
+	if *bench != "" {
+		return runMicrobench(*bench, *benchOut, func(s string) { fmt.Print(s) })
 	}
 
 	opts := experiments.Options{Seed: *seed}

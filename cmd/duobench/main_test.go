@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -17,6 +22,60 @@ func TestRunUnknownScale(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "table99"}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunServeRejectsBadOptions(t *testing.T) {
+	if err := run([]string{"-serve", "-serve-nodes", "0"}); err == nil {
+		t.Error("serve accepted zero nodes")
+	}
+	if err := run([]string{"-serve", "-serve-duration", "0s"}); err == nil {
+		t.Error("serve accepted zero duration")
+	}
+}
+
+func TestRunBenchUnknownID(t *testing.T) {
+	if err := run([]string{"-bench", "sort"}); err == nil {
+		t.Error("unknown bench id accepted")
+	}
+}
+
+func TestRunServeSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster run")
+	}
+	dir := t.TempDir()
+	err := run([]string{
+		"-serve", "-serve-duration", "500ms", "-serve-nodes", "2",
+		"-serve-clients", "8", "-max-inflight", "1", "-benchout", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serveReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_serve.json is not valid JSON: %v", err)
+	}
+	if rep.Served == 0 {
+		t.Error("saturation run served nothing")
+	}
+	if rep.Shed == 0 {
+		t.Error("1-slot nodes under 8-way load never shed")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d non-overload errors during saturation", rep.Errors)
+	}
+	if len(rep.PerNode) != 2 {
+		t.Errorf("per-node reports = %d, want 2", len(rep.PerNode))
+	}
+	for _, n := range rep.PerNode {
+		if n.HighWater > 1 {
+			t.Errorf("node %d in-flight high-water %d exceeds max-inflight 1", n.Node, n.HighWater)
+		}
 	}
 }
 

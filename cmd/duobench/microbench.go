@@ -1,0 +1,135 @@
+package main
+
+// Micro-benchmark mode: `duobench -bench retrieve,conv` runs the repo's
+// hot-path benchmarks through testing.Benchmark and writes one
+// BENCH_<id>.json per id into -benchout, so CI and operators get
+// machine-readable numbers without go test plumbing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"duo/internal/dataset"
+	"duo/internal/models"
+	"duo/internal/nn"
+	"duo/internal/parallel"
+	"duo/internal/retrieval"
+	"duo/internal/tensor"
+)
+
+// benchResult is one benchmark line in a BENCH_*.json file.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func toBenchResult(name string, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// writeBenchJSON writes results as BENCH_<id>.json under dir.
+func writeBenchJSON(dir, id string, results []benchResult) (string, error) {
+	raw, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	return path, os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// benchRetrieve measures single-query retrieval against an in-process
+// engine at several worker counts (embedding plus gallery scan, the
+// serving hot path).
+func benchRetrieve() ([]benchResult, error) {
+	c, err := dataset.Generate(dataset.Config{
+		Name: "BenchSim", Categories: 3, TrainPerCategory: 6, TestPerCategory: 2,
+		Frames: 6, Channels: 3, Height: 10, Width: 10, Seed: 11,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := models.NewC3D(rand.New(rand.NewSource(12)), models.GeometryOf(c.Train[0]), 12)
+	eng := retrieval.NewEngine(m, c.Train)
+	q := c.Test[0]
+	var out []benchResult
+	for _, w := range []int{1, 2, 4} {
+		prev := parallel.SetWorkers(w)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.Retrieve(q, 6)
+			}
+		})
+		parallel.SetWorkers(prev)
+		out = append(out, toBenchResult(fmt.Sprintf("retrieve/engine/workers=%d", w), r))
+	}
+	return out, nil
+}
+
+// benchConv measures the Conv3D forward pass (the model bottleneck) at
+// several worker counts, mirroring internal/nn's benchmark geometry.
+func benchConv() ([]benchResult, error) {
+	rng := rand.New(rand.NewSource(6))
+	l := nn.NewConv3DFull(rng, 3, 8, [3]int{3, 3, 3}, [3]int{1, 2, 2}, [3]int{1, 1, 1})
+	x := tensor.RandNormal(rng, 0, 1, 3, 16, 16, 16)
+	var out []benchResult
+	for _, w := range []int{1, 2, 4} {
+		prev := parallel.SetWorkers(w)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _ = l.Forward(x)
+			}
+		})
+		parallel.SetWorkers(prev)
+		out = append(out, toBenchResult(fmt.Sprintf("conv/forward/workers=%d", w), r))
+	}
+	return out, nil
+}
+
+// runMicrobench executes the requested benchmark ids and writes one JSON
+// file per id.
+func runMicrobench(ids string, outDir string, emit func(string)) error {
+	for _, id := range strings.Split(ids, ",") {
+		id = strings.TrimSpace(id)
+		var (
+			results []benchResult
+			err     error
+		)
+		switch id {
+		case "retrieve":
+			results, err = benchRetrieve()
+		case "conv":
+			results, err = benchConv()
+		default:
+			return fmt.Errorf("unknown bench id %q (want retrieve or conv)", id)
+		}
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", id, err)
+		}
+		path, err := writeBenchJSON(outDir, id, results)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", id, err)
+		}
+		for _, r := range results {
+			emit(fmt.Sprintf("%-32s n=%-8d %12.0f ns/op %8d B/op %6d allocs/op\n",
+				r.Name, r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp))
+		}
+		emit(fmt.Sprintf("wrote %s\n", path))
+	}
+	return nil
+}

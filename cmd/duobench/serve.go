@@ -1,0 +1,251 @@
+package main
+
+// Saturation mode: `duobench -serve` stands up a live retrievald-style
+// cluster (real TCP node servers with admission control, multiplexed
+// transports, RequireAll merge policy, optional coalescing front door)
+// and drives it closed-loop from N client goroutines at a target QPS.
+// Served-request latency quantiles come from a telemetry histogram;
+// sheds are counted per node and end to end. The run is summarized on
+// stdout and written as BENCH_serve.json for CI and trend tracking.
+//
+// This mode measures wall-clock behaviour of a live server and is the
+// one deliberately non-deterministic corner of duobench; everything it
+// reports is measurement, never attack state.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"duo/internal/dataset"
+	"duo/internal/models"
+	"duo/internal/retrieval"
+	"duo/internal/telemetry"
+)
+
+// serveOptions parameterize the saturation run.
+type serveOptions struct {
+	nodes          int
+	clients        int
+	qps            float64 // total target QPS across all clients; 0 = unthrottled
+	duration       time.Duration
+	maxInFlight    int
+	maxQueue       int
+	coalesceWindow time.Duration
+	outDir         string
+}
+
+// nodeServeReport is one node's admission accounting after the run.
+type nodeServeReport struct {
+	Node      int   `json:"node"`
+	Admitted  int64 `json:"admitted"`
+	Sheds     int64 `json:"sheds"`
+	HighWater int   `json:"inflight_highwater"`
+}
+
+// serveReport is the machine-readable summary (BENCH_serve.json).
+type serveReport struct {
+	Nodes            int               `json:"nodes"`
+	Clients          int               `json:"clients"`
+	TargetQPS        float64           `json:"target_qps"`
+	DurationSec      float64           `json:"duration_sec"`
+	MaxInFlight      int               `json:"max_inflight"`
+	MaxQueue         int               `json:"max_queue"`
+	CoalesceWindowMs float64           `json:"coalesce_window_ms"`
+	Served           int64             `json:"served"`
+	Shed             int64             `json:"shed"`
+	Errors           int64             `json:"errors"`
+	ServedQPS        float64           `json:"served_qps"`
+	ShedRate         float64           `json:"shed_rate"`
+	LatencyP50Ms     float64           `json:"latency_p50_ms"`
+	LatencyP95Ms     float64           `json:"latency_p95_ms"`
+	LatencyP99Ms     float64           `json:"latency_p99_ms"`
+	LatencyMaxMs     float64           `json:"latency_max_ms"`
+	PerNode          []nodeServeReport `json:"per_node"`
+}
+
+// runServe builds the cluster, applies load, and reports.
+func runServe(opts serveOptions, emit func(string)) error {
+	if opts.nodes < 1 || opts.clients < 1 || opts.duration <= 0 {
+		return fmt.Errorf("serve: need nodes ≥ 1, clients ≥ 1, duration > 0")
+	}
+
+	// A tiny untrained substrate: saturation measures the serving path
+	// (embed, scan, merge, admission), not retrieval quality.
+	c, err := dataset.Generate(dataset.Config{
+		Name: "ServeSim", Categories: 3, TrainPerCategory: 4, TestPerCategory: 2,
+		Frames: 6, Channels: 3, Height: 10, Width: 10, Seed: 17,
+	})
+	if err != nil {
+		return err
+	}
+	model := models.NewC3D(rand.New(rand.NewSource(18)), models.GeometryOf(c.Train[0]), 12)
+
+	reg := telemetry.New()
+	latency := reg.Latency("serve.latency_ns")
+
+	// One TCP node server per shard, each with the same admission budget.
+	var servers []*retrieval.NodeServer
+	var transports []retrieval.Transport
+	defer func() {
+		for _, t := range transports {
+			t.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	per := (len(c.Train) + opts.nodes - 1) / opts.nodes
+	for i := 0; i < opts.nodes; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > len(c.Train) {
+			hi = len(c.Train)
+		}
+		srv, err := retrieval.ServeNodeConfig("127.0.0.1:0", retrieval.NewShard(model, c.Train[lo:hi]), retrieval.NodeServerConfig{
+			Admission: retrieval.AdmissionConfig{MaxInFlight: opts.maxInFlight, MaxQueue: opts.maxQueue},
+			Telemetry: reg,
+		})
+		if err != nil {
+			return err
+		}
+		servers = append(servers, srv)
+		tr, err := retrieval.DialNodeConfig(srv.Addr(), retrieval.TCPConfig{
+			Timeout: 30 * time.Second,
+			Conns:   4,
+		})
+		if err != nil {
+			return err
+		}
+		transports = append(transports, tr)
+	}
+
+	// No retry layer: a saturation benchmark wants sheds to surface, not
+	// to be absorbed into inflated latencies. RequireAll classifies a run
+	// cleanly — a request is served iff every node answered it.
+	cluster := retrieval.NewCluster(model, transports).SetPolicy(retrieval.RequireAll())
+	cluster.SetTelemetry(reg)
+
+	var front retrieval.FallibleRetriever = cluster
+	if opts.coalesceWindow > 0 {
+		co := retrieval.NewCoalescer(cluster, retrieval.CoalescerConfig{
+			MaxBatch: opts.clients,
+			Window:   opts.coalesceWindow,
+		})
+		co.SetTelemetry(reg)
+		defer co.Close()
+		front = co
+	}
+
+	var served, shed, errCount atomic.Int64
+	var firstErr atomic.Value
+	interval := time.Duration(0)
+	if opts.qps > 0 {
+		interval = time.Duration(float64(opts.clients) / opts.qps * float64(time.Second))
+	}
+	deadline := time.Now().Add(opts.duration) //duolint:allow walltime load-generator run bound; measurement-only mode
+	var wg sync.WaitGroup
+	for w := 0; w < opts.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			var next time.Time
+			for {
+				now := time.Now() //duolint:allow walltime closed-loop pacing clock; measurement-only mode
+				if now.After(deadline) {
+					return
+				}
+				if interval > 0 {
+					if next.IsZero() {
+						next = now
+					} else if now.Before(next) {
+						time.Sleep(next.Sub(now)) //duolint:allow walltime QPS pacing sleep; measurement-only mode
+						continue
+					}
+					next = next.Add(interval)
+				}
+				q := c.Test[rng.Intn(len(c.Test))]
+				start := time.Now() //duolint:allow walltime latency measurement start; the histogram is the deliverable
+				_, err := front.RetrieveErr(q, 6)
+				elapsed := time.Since(start) //duolint:allow walltime latency measurement stop; the histogram is the deliverable
+				switch {
+				case err == nil:
+					served.Add(1)
+					latency.Observe(float64(elapsed))
+				case errors.Is(err, retrieval.ErrOverloaded):
+					shed.Add(1)
+				default:
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := latency.Stats()
+	toMs := func(ns float64) float64 { return ns / 1e6 }
+	rep := serveReport{
+		Nodes:            opts.nodes,
+		Clients:          opts.clients,
+		TargetQPS:        opts.qps,
+		DurationSec:      opts.duration.Seconds(),
+		MaxInFlight:      opts.maxInFlight,
+		MaxQueue:         opts.maxQueue,
+		CoalesceWindowMs: float64(opts.coalesceWindow) / 1e6,
+		Served:           served.Load(),
+		Shed:             shed.Load(),
+		Errors:           errCount.Load(),
+		LatencyP50Ms:     toMs(st.P50),
+		LatencyP95Ms:     toMs(st.P95),
+		LatencyP99Ms:     toMs(st.P99),
+		LatencyMaxMs:     toMs(st.Max),
+	}
+	rep.ServedQPS = float64(rep.Served) / rep.DurationSec
+	if total := rep.Served + rep.Shed; total > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(total)
+	}
+	for i, s := range servers {
+		ast := s.AdmissionStats()
+		rep.PerNode = append(rep.PerNode, nodeServeReport{
+			Node: i, Admitted: ast.Admitted, Sheds: ast.Sheds, HighWater: ast.HighWater,
+		})
+	}
+
+	raw, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(opts.outDir, "BENCH_serve.json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	emit(fmt.Sprintf("serve: %d node(s), %d client(s), %.1fs", rep.Nodes, rep.Clients, rep.DurationSec))
+	if rep.TargetQPS > 0 {
+		emit(fmt.Sprintf(" @ %.0f qps target", rep.TargetQPS))
+	}
+	emit(fmt.Sprintf("\n  served %d (%.1f qps)  shed %d (%.1f%%)  errors %d\n",
+		rep.Served, rep.ServedQPS, rep.Shed, 100*rep.ShedRate, rep.Errors))
+	emit(fmt.Sprintf("  latency served: p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms, rep.LatencyMaxMs))
+	for _, n := range rep.PerNode {
+		emit(fmt.Sprintf("  node %d: admitted %d  shed %d  inflight high-water %d\n",
+			n.Node, n.Admitted, n.Sheds, n.HighWater))
+	}
+	emit(fmt.Sprintf("wrote %s\n", path))
+	if rep.Served == 0 {
+		if e, ok := firstErr.Load().(error); ok {
+			return fmt.Errorf("serve: no request served (first error: %v)", e)
+		}
+		return fmt.Errorf("serve: no request served")
+	}
+	return nil
+}

@@ -52,6 +52,10 @@ func run(args []string) error {
 		breakK  = fs.Int("break-after", 5, "query mode: consecutive failures before a node's circuit breaker opens (0 disables)")
 		policy  = fs.String("policy", "besteffort", "query mode: partial-result policy: besteffort, all, or quorum=N")
 		admin   = fs.String("admin", "", "serve telemetry admin endpoints (/metrics.json, /debug/vars, /debug/pprof/) on this address; empty disables")
+
+		maxInflight = fs.Int("max-inflight", 0, "node mode: max concurrently served requests (0 = unlimited)")
+		queue       = fs.Int("queue", 0, "node mode: admission queue slots beyond -max-inflight (negative = none)")
+		coalesceWin = fs.Duration("coalesce-window", 0, "query mode: coalesce concurrent queries into batch windows flushed every window (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,12 +108,27 @@ func run(args []string) error {
 		} else if *idxFile != "" {
 			fmt.Printf("built and saved feature index to %s\n", *idxFile)
 		}
-		srv, err := retrieval.ServeNodeConfig(*addr, shardIdx, retrieval.NodeServerConfig{Trace: tracer})
+		srv, err := retrieval.ServeNodeConfig(*addr, shardIdx, retrieval.NodeServerConfig{
+			Trace: tracer,
+			Admission: retrieval.AdmissionConfig{
+				MaxInFlight: *maxInflight,
+				MaxQueue:    *queue,
+			},
+			Telemetry: reg,
+		})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
+		// Surface the admission configuration in /metrics.json next to the
+		// live counters, so an operator reading shed counts can see the
+		// limits that produced them.
+		reg.Gauge("node.admission.config.max_inflight").Set(int64(*maxInflight))
+		reg.Gauge("node.admission.config.queue").Set(int64(*queue))
 		fmt.Printf("node serving shard %s (%d videos) on %s\n", *shard, len(mine), srv.Addr())
+		if *maxInflight > 0 {
+			fmt.Printf("admission: max %d in flight, %d queued; excess load is shed\n", *maxInflight, *queue)
+		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
@@ -152,16 +171,30 @@ func run(args []string) error {
 		cluster.SetTelemetry(reg)
 		defer cluster.Close()
 
+		// Optional coalescing front door: concurrent queries park in a
+		// window flushed every -coalesce-window (or when full) and execute
+		// as one batch. For this CLI's single query it adds one window of
+		// latency; it exists here so a scripted fan-out of retrievald
+		// processes behind one coordinator exercises the serving front door.
+		var front retrieval.FallibleRetriever = cluster
+		if *coalesceWin > 0 {
+			co := retrieval.NewCoalescer(cluster, retrieval.CoalescerConfig{Window: *coalesceWin})
+			co.SetTelemetry(reg)
+			defer co.Close()
+			reg.Gauge("coalesce.config.window_ms").Set(coalesceWin.Milliseconds())
+			front = co
+		}
+
 		if *index < 0 || *index >= len(sys.Corpus.Test) {
 			return fmt.Errorf("index %d out of range [0,%d)", *index, len(sys.Corpus.Test))
 		}
 		q := sys.Corpus.Test[*index]
-		rs, err := cluster.RetrieveErr(q, *m)
+		rs, err := front.RetrieveErr(q, *m)
 		if err != nil {
 			for _, h := range cluster.Health() {
-				if h.LastError != "" {
-					fmt.Fprintf(os.Stderr, "node %d: %d ok, %d failed (breaker %s): %s\n",
-						h.Node, h.Successes, h.Failures, h.Breaker, h.LastError)
+				if h.LastError != "" || h.Sheds > 0 {
+					fmt.Fprintf(os.Stderr, "node %d: %d ok, %d failed, %d shed (breaker %s): %s\n",
+						h.Node, h.Successes, h.Failures, h.Sheds, h.Breaker, h.LastError)
 				}
 			}
 			// BestEffort reports node errors alongside a usable partial

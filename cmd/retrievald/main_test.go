@@ -179,6 +179,31 @@ func TestQueryModeWithAdminPublishesTelemetry(t *testing.T) {
 	}
 }
 
+func TestQueryModeWithCoalescingFrontDoor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sys, err := newTestSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := retrieval.ServeNode("127.0.0.1:0", retrieval.NewShard(sys.VictimModel(), sys.Corpus.Train[:4]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	// A single CLI query through the coalescer: the window ticker must
+	// flush it (nothing else will), and the answer must come back intact.
+	err = run([]string{
+		"-mode", "query", "-nodes", node.Addr(), "-index", "0", "-m", "3",
+		"-coalesce-window", "5ms",
+	})
+	if err != nil {
+		t.Fatalf("query mode with -coalesce-window: %v", err)
+	}
+}
+
 func TestParsePolicy(t *testing.T) {
 	for _, ok := range []string{"besteffort", "best-effort", "all", "require-all", "quorum=2"} {
 		if _, err := parsePolicy(ok); err != nil {

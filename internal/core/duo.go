@@ -95,6 +95,7 @@ func Run(ctx *attack.Context, s models.Model, v, vt *video.Video, cfg Config) (*
 
 	cur := v
 	totalQueries := 0
+	totalShed := 0
 	var trajectory []float64
 	res := &Result{}
 
@@ -131,6 +132,7 @@ func Run(ctx *attack.Context, s models.Model, v, vt *video.Video, cfg Config) (*
 		}
 		rounds.Inc()
 		totalQueries += qr.Queries
+		totalShed += qr.Shed
 		budget.Set(int64(cfg.Query.MaxQueries - totalQueries))
 		trajectory = append(trajectory, qr.Trajectory...)
 		cur = qr.Adv
@@ -146,6 +148,10 @@ func Run(ctx *attack.Context, s models.Model, v, vt *video.Video, cfg Config) (*
 	}
 
 	run.SetInt("queries_total", int64(totalQueries))
+	// Sheds are attempts the victim refused at admission: tracked for the
+	// overload story, excluded from billing everywhere (never in a
+	// `queries` attr, never in queries_total).
+	run.SetInt("shed_total", int64(totalShed))
 	run.End()
 	res.Outcome = attack.NewOutcome(v, cur, totalQueries, trajectory)
 	return res, nil

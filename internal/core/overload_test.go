@@ -1,0 +1,219 @@
+package core
+
+// Billing correctness under load shedding: a victim that refuses a query
+// at admission (retrieval.ErrOverloaded) never served it, so SparseQuery
+// must refund the attempt — shed round-trips appear in QueryResult.Shed
+// and the attack.shed counter, never in Queries, never in a retrieve
+// leaf's `queries` attribute, and never in the attack.queries counter.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"duo/internal/retrieval"
+	"duo/internal/telemetry"
+	"duo/internal/trace"
+	"duo/internal/video"
+)
+
+// sheddingVictim wraps the fixture's engine with a deterministic admission
+// schedule: calls in [shedFrom, shedTo] and every shedEvery-th call are
+// refused with a wrapped ErrOverloaded, exactly as a cluster surfaces a
+// policy violation caused by a shedding node. SparseQuery is
+// single-goroutine, so no locking is needed.
+type sheddingVictim struct {
+	inner            *retrieval.Engine
+	calls            int
+	served           int
+	shed             int
+	shedFrom, shedTo int
+	shedEvery        int
+}
+
+var _ retrieval.FallibleRetriever = (*sheddingVictim)(nil)
+
+func (s *sheddingVictim) shedding() bool {
+	if s.shedFrom > 0 && s.calls >= s.shedFrom && s.calls <= s.shedTo {
+		return true
+	}
+	return s.shedEvery > 0 && s.calls%s.shedEvery == 0
+}
+
+func (s *sheddingVictim) RetrieveErr(v *video.Video, m int) ([]retrieval.Result, error) {
+	s.calls++
+	if s.shedding() {
+		s.shed++
+		return nil, fmt.Errorf("retrieval: require-all: 1/2 nodes answered (1 shed): %w", retrieval.ErrOverloaded)
+	}
+	s.served++
+	return s.inner.Retrieve(v, m), nil
+}
+
+func (s *sheddingVictim) Retrieve(v *video.Video, m int) []retrieval.Result {
+	rs, _ := s.RetrieveErr(v, m)
+	return rs
+}
+
+func TestSparseQueryRefundsShedQueries(t *testing.T) {
+	f := getFixture(t)
+	masks, err := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := &sheddingVictim{inner: f.victim, shedEvery: 5}
+	ctx := newCtx(f, 41)
+	ctx.Victim = victim
+	reg := telemetry.New()
+	ctx.Telemetry = reg
+	tr := trace.New("overload-billing")
+	ctx.Trace = tr
+	cfg := testQueryConfig()
+	qr, err := SparseQuery(ctx, f.origin, f.target, masks, cfg)
+	if err != nil {
+		t.Fatalf("periodic sheds broke SparseQuery: %v", err)
+	}
+
+	if victim.shed == 0 {
+		t.Fatal("shed schedule never fired; the test exercises nothing")
+	}
+	// The core invariant: billed == served, sheds tracked separately.
+	if qr.Queries != victim.served {
+		t.Errorf("billed %d queries, victim served %d — sheds must not bill", qr.Queries, victim.served)
+	}
+	if qr.Shed != victim.shed {
+		t.Errorf("QueryResult.Shed = %d, victim shed %d", qr.Shed, victim.shed)
+	}
+	if victim.served+victim.shed != victim.calls {
+		t.Errorf("victim accounting drifted: %d served + %d shed != %d calls",
+			victim.served, victim.shed, victim.calls)
+	}
+	if qr.Queries > cfg.MaxQueries {
+		t.Errorf("queries %d exceeded budget %d", qr.Queries, cfg.MaxQueries)
+	}
+
+	// Telemetry mirrors the split: attack.queries bills served round-trips
+	// only, attack.shed the refused ones.
+	snap := reg.Snapshot()
+	if got := snap.Counters["attack.queries"]; got != int64(qr.Queries) {
+		t.Errorf("attack.queries = %d, want billed %d", got, qr.Queries)
+	}
+	if got := snap.Counters["attack.shed"]; got != int64(qr.Shed) {
+		t.Errorf("attack.shed = %d, want %d", got, qr.Shed)
+	}
+
+	// Trace attribution: Σ `queries` over retrieve leaves equals the billed
+	// count exactly (duotrace's invariant), and shed attempts surface only
+	// through the separate `shed` attribute.
+	var attributed, shedAttr int64
+	for _, r := range tr.Records() {
+		if q, ok := r.Int("queries"); ok {
+			if r.Name != "retrieve" {
+				t.Errorf("span %q carries a `queries` attr; reserved for retrieve leaves", r.Name)
+			}
+			attributed += q
+		}
+		if s, ok := r.Int("shed"); ok && r.Name == "retrieve" {
+			shedAttr += s
+		}
+	}
+	if attributed != int64(qr.Queries) {
+		t.Errorf("Σ retrieve queries attrs = %d, want billed %d", attributed, qr.Queries)
+	}
+	if shedAttr != int64(qr.Shed) {
+		t.Errorf("Σ retrieve shed attrs = %d, want %d", shedAttr, qr.Shed)
+	}
+}
+
+func TestSparseQuerySkipsWhenShedsPersist(t *testing.T) {
+	f := getFixture(t)
+	masks, err := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calls 1–3 fetch the reference lists and 𝕋⁰; calls 4–12 shed,
+	// outlasting the default 2 retries, so candidate steps are skipped —
+	// without billing a single refused attempt.
+	victim := &sheddingVictim{inner: f.victim, shedFrom: 4, shedTo: 12}
+	ctx := newCtx(f, 42)
+	ctx.Victim = victim
+	tr := trace.New("overload-skip")
+	ctx.Trace = tr
+	qr, err := SparseQuery(ctx, f.origin, f.target, masks, testQueryConfig())
+	if err != nil {
+		t.Fatalf("sustained sheds broke SparseQuery: %v", err)
+	}
+	if qr.Skipped == 0 {
+		t.Error("no candidate skipped despite a 9-call shed storm")
+	}
+	if qr.Shed != victim.shed || victim.shed == 0 {
+		t.Errorf("QueryResult.Shed = %d, victim shed %d", qr.Shed, victim.shed)
+	}
+	if qr.Queries != victim.served {
+		t.Errorf("billed %d, served %d", qr.Queries, victim.served)
+	}
+	// A retrieve round-trip refused on every attempt is outcome "shed" with
+	// zero billed queries — it simply didn't happen.
+	sawShedOutcome := false
+	for _, r := range tr.Records() {
+		if r.Name != "retrieve" {
+			continue
+		}
+		if out, ok := r.Str("outcome"); ok && out == "shed" {
+			sawShedOutcome = true
+			if q, _ := r.Int("queries"); q != 0 {
+				t.Errorf("outcome=shed retrieve span billed %d queries, want 0", q)
+			}
+		}
+	}
+	if !sawShedOutcome {
+		t.Error("no retrieve span with outcome=shed despite exhausted retries")
+	}
+}
+
+func TestSparseQueryAbortsWhenVictimAlwaysSheds(t *testing.T) {
+	f := getFixture(t)
+	masks, err := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every call sheds: the reference lists can never be fetched, and the
+	// round must abort with the typed overload error — after billing zero
+	// queries, because the victim answered zero.
+	victim := &sheddingVictim{inner: f.victim, shedFrom: 1, shedTo: 1 << 30}
+	ctx := newCtx(f, 43)
+	ctx.Victim = victim
+	_, err = SparseQuery(ctx, f.origin, f.target, masks, testQueryConfig())
+	if !errors.Is(err, retrieval.ErrOverloaded) {
+		t.Fatalf("err = %v, want wrapped ErrOverloaded", err)
+	}
+	if victim.served != 0 {
+		t.Errorf("victim served %d queries during a full outage", victim.served)
+	}
+}
+
+func TestSparseQueryShedScheduleIsDeterministic(t *testing.T) {
+	f := getFixture(t)
+	masks, err := SparseTransfer(f.surr, f.origin, f.target, testTransferConfig(f.geom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *QueryResult {
+		victim := &sheddingVictim{inner: f.victim, shedEvery: 4}
+		ctx := newCtx(f, 44)
+		ctx.Victim = victim
+		qr, err := SparseQuery(ctx, f.origin, f.target, masks, testQueryConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qr
+	}
+	a, b := run(), run()
+	if a.Queries != b.Queries || a.Shed != b.Shed || a.Skipped != b.Skipped {
+		t.Errorf("shed accounting not reproducible: (%d,%d,%d) vs (%d,%d,%d)",
+			a.Queries, a.Shed, a.Skipped, b.Queries, b.Shed, b.Skipped)
+	}
+	if !a.Adv.Data.Equal(b.Adv.Data, 0) {
+		t.Error("adversarial video differs between identical shed-schedule runs")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -89,6 +90,11 @@ type QueryResult struct {
 	// Skipped counts candidate steps abandoned because the victim query
 	// failed even after retries (distributed victims only).
 	Skipped int
+	// Shed counts victim round-trips refused at admission (ErrOverloaded).
+	// A shed request was never served, so it is NOT billed: Queries excludes
+	// every shed attempt, keeping the attack's query count equal to what the
+	// victim actually answered.
+	Shed int
 	// BatchedPairs counts iterations whose ±ε pair went to the victim as
 	// one batched round-trip (cfg.BatchPairs against a BatchRetriever).
 	BatchedPairs int
@@ -137,6 +143,7 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 	// the ring keeps the tail of the 𝕋 trajectory (Fig. 5) for inspection.
 	// Neither is ever read back, so telemetry cannot perturb the walk.
 	telQueries := ctx.Telemetry.Counter("attack.queries")
+	telShed := ctx.Telemetry.Counter("attack.shed")
 	telTraj := ctx.Telemetry.Ring("attack.trajectory", 512)
 
 	tr := ctx.Trace
@@ -148,6 +155,7 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 	retrParent := qsp
 
 	queries := 0
+	shedTotal := 0
 	fallible, _ := ctx.Victim.(retrieval.FallibleRetriever)
 	traced, _ := ctx.Victim.(retrieval.TracedRetriever)
 	// A fallible victim keeps the one-query-at-a-time path so retries are
@@ -161,7 +169,11 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 	// A nil error guarantees the list is complete — a failed node must
 	// never leak a silently-partial top-m into 𝕋 (Eq. 2). Each call
 	// records one leaf retrieve span whose `queries` attribute is exactly
-	// what this call billed, retries included.
+	// what this call billed, retries included — EXCEPT sheds: an attempt
+	// the victim refused at admission (ErrOverloaded) is refunded, because
+	// the victim never served it. Shed attempts still consume a retry slot
+	// (the loop is bounded by `retries`, not by budget), and they surface
+	// on the span as a `shed` attribute, never inside `queries`.
 	retrieveIDs := func(qv *video.Video) ([]string, error) {
 		rsp := tr.Start(retrParent, "retrieve")
 		if fallible == nil {
@@ -174,6 +186,7 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 			return ids, nil
 		}
 		billed := 0
+		shed := 0
 		var lastErr error
 		for attempt := 0; attempt <= retries; attempt++ {
 			if attempt > 0 && queries >= cfg.MaxQueries {
@@ -181,7 +194,6 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 			}
 			queries++
 			billed++
-			telQueries.Inc()
 			var rs []retrieval.Result
 			var err error
 			// A traced victim (the cluster) attributes per-node child
@@ -192,8 +204,24 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 			} else {
 				rs, err = fallible.RetrieveErr(qv, ctx.M)
 			}
+			if errors.Is(err, retrieval.ErrOverloaded) {
+				// Load shed: the request never reached a shard, so it is
+				// not a query the victim answered. Refund the bill and
+				// account the attempt separately.
+				queries--
+				billed--
+				shed++
+				shedTotal++
+				telShed.Inc()
+				lastErr = err
+				continue
+			}
+			telQueries.Inc()
 			if err == nil {
 				rsp.SetInt("queries", int64(billed))
+				if shed > 0 {
+					rsp.SetInt("shed", int64(shed))
+				}
 				rsp.SetStr("outcome", "ok")
 				rsp.End()
 				return retrieval.IDs(rs), nil
@@ -201,7 +229,16 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 			lastErr = err
 		}
 		rsp.SetInt("queries", int64(billed))
-		rsp.SetStr("outcome", "failed")
+		if shed > 0 {
+			rsp.SetInt("shed", int64(shed))
+		}
+		if billed == 0 && shed > 0 {
+			// Every attempt was refused at admission — the round-trip cost
+			// nothing, it just didn't happen.
+			rsp.SetStr("outcome", "shed")
+		} else {
+			rsp.SetStr("outcome", "failed")
+		}
 		rsp.End()
 		return nil, fmt.Errorf("core: victim query failed: %w", lastErr)
 	}
@@ -269,7 +306,7 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 	}
 	if len(support) == 0 {
 		telTraj.Push(tCur)
-		return &QueryResult{Adv: adv, Trajectory: []float64{tCur}, Queries: queries}, nil
+		return &QueryResult{Adv: adv, Trajectory: []float64{tCur}, Queries: queries, Shed: shedTotal}, nil
 	}
 
 	// The retrieval list is a step function of the input, so 𝕋 plateaus
@@ -466,9 +503,11 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 
 	res.Adv = adv
 	res.Queries = queries
+	res.Shed = shedTotal
 	qsp.SetInt("support", int64(len(support)))
 	qsp.SetInt("round_queries", int64(res.Queries))
 	qsp.SetInt("skipped", int64(res.Skipped))
+	qsp.SetInt("shed", int64(res.Shed))
 	qsp.SetInt("batched_pairs", int64(res.BatchedPairs))
 	return res, nil
 }

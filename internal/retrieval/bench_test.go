@@ -3,6 +3,8 @@ package retrieval
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"runtime/debug"
 	"testing"
 
 	"duo/internal/telemetry"
@@ -63,13 +65,33 @@ func BenchmarkShardNearest(b *testing.B) {
 	}
 }
 
+// allocsStable measures allocs/op with the garbage collector paused. The
+// scan path draws scratch from a sync.Pool, and a GC landing inside the
+// measurement window empties the pool (charging spurious refill
+// allocations) while the background mark phase allocates on its own
+// account — both inflate AllocsPerRun nondeterministically, especially
+// under -race. With GC off and the pool pre-warmed the count is exact.
+func allocsStable(f func()) float64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC() // start from a collected heap so disabling GC is safe
+	f()          // warm the scratch pool
+	return testing.AllocsPerRun(200, f)
+}
+
 // TestDisabledTelemetryAddsNoAllocations is the zero-overhead contract on
 // the Retrieve hot path: with no registry wired, the instrumented timedScan
 // must allocate exactly as much as the raw scan — nothing for telemetry.
 func TestDisabledTelemetryAddsNoAllocations(t *testing.T) {
+	if raceEnabled {
+		// Under the race detector sync.Pool randomly drops Puts, so the
+		// pooled scratch misses ~25% of the time and the truncated
+		// allocs/op flips between 6 and 7 on both paths — the exact
+		// comparison is meaningless. The non-race CI step pins it.
+		t.Skip("race instrumentation perturbs exact allocation counts")
+	}
 	e, q := benchIndex(256, 32)
-	baseline := testing.AllocsPerRun(200, func() { _ = e.scan(q, 10, 1) })
-	instrumented := testing.AllocsPerRun(200, func() { _ = e.timedScan(q, 10, 1) })
+	baseline := allocsStable(func() { _ = e.scan(q, 10, 1) })
+	instrumented := allocsStable(func() { _ = e.timedScan(q, 10, 1) })
 	if instrumented != baseline {
 		t.Errorf("disabled telemetry changed allocations: scan %.1f, timedScan %.1f allocs/op",
 			baseline, instrumented)
@@ -83,9 +105,9 @@ func TestEnabledTelemetryAddsNoAllocations(t *testing.T) {
 		t.Skip("race instrumentation perturbs exact allocation counts")
 	}
 	e, q := benchIndex(256, 32)
-	baseline := testing.AllocsPerRun(200, func() { _ = e.scan(q, 10, 1) })
+	baseline := allocsStable(func() { _ = e.scan(q, 10, 1) })
 	e.SetTelemetry(telemetry.New())
-	instrumented := testing.AllocsPerRun(200, func() { _ = e.timedScan(q, 10, 1) })
+	instrumented := allocsStable(func() { _ = e.timedScan(q, 10, 1) })
 	if instrumented != baseline {
 		t.Errorf("enabled telemetry allocated on the hot path: scan %.1f, timedScan %.1f allocs/op",
 			baseline, instrumented)

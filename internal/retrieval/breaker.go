@@ -72,6 +72,13 @@ func (c *BreakerConfig) applyDefaults() {
 // FailureThreshold consecutive failures the breaker opens and calls fail
 // fast; after Cooldown a single probe is let through (half-open) and its
 // outcome re-closes or re-opens the breaker.
+//
+// A load shed (ErrOverloaded) is treated as proof of liveness, exactly
+// like a success: the node answered — cheaply, with a refusal — so it is
+// not dead, and the breaker guards deadness, not load. Tripping on sheds
+// would convert a transient load spike into a self-inflicted outage
+// (fast-failing an alive node for a whole cooldown). Backing off under
+// overload is RetryTransport's job, not the breaker's.
 type BreakerTransport struct {
 	inner Transport
 	cfg   BreakerConfig
@@ -167,7 +174,10 @@ func (b *BreakerTransport) report(probe bool, err error) {
 	if probe {
 		b.probing = false
 	}
-	if err == nil {
+	if err == nil || errors.Is(err, ErrOverloaded) {
+		// A shed response proves the node alive, which is all the breaker
+		// cares about: it resets the automaton like a success (a half-open
+		// probe answered with ErrOverloaded re-closes the breaker).
 		b.state = BreakerClosed
 		b.telState.Set(int64(b.state))
 		b.consecutive = 0

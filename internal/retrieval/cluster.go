@@ -158,6 +158,11 @@ type NodeHealth struct {
 	Node int
 	// Successes and Failures count completed Nearest calls.
 	Successes, Failures int64
+	// Sheds counts calls refused with ErrOverloaded. A shed is neither a
+	// success nor a failure: the node is alive but at capacity, so sheds
+	// never feed ConsecutiveFailures (an overloaded node is not unhealthy,
+	// it is protecting itself).
+	Sheds int64
 	// ConsecutiveFailures counts failures since the last success.
 	ConsecutiveFailures int
 	// LastError is the most recent failure message ("" if none).
@@ -182,6 +187,7 @@ type breakerReporter interface {
 // nodeStats is the cluster's per-node health accounting.
 type nodeStats struct {
 	successes, failures int64
+	sheds               int64
 	consecutive         int
 	lastErr             string
 }
@@ -195,8 +201,11 @@ type clusterNodeTel struct {
 	// ok and errs count completed Nearest calls by outcome. Fast-fails
 	// (ErrBreakerOpen) are counted in fastFail INSTEAD of errs: they never
 	// reached the node, so folding them into errs would double-count the
-	// underlying fault that tripped the breaker.
-	ok, errs, fastFail *telemetry.Counter
+	// underlying fault that tripped the breaker. Sheds (ErrOverloaded) are
+	// likewise counted in shed INSTEAD of errs: the node is alive, just at
+	// capacity, and conflating load with failure would make saturation look
+	// like an outage in /metrics.json.
+	ok, errs, fastFail, shed *telemetry.Counter
 	// breaker mirrors the node's circuit-breaker state as an integer gauge
 	// (BreakerClosed=0, BreakerOpen=1, BreakerHalfOpen=2), -1 when the
 	// transport has no breaker.
@@ -275,6 +284,7 @@ func (c *Cluster) SetTelemetry(r *telemetry.Registry) {
 			ok:       r.Counter(prefix + ".ok"),
 			errs:     r.Counter(prefix + ".errors"),
 			fastFail: r.Counter(prefix + ".fastfail"),
+			shed:     r.Counter(prefix + ".shed"),
 			breaker:  r.Gauge(prefix + ".breaker_state"),
 		}
 		c.nodeTel[i].breaker.Set(-1)
@@ -307,6 +317,7 @@ func (c *Cluster) Health() []NodeHealth {
 			Node:                i,
 			Successes:           st.successes,
 			Failures:            st.failures,
+			Sheds:               st.sheds,
 			ConsecutiveFailures: st.consecutive,
 			LastError:           st.lastErr,
 		}
@@ -362,7 +373,7 @@ func (c *Cluster) RetrieveErr(v *video.Video, m int) ([]Result, error) {
 
 // RetrieveTraced is RetrieveErr with a span context: one node span per
 // data node is recorded under it, attributed with the node index, the
-// outcome (ok / fastfail / error), the result count, and a best-effort
+// outcome (ok / fastfail / shed / error), the result count, and a best-effort
 // retry delta when the transport counts retries. The context also rides
 // the wire to TCP nodes, whose server-side spans parent under the node
 // span. Callers bill this exactly like RetrieveErr.
@@ -420,7 +431,7 @@ func (c *Cluster) retrieve(tc trace.Context, v *video.Video, m int) ([]Result, e
 
 	var firstErr error
 	var all []Result
-	ok := 0
+	ok, shed := 0, 0
 	c.mu.Lock()
 	policy := c.policy
 	for i, r := range replies {
@@ -444,15 +455,25 @@ func (c *Cluster) retrieve(tc trace.Context, v *video.Video, m int) ([]Result, e
 			}
 		}
 		if r.err != nil {
-			st.failures++
-			st.consecutive++
 			st.lastErr = r.err.Error()
-			if errors.Is(r.err, ErrBreakerOpen) {
-				nt.fastFail.Inc()
-				sp.SetStr("outcome", "fastfail")
+			if errors.Is(r.err, ErrOverloaded) {
+				// A shed is load, not death: it never feeds the failure or
+				// consecutive-failure counters, so Health keeps reporting an
+				// overloaded-but-alive node as healthy.
+				st.sheds++
+				shed++
+				nt.shed.Inc()
+				sp.SetStr("outcome", "shed")
 			} else {
-				nt.errs.Inc()
-				sp.SetStr("outcome", "error")
+				st.failures++
+				st.consecutive++
+				if errors.Is(r.err, ErrBreakerOpen) {
+					nt.fastFail.Inc()
+					sp.SetStr("outcome", "fastfail")
+				} else {
+					nt.errs.Inc()
+					sp.SetStr("outcome", "error")
+				}
 			}
 			sp.End()
 			if firstErr == nil {
@@ -473,13 +494,13 @@ func (c *Cluster) retrieve(tc trace.Context, v *video.Video, m int) ([]Result, e
 	switch policy.kind {
 	case policyRequireAll:
 		if ok < len(c.nodes) {
-			return nil, fmt.Errorf("retrieval: require-all: %d/%d nodes answered: %w",
-				ok, len(c.nodes), firstErr)
+			return nil, fmt.Errorf("retrieval: require-all: %d/%d nodes answered (%d shed): %w",
+				ok, len(c.nodes), shed, firstErr)
 		}
 	case policyQuorum:
 		if ok < policy.quorum {
-			return nil, fmt.Errorf("retrieval: quorum: %d/%d nodes answered, need %d: %w",
-				ok, len(c.nodes), policy.quorum, firstErr)
+			return nil, fmt.Errorf("retrieval: quorum: %d/%d nodes answered (%d shed), need %d: %w",
+				ok, len(c.nodes), shed, policy.quorum, firstErr)
 		}
 		// Quorum met: the merge is authoritative by policy choice.
 		firstErr = nil

@@ -1,0 +1,280 @@
+package retrieval
+
+import (
+	"sync"
+	"time"
+
+	"duo/internal/parallel"
+	"duo/internal/telemetry"
+	"duo/internal/trace"
+	"duo/internal/video"
+)
+
+// CoalescerConfig parameterizes a Coalescer. The zero value selects the
+// defaults noted per field.
+type CoalescerConfig struct {
+	// MaxBatch is the window size: the MaxBatch-th concurrent query flushes
+	// the window synchronously on its own goroutine (default 8). This is
+	// the deterministic flush rule — a fixed arrival pattern always cuts
+	// the same windows.
+	MaxBatch int
+	// Window, when > 0, additionally flushes pending queries every Window
+	// of wall-clock time, so a trickle of traffic below MaxBatch is never
+	// stranded. A wall-clock ticker is NON-deterministic by construction;
+	// leave it zero in attack pipelines and tests (which flush by size or
+	// by explicit Flush calls — the injected-tick equivalent) and set it
+	// only on serving front doors.
+	Window time.Duration
+}
+
+func (c *CoalescerConfig) applyDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+}
+
+// coalesceTel is the coalescer's write-only instrument set.
+type coalesceTel struct {
+	// windows counts flushed windows; windowSize is their size histogram.
+	windows    *telemetry.Counter
+	windowSize *telemetry.Histogram
+	// coalesced counts queries that shared a window with at least one
+	// other query (size-1 per multi-query window): the dispatches saved.
+	coalesced *telemetry.Counter
+}
+
+// pendingQuery is one caller parked in the current window.
+type pendingQuery struct {
+	tc      trace.Context
+	v       *video.Video
+	m       int
+	wantErr bool
+	done    chan queryOutcome
+}
+
+type queryOutcome struct {
+	rs  []Result
+	err error
+}
+
+// Coalescer is the coordinator's batching front door: concurrent Retrieve
+// calls park in a window, and a full window executes as one RetrieveBatch
+// against the inner retriever (per-query dispatch for calls that need
+// error or span fidelity). Results are bitwise-identical to calling the
+// inner retriever directly — coalescing changes scheduling, never answers
+// — so golden fingerprints and the Σqueries == QueryCount trace invariant
+// are preserved by construction: billing stays where it always was, in the
+// inner retriever, once per query.
+//
+// Without a Window ticker, callers block until MaxBatch-1 peers arrive or
+// someone calls Flush; a serving front door should set Window (or size the
+// batch to its concurrency), and single-threaded callers should not route
+// through a Coalescer at all.
+type Coalescer struct {
+	inner FallibleRetriever
+	cfg   CoalescerConfig
+	tel   coalesceTel
+
+	mu      sync.Mutex
+	pending []*pendingQuery
+	closed  bool
+	ticker  *time.Ticker
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+var _ FallibleRetriever = (*Coalescer)(nil)
+var _ BatchRetriever = (*Coalescer)(nil)
+var _ TracedRetriever = (*Coalescer)(nil)
+
+// NewCoalescer wraps inner with a coalescing front door.
+func NewCoalescer(inner FallibleRetriever, cfg CoalescerConfig) *Coalescer {
+	cfg.applyDefaults()
+	co := &Coalescer{inner: inner, cfg: cfg}
+	if cfg.Window > 0 {
+		co.ticker = time.NewTicker(cfg.Window) //duolint:allow walltime opt-in serving-only flush tick; attack pipelines leave Window zero
+		co.stop = make(chan struct{})
+		co.wg.Add(1)
+		go co.tickLoop()
+	}
+	return co
+}
+
+// SetTelemetry wires the coalescer's instruments into the registry under
+// the "coalesce" prefix; nil disables.
+func (co *Coalescer) SetTelemetry(r *telemetry.Registry) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.tel = coalesceTel{
+		windows:    r.Counter("coalesce.windows"),
+		windowSize: r.Histogram("coalesce.window_size", []float64{1, 2, 4, 8, 16, 32, 64}),
+		coalesced:  r.Counter("coalesce.coalesced"),
+	}
+}
+
+func (co *Coalescer) tickLoop() {
+	defer co.wg.Done()
+	for {
+		select {
+		case <-co.ticker.C:
+			co.Flush()
+		case <-co.stop:
+			return
+		}
+	}
+}
+
+// enqueue parks one query and flushes the window if it just filled.
+func (co *Coalescer) enqueue(tc trace.Context, v *video.Video, m int, wantErr bool) ([]Result, error) {
+	q := &pendingQuery{tc: tc, v: v, m: m, wantErr: wantErr, done: make(chan queryOutcome, 1)}
+	co.mu.Lock()
+	if co.closed {
+		// A closed coalescer degrades to a pass-through rather than
+		// stranding late callers.
+		co.mu.Unlock()
+		return co.retrieveOne(q)
+	}
+	co.pending = append(co.pending, q)
+	var window []*pendingQuery
+	if len(co.pending) >= co.cfg.MaxBatch {
+		window = co.pending
+		co.pending = nil
+	}
+	co.mu.Unlock()
+	if window != nil {
+		// The filling caller executes the window synchronously: determinism
+		// needs no dedicated flusher goroutine, and the caller was going to
+		// block on its own result anyway.
+		co.execute(window)
+	}
+	out := <-q.done
+	return out.rs, out.err
+}
+
+// Flush executes whatever is parked right now (possibly nothing). It is
+// the injectable tick for tests and the escape hatch for callers that
+// know no more traffic is coming.
+func (co *Coalescer) Flush() {
+	co.mu.Lock()
+	window := co.pending
+	co.pending = nil
+	co.mu.Unlock()
+	if len(window) > 0 {
+		co.execute(window)
+	}
+}
+
+// execute answers every query of one window. Queries that need no error
+// or span fidelity batch into one RetrieveBatch per distinct m (the inner
+// batch fan-out already parallelizes); the rest dispatch per-query so
+// error values and span attribution stay exactly as without coalescing.
+func (co *Coalescer) execute(window []*pendingQuery) {
+	co.tel.windows.Inc()
+	co.tel.windowSize.Observe(float64(len(window)))
+	if len(window) > 1 {
+		co.tel.coalesced.Add(int64(len(window) - 1))
+	}
+
+	var perQuery []*pendingQuery
+	batcher, canBatch := co.inner.(BatchRetriever)
+	// Group batchable queries by m, preserving first-seen order (no map
+	// iteration anywhere near dispatch).
+	var ms []int
+	groups := make(map[int][]*pendingQuery)
+	for _, q := range window {
+		if !canBatch || q.wantErr || q.tc.Valid() {
+			perQuery = append(perQuery, q)
+			continue
+		}
+		if _, seen := groups[q.m]; !seen {
+			ms = append(ms, q.m)
+		}
+		groups[q.m] = append(groups[q.m], q)
+	}
+	for _, m := range ms {
+		group := groups[m]
+		if len(group) == 1 {
+			perQuery = append(perQuery, group[0])
+			continue
+		}
+		vs := make([]*video.Video, len(group))
+		for i, q := range group {
+			vs[i] = q.v
+		}
+		out := batcher.RetrieveBatch(vs, m)
+		for i, q := range group {
+			q.done <- queryOutcome{rs: out[i]}
+		}
+	}
+	if len(perQuery) > 0 {
+		parallel.For(len(perQuery), func(_, start, end int) {
+			for i := start; i < end; i++ {
+				rs, err := co.retrieveOne(perQuery[i])
+				perQuery[i].done <- queryOutcome{rs: rs, err: err}
+			}
+		})
+	}
+}
+
+// retrieveOne dispatches a single query with full fidelity.
+func (co *Coalescer) retrieveOne(q *pendingQuery) ([]Result, error) {
+	if q.tc.Valid() {
+		if tr, ok := co.inner.(TracedRetriever); ok {
+			return tr.RetrieveTraced(q.tc, q.v, q.m)
+		}
+	}
+	return co.inner.RetrieveErr(q.v, q.m)
+}
+
+// Retrieve implements Retriever; the call parks in the current window.
+func (co *Coalescer) Retrieve(v *video.Video, m int) []Result {
+	rs, _ := co.enqueue(trace.Context{}, v, m, false)
+	return rs
+}
+
+// RetrieveErr implements FallibleRetriever with per-query error fidelity.
+func (co *Coalescer) RetrieveErr(v *video.Video, m int) ([]Result, error) {
+	return co.enqueue(trace.Context{}, v, m, true)
+}
+
+// RetrieveTraced implements TracedRetriever: the span context follows the
+// query through the window, so node spans attribute exactly as without
+// coalescing.
+func (co *Coalescer) RetrieveTraced(tc trace.Context, v *video.Video, m int) ([]Result, error) {
+	return co.enqueue(tc, v, m, true)
+}
+
+// RetrieveBatch implements BatchRetriever by forwarding: an explicit batch
+// IS a window already, so re-coalescing it through the front door could
+// only split it (the window cap) or deadlock it (a batch larger than
+// MaxBatch waiting for itself).
+func (co *Coalescer) RetrieveBatch(vs []*video.Video, m int) [][]Result {
+	if b, ok := co.inner.(BatchRetriever); ok {
+		return b.RetrieveBatch(vs, m)
+	}
+	out := make([][]Result, len(vs))
+	for i, v := range vs {
+		out[i], _ = co.inner.RetrieveErr(v, m)
+	}
+	return out
+}
+
+// Close flushes stragglers, stops the window ticker, and turns the
+// coalescer into a pass-through. It does NOT close the inner retriever
+// (the coalescer does not own it).
+func (co *Coalescer) Close() error {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nil
+	}
+	co.closed = true
+	co.mu.Unlock()
+	if co.ticker != nil {
+		co.ticker.Stop()
+		close(co.stop)
+		co.wg.Wait()
+	}
+	co.Flush()
+	return nil
+}

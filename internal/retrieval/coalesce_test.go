@@ -1,0 +1,238 @@
+package retrieval
+
+// Coalescer tests: the size-based flush rule is deterministic, coalesced
+// answers are bitwise-identical to direct dispatch, error and span
+// fidelity survive the window, and Flush frees stragglers.
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"duo/internal/telemetry"
+	"duo/internal/trace"
+	"duo/internal/video"
+)
+
+// twoClusters builds two identical deterministic clusters (one to route
+// through the coalescer, one for direct expected answers) plus queries.
+func twoClusters(t *testing.T, nodes int) (via, direct *Cluster, queries []*video.Video) {
+	t.Helper()
+	m, c := chaosSystem(t)
+	return NewLocalCluster(m, c.Train, nodes), NewLocalCluster(m, c.Train, nodes), c.Test
+}
+
+func TestCoalescerWindowMatchesDirectDispatch(t *testing.T) {
+	via, direct, queries := twoClusters(t, 2)
+	defer via.Close()
+	defer direct.Close()
+	reg := telemetry.New()
+	co := NewCoalescer(via, CoalescerConfig{MaxBatch: len(queries)})
+	co.SetTelemetry(reg)
+	defer co.Close()
+
+	want := make([][]Result, len(queries))
+	for i, q := range queries {
+		want[i] = direct.Retrieve(q, 4)
+	}
+
+	// Exactly MaxBatch concurrent callers: the last arrival flushes the
+	// window; nobody needs Flush or a ticker.
+	got := make([][]Result, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q *video.Video) {
+			defer wg.Done()
+			got[i] = co.Retrieve(q, 4)
+		}(i, q)
+	}
+	wg.Wait()
+
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("query %d: coalesced answer differs from direct dispatch", i)
+		}
+	}
+	if got := reg.Counter("coalesce.windows").Value(); got != 1 {
+		t.Errorf("windows = %d, want 1", got)
+	}
+	if got := reg.Counter("coalesce.coalesced").Value(); got != int64(len(queries)-1) {
+		t.Errorf("coalesced = %d, want %d", got, len(queries)-1)
+	}
+	if st := reg.Histogram("coalesce.window_size", nil).Stats(); st.Count != 1 || st.Max != float64(len(queries)) {
+		t.Errorf("window_size stats = %+v, want one observation of %d", st, len(queries))
+	}
+	// Billing stayed in the inner cluster, once per query.
+	if got := via.QueryCount(); got != int64(len(queries)) {
+		t.Errorf("inner QueryCount = %d, want %d", got, len(queries))
+	}
+}
+
+func TestCoalescerFlushReleasesStragglers(t *testing.T) {
+	via, _, queries := twoClusters(t, 1)
+	defer via.Close()
+	co := NewCoalescer(via, CoalescerConfig{MaxBatch: 64})
+	defer co.Close()
+
+	done := make(chan []Result, 1)
+	go func() {
+		rs, err := co.RetrieveErr(queries[0], 3)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rs
+	}()
+	// Wait for the query to park, then tick the window by hand — the
+	// deterministic stand-in for a serving-side Window ticker.
+	deadline := time.Now().Add(10 * time.Second) //duolint:allow walltime test watchdog only; never fires on the pass path
+	for {
+		co.mu.Lock()
+		parked := len(co.pending)
+		co.mu.Unlock()
+		if parked == 1 {
+			break
+		}
+		if time.Now().After(deadline) { //duolint:allow walltime test watchdog only; never fires on the pass path
+			t.Fatal("query never parked in the window")
+		}
+		time.Sleep(time.Millisecond) //duolint:allow walltime polling cadence of the test watchdog only
+	}
+	co.Flush()
+	select {
+	case rs := <-done:
+		if len(rs) != 3 {
+			t.Errorf("straggler got %d results, want 3", len(rs))
+		}
+	case <-time.After(10 * time.Second): //duolint:allow walltime test watchdog only; never fires on the pass path
+		t.Fatal("Flush did not release the parked query")
+	}
+}
+
+func TestCoalescerWindowTickerReleasesTrickle(t *testing.T) {
+	via, _, queries := twoClusters(t, 1)
+	defer via.Close()
+	co := NewCoalescer(via, CoalescerConfig{MaxBatch: 64, Window: 5 * time.Millisecond})
+	defer co.Close()
+	// A single query well below MaxBatch: only the wall-clock tick can
+	// flush it. The generous timeout keeps slow CI honest.
+	type out struct {
+		rs  []Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		rs, err := co.RetrieveErr(queries[0], 2)
+		done <- out{rs, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err != nil || len(o.rs) != 2 {
+			t.Errorf("ticker flush returned %d results, err %v", len(o.rs), o.err)
+		}
+	case <-time.After(10 * time.Second): //duolint:allow walltime test watchdog only; never fires on the pass path
+		t.Fatal("window ticker never flushed a sub-batch trickle")
+	}
+}
+
+func TestCoalescerPreservesErrorFidelity(t *testing.T) {
+	m, c := chaosSystem(t)
+	half := len(c.Train) / 2
+	down := NewFaultTransport(&LocalTransport{Shard: NewShard(m, c.Train[half:])}, FaultConfig{})
+	down.FailNext(1<<30, ErrInjectedFailure)
+	cl := NewCluster(m, []Transport{
+		&LocalTransport{Shard: NewShard(m, c.Train[:half])}, down,
+	}).SetPolicy(RequireAll())
+	defer cl.Close()
+	co := NewCoalescer(cl, CoalescerConfig{MaxBatch: 2})
+	defer co.Close()
+
+	// Two concurrent err-aware callers fill the window; both must see the
+	// policy violation exactly as direct RetrieveErr callers would.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = co.RetrieveErr(c.Test[i], 3)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || !errors.Is(err, ErrInjectedFailure) {
+			t.Errorf("caller %d: err = %v, want wrapped ErrInjectedFailure", i, err)
+		}
+	}
+}
+
+func TestCoalescerPreservesSpanAttribution(t *testing.T) {
+	via, direct, queries := twoClusters(t, 2)
+	defer via.Close()
+	defer direct.Close()
+	co := NewCoalescer(via, CoalescerConfig{MaxBatch: 2})
+	defer co.Close()
+
+	countNodeSpans := func(tr *trace.Tracer) (n int, parents map[uint64]bool) {
+		parents = make(map[uint64]bool)
+		for _, r := range tr.Records() {
+			if r.Name == "node" {
+				n++
+				parents[r.Parent] = true
+			}
+		}
+		return
+	}
+
+	trDirect := trace.New("direct")
+	direct.SetTrace(trDirect)
+	for i := 0; i < 2; i++ {
+		sp := trDirect.Start(nil, "retrieve")
+		direct.RetrieveTraced(sp.Ctx(), queries[i], 3)
+		sp.End()
+	}
+	wantSpans, _ := countNodeSpans(trDirect)
+
+	trVia := trace.New("via")
+	via.SetTrace(trVia)
+	roots := make([]*trace.Span, 2)
+	for i := range roots {
+		roots[i] = trVia.Start(nil, "retrieve")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			co.RetrieveTraced(roots[i].Ctx(), queries[i], 3)
+		}(i)
+	}
+	wg.Wait()
+	for _, sp := range roots {
+		sp.End()
+	}
+	gotSpans, gotParents := countNodeSpans(trVia)
+	if gotSpans != wantSpans {
+		t.Errorf("coalesced run recorded %d node spans, direct %d", gotSpans, wantSpans)
+	}
+	if len(gotParents) != 2 {
+		t.Errorf("node spans attribute to %d parents, want 2 (one per query's root)", len(gotParents))
+	}
+}
+
+func TestCoalescerClosedIsPassThrough(t *testing.T) {
+	via, _, queries := twoClusters(t, 1)
+	defer via.Close()
+	co := NewCoalescer(via, CoalescerConfig{MaxBatch: 64})
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// No peers, no ticker, no Flush — a closed coalescer must not strand
+	// the caller.
+	rs, err := co.RetrieveErr(queries[0], 2)
+	if err != nil || len(rs) != 2 {
+		t.Errorf("closed coalescer: %d results, err %v", len(rs), err)
+	}
+}

@@ -21,8 +21,8 @@ var (
 )
 
 // FaultConfig parameterizes a FaultTransport. Per-call fault probabilities
-// are evaluated in the order drop, error, corrupt, delay from a single
-// seeded RNG, so a given seed always yields the same fault sequence.
+// are evaluated in the order drop, error, corrupt, delay, overload from a
+// single seeded RNG, so a given seed always yields the same fault sequence.
 type FaultConfig struct {
 	// Seed drives the deterministic fault schedule (default 1).
 	Seed int64
@@ -36,6 +36,11 @@ type FaultConfig struct {
 	// PDelay is the probability a call is delayed by Delay before being
 	// forwarded (models a slow node; combine with transport deadlines).
 	PDelay float64
+	// POverload is the probability a call is shed with ErrOverloaded
+	// (models a node at its admission limit; inner not called). Its draw
+	// comes AFTER the four original modes', so enabling overload injection
+	// never perturbs an existing seeded drop/error/corrupt/delay schedule.
+	POverload float64
 	// Delay is the injected latency for delay faults (default 50ms).
 	Delay time.Duration
 	// Sleep is the delay function; tests may inject a recorder
@@ -57,7 +62,7 @@ func (c *FaultConfig) applyDefaults() {
 
 // FaultStats counts the faults a FaultTransport injected, by mode.
 type FaultStats struct {
-	Calls, Drops, Errors, Corrupts, Delays int64
+	Calls, Drops, Errors, Corrupts, Delays, Overloads int64
 }
 
 // FaultTransport wraps a Transport with seeded, deterministic fault
@@ -112,8 +117,14 @@ func (t *FaultTransport) plan() (kind string, scriptErr error) {
 		return "script", t.scriptErr
 	}
 	// One draw per mode keeps the schedule stable when probabilities for
-	// other modes change.
+	// other modes change. The overload draw happens last and only when the
+	// mode is enabled, so pre-overload seeds keep their exact per-call
+	// draw count and with it their fault sequences.
 	u1, u2, u3, u4 := t.rng.Float64(), t.rng.Float64(), t.rng.Float64(), t.rng.Float64()
+	u5 := 1.0
+	if t.cfg.POverload > 0 {
+		u5 = t.rng.Float64()
+	}
 	switch {
 	case u1 < t.cfg.PDrop:
 		t.stats.Drops++
@@ -127,6 +138,9 @@ func (t *FaultTransport) plan() (kind string, scriptErr error) {
 	case u4 < t.cfg.PDelay:
 		t.stats.Delays++
 		return "delay", nil
+	case u5 < t.cfg.POverload:
+		t.stats.Overloads++
+		return "overload", nil
 	}
 	return "", nil
 }
@@ -150,6 +164,8 @@ func (t *FaultTransport) Nearest(feat []float64, m int) ([]Result, error) {
 			return nil, err
 		}
 		return rs[:len(rs)/2], ErrInjectedCorrupt
+	case "overload":
+		return nil, ErrOverloaded
 	case "delay":
 		t.cfg.Sleep(t.cfg.Delay)
 	}

@@ -1,0 +1,181 @@
+package retrieval
+
+import (
+	"errors"
+	"sync"
+
+	"duo/internal/telemetry"
+)
+
+// ErrOverloaded is the typed load-shedding error: a node (or an injected
+// fault standing in for one) refused a request at admission because its
+// in-flight and queue limits were both full. Unlike a dead-node failure
+// the node is demonstrably alive — it answered, cheaply, with a refusal —
+// so the fault-tolerance stack treats it differently everywhere:
+//
+//   - RetryTransport retries it with backoff (the load spike may pass);
+//   - BreakerTransport treats it as proof of liveness, never as a
+//     breaker-tripping failure (fast-failing an alive node would turn a
+//     load spike into an outage);
+//   - Cluster counts shed nodes distinctly from dead ones (outcome
+//     "shed", its own telemetry counter and Health field);
+//   - the attack loop refunds shed attempts — a refused request did no
+//     retrieval work, so it is never billed as a victim query.
+//
+// It crosses the TCP wire as a flag on the response frame, so errors.Is
+// works across process boundaries.
+var ErrOverloaded = errors.New("retrieval: node overloaded")
+
+// AdmissionConfig bounds a NodeServer's concurrency: at most MaxInFlight
+// requests are served at once, at most MaxQueue more wait for a slot, and
+// everything beyond that is shed immediately with ErrOverloaded. The zero
+// value disables admission control entirely (unbounded, the pre-overload
+// behaviour).
+//
+// Shedding is deterministic: the decision is a pure function of current
+// occupancy — no sampling, no randomness — so a fixed arrival pattern
+// always sheds the same requests.
+type AdmissionConfig struct {
+	// MaxInFlight is the concurrent-service limit (≤ 0 disables admission
+	// control, including the queue bound).
+	MaxInFlight int
+	// MaxQueue is how many admitted requests may wait for an in-flight
+	// slot before new arrivals are shed (< 0 means no queue: shed as soon
+	// as every in-flight slot is busy).
+	MaxQueue int
+}
+
+// admissionTel is the admission controller's write-only instrument set
+// (nil instruments when telemetry is disabled).
+type admissionTel struct {
+	// admitted counts requests that got an in-flight slot (queued or not).
+	admitted *telemetry.Counter
+	// queued counts admitted requests that had to wait for a slot.
+	queued *telemetry.Counter
+	// shed counts requests refused with ErrOverloaded.
+	shed *telemetry.Counter
+	// inflight mirrors current occupancy; inflightHW is its high-water mark.
+	inflight   *telemetry.Gauge
+	inflightHW *telemetry.Gauge
+}
+
+// resolveAdmissionTel resolves the instruments under a prefix (e.g.
+// "node.admission"); a nil registry yields the disabled set.
+func resolveAdmissionTel(r *telemetry.Registry, prefix string) admissionTel {
+	return admissionTel{
+		admitted:   r.Counter(prefix + ".admitted"),
+		queued:     r.Counter(prefix + ".queued"),
+		shed:       r.Counter(prefix + ".shed"),
+		inflight:   r.Gauge(prefix + ".inflight"),
+		inflightHW: r.Gauge(prefix + ".inflight_highwater"),
+	}
+}
+
+// admission is the bounded in-flight/queue gate in front of a NodeServer's
+// request handlers. Reserve admits or sheds immediately (never blocks, so
+// the connection read loop keeps draining frames even at saturation);
+// acquire then blocks a queued request until an in-flight slot frees.
+type admission struct {
+	cfg AdmissionConfig
+	tel admissionTel
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	inflight  int
+	queued    int
+	highWater int
+	shed      int64
+	served    int64
+}
+
+// newAdmission builds the gate; a zero config means "admit everything".
+func newAdmission(cfg AdmissionConfig, tel admissionTel) *admission {
+	a := &admission{cfg: cfg, tel: tel}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// unlimited reports whether admission control is disabled.
+func (a *admission) unlimited() bool { return a.cfg.MaxInFlight <= 0 }
+
+// ticket is the outcome of a reservation.
+type ticket int
+
+const (
+	ticketShed   ticket = iota // refused: respond ErrOverloaded
+	ticketDirect               // in-flight slot taken; serve now
+	ticketQueued               // admitted; acquire() before serving
+)
+
+// reserve decides a request's fate without blocking.
+func (a *admission) reserve() ticket {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.unlimited() || a.inflight < a.cfg.MaxInFlight {
+		a.takeSlotLocked()
+		a.tel.admitted.Inc()
+		return ticketDirect
+	}
+	if a.cfg.MaxQueue >= 0 && a.queued < a.cfg.MaxQueue {
+		a.queued++
+		a.tel.admitted.Inc()
+		a.tel.queued.Inc()
+		return ticketQueued
+	}
+	a.shed++
+	a.tel.shed.Inc()
+	return ticketShed
+}
+
+// acquire blocks a queued request until an in-flight slot frees.
+func (a *admission) acquire() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.inflight >= a.cfg.MaxInFlight {
+		a.cond.Wait()
+	}
+	a.queued--
+	a.takeSlotLocked()
+}
+
+// takeSlotLocked occupies one in-flight slot and maintains the occupancy
+// instruments. Caller holds a.mu.
+func (a *admission) takeSlotLocked() {
+	a.inflight++
+	a.served++
+	if a.inflight > a.highWater {
+		a.highWater = a.inflight
+		a.tel.inflightHW.Set(int64(a.highWater))
+	}
+	a.tel.inflight.Set(int64(a.inflight))
+}
+
+// release frees an in-flight slot and wakes one queued waiter.
+func (a *admission) release() {
+	a.mu.Lock()
+	a.inflight--
+	a.tel.inflight.Set(int64(a.inflight))
+	a.mu.Unlock()
+	a.cond.Signal()
+}
+
+// Sheds returns how many requests were refused with ErrOverloaded.
+func (a *admission) Sheds() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shed
+}
+
+// Served returns how many requests were admitted (queued included).
+func (a *admission) Served() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.served
+}
+
+// HighWater returns the peak concurrent in-flight count observed.
+func (a *admission) HighWater() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.highWater
+}

@@ -1,0 +1,311 @@
+package retrieval
+
+// Overload-semantics tests: the admission gate's deterministic shed
+// decisions, FaultTransport overload injection, and the one property the
+// whole PR hangs on — ErrOverloaded means "alive but refusing", so retry
+// backs off and re-tries, the breaker never trips, and the cluster counts
+// sheds apart from failures everywhere (Health, telemetry, span outcome,
+// policy errors).
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"duo/internal/telemetry"
+	"duo/internal/trace"
+	"duo/internal/video"
+)
+
+// setErr swaps the stub's canned error (same package as stubTransport).
+func (s *stubTransport) setErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.err = err
+}
+
+func TestAdmissionGateShedsDeterministically(t *testing.T) {
+	reg := telemetry.New()
+	a := newAdmission(AdmissionConfig{MaxInFlight: 2, MaxQueue: 1},
+		resolveAdmissionTel(reg, "adm"))
+
+	if got := a.reserve(); got != ticketDirect {
+		t.Fatalf("first reserve = %v, want direct", got)
+	}
+	if got := a.reserve(); got != ticketDirect {
+		t.Fatalf("second reserve = %v, want direct", got)
+	}
+	if got := a.reserve(); got != ticketQueued {
+		t.Fatalf("third reserve = %v, want queued", got)
+	}
+	// In-flight and queue are both full: the decision is pure occupancy,
+	// so every further arrival sheds.
+	for i := 0; i < 3; i++ {
+		if got := a.reserve(); got != ticketShed {
+			t.Fatalf("reserve %d = %v, want shed", 4+i, got)
+		}
+	}
+
+	// Freeing one slot lets the queued request through without blocking.
+	acquired := make(chan struct{})
+	go func() {
+		a.acquire()
+		close(acquired)
+	}()
+	a.release()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second): //duolint:allow walltime test watchdog only; never fires on the pass path
+		t.Fatal("queued request never acquired a freed slot")
+	}
+
+	if got := a.Sheds(); got != 3 {
+		t.Errorf("Sheds = %d, want 3", got)
+	}
+	if got := a.Served(); got != 3 {
+		t.Errorf("Served = %d, want 3", got)
+	}
+	if got := a.HighWater(); got != 2 {
+		t.Errorf("HighWater = %d, want 2", got)
+	}
+	for name, want := range map[string]int64{
+		"adm.admitted": 3, "adm.queued": 1, "adm.shed": 3,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("adm.inflight_highwater").Value(); got != 2 {
+		t.Errorf("inflight_highwater = %d, want 2", got)
+	}
+}
+
+func TestAdmissionGateUnlimitedByDefault(t *testing.T) {
+	a := newAdmission(AdmissionConfig{}, admissionTel{})
+	for i := 0; i < 100; i++ {
+		if got := a.reserve(); got != ticketDirect {
+			t.Fatalf("reserve %d = %v, want direct (zero config = unbounded)", i, got)
+		}
+	}
+	if a.Sheds() != 0 {
+		t.Errorf("unlimited gate shed %d requests", a.Sheds())
+	}
+}
+
+func TestFaultTransportOverloadMode(t *testing.T) {
+	inner := &stubTransport{rs: stubResults(4)}
+	ft := NewFaultTransport(inner, FaultConfig{POverload: 1})
+	if _, err := ft.Nearest(nil, 4); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("overload mode: %v", err)
+	}
+	if inner.callCount() != 0 {
+		t.Error("overload mode reached the inner transport")
+	}
+	if st := ft.Stats(); st.Overloads != 1 {
+		t.Errorf("Overloads = %d, want 1", st.Overloads)
+	}
+}
+
+func TestFaultTransportOverloadScheduleDeterministic(t *testing.T) {
+	mk := func() *FaultTransport {
+		return NewFaultTransport(&stubTransport{rs: stubResults(8)}, FaultConfig{
+			Seed: 42, PDrop: 0.1, PError: 0.1, POverload: 0.3,
+		})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		_, errA := a.Nearest([]float64{1}, 4)
+		_, errB := b.Nearest([]float64{1}, 4)
+		if (errA == nil) != (errB == nil) || (errA != nil && errA.Error() != errB.Error()) {
+			t.Fatalf("call %d diverged: %v vs %v", i, errA, errB)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if st := a.Stats(); st.Overloads == 0 {
+		t.Errorf("expected overloads over 200 calls at p=0.3: %+v", st)
+	}
+}
+
+func TestRetryTransportRetriesOverloadWithBackoff(t *testing.T) {
+	inner := &stubTransport{rs: stubResults(4)}
+	flaky := NewFaultTransport(inner, FaultConfig{})
+	flaky.FailNext(2, ErrOverloaded)
+	reg := telemetry.New()
+	var sleeps []time.Duration
+	rt := NewRetryTransport(flaky, RetryConfig{
+		MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, Seed: 5,
+		Sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	rt.SetTelemetry(reg, "retry")
+
+	rs, err := rt.Nearest([]float64{1}, 4)
+	if err != nil {
+		t.Fatalf("retry did not absorb the shed spike: %v", err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("got %d results, want 4", len(rs))
+	}
+	if got := rt.Retries(); got != 2 {
+		t.Errorf("Retries = %d, want 2 (one per shed)", got)
+	}
+	if len(sleeps) != 2 {
+		t.Errorf("slept %d times, want 2 — overload must back off, not hot-loop", len(sleeps))
+	}
+	if got := reg.Counter("retry.overloads").Value(); got != 2 {
+		t.Errorf("retry.overloads = %d, want 2", got)
+	}
+}
+
+func TestBreakerNeverTripsOnOverload(t *testing.T) {
+	inner := &stubTransport{err: ErrOverloaded}
+	bt := NewBreakerTransport(inner, BreakerConfig{FailureThreshold: 2})
+	for i := 0; i < 10; i++ {
+		if _, err := bt.Nearest(nil, 4); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if got := bt.State(); got != BreakerClosed {
+		t.Errorf("breaker state after 10 sheds = %v, want closed", got)
+	}
+	if got := bt.ShortCircuits(); got != 0 {
+		t.Errorf("breaker short-circuited %d calls under pure overload", got)
+	}
+	if inner.callCount() != 10 {
+		t.Errorf("inner saw %d calls, want all 10 (no fast-fails)", inner.callCount())
+	}
+}
+
+func TestBreakerOverloadResetsConsecutiveFailures(t *testing.T) {
+	inner := &stubTransport{err: ErrInjectedFailure}
+	bt := NewBreakerTransport(inner, BreakerConfig{FailureThreshold: 3})
+	// Two real failures, then a shed: the shed proves liveness and resets
+	// the consecutive count, so two MORE real failures still don't trip.
+	bt.Nearest(nil, 4)
+	bt.Nearest(nil, 4)
+	inner.setErr(ErrOverloaded)
+	bt.Nearest(nil, 4)
+	inner.setErr(ErrInjectedFailure)
+	bt.Nearest(nil, 4)
+	bt.Nearest(nil, 4)
+	if got := bt.State(); got != BreakerClosed {
+		t.Errorf("state = %v, want closed (shed reset the failure streak)", got)
+	}
+	bt.Nearest(nil, 4)
+	if got := bt.State(); got != BreakerOpen {
+		t.Errorf("state = %v, want open after a full fresh failure streak", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeOverloadReCloses(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	inner := &stubTransport{err: ErrInjectedFailure}
+	bt := NewBreakerTransport(inner, BreakerConfig{
+		FailureThreshold: 2, Cooldown: time.Second, Now: clock.Now,
+	})
+	bt.Nearest(nil, 4)
+	bt.Nearest(nil, 4)
+	if got := bt.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	clock.Advance(2 * time.Second)
+	inner.setErr(ErrOverloaded)
+	// The half-open probe answers with a shed: the node is alive, the
+	// breaker closes — overload must not restart the cooldown.
+	if _, err := bt.Nearest(nil, 4); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("probe: %v", err)
+	}
+	if got := bt.State(); got != BreakerClosed {
+		t.Errorf("state after overloaded probe = %v, want closed", got)
+	}
+}
+
+// overloadedCluster builds a 3-node cluster with node 1 shedding, plus a
+// deterministic query video to drive it with.
+func overloadedCluster(t *testing.T) (*Cluster, *video.Video) {
+	t.Helper()
+	m, corpus := chaosSystem(t)
+	nodes := []Transport{
+		&stubTransport{rs: stubResults(4)},
+		&stubTransport{err: ErrOverloaded},
+		&stubTransport{rs: stubResults(4)},
+	}
+	return NewCluster(m, nodes), corpus.Test[0]
+}
+
+func TestClusterCountsShedsDistinctFromFailures(t *testing.T) {
+	c, q := overloadedCluster(t)
+	reg := telemetry.New()
+	c.SetTelemetry(reg)
+
+	rs, err := c.RetrieveErr(q, 4)
+	if err == nil || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("best-effort error = %v, want wrapped ErrOverloaded", err)
+	}
+	if len(rs) == 0 {
+		t.Error("best-effort merge dropped the healthy nodes' results")
+	}
+
+	h := c.Health()
+	if h[1].Sheds != 1 || h[1].Failures != 0 || h[1].ConsecutiveFailures != 0 {
+		t.Errorf("node1 health = %+v, want 1 shed, 0 failures", h[1])
+	}
+	if !h[1].Healthy() {
+		t.Error("an overloaded node must still report healthy (alive, at capacity)")
+	}
+	if got := reg.Counter("cluster.node1.shed").Value(); got != 1 {
+		t.Errorf("cluster.node1.shed = %d, want 1", got)
+	}
+	if got := reg.Counter("cluster.node1.errors").Value(); got != 0 {
+		t.Errorf("cluster.node1.errors = %d, want 0 — sheds must not count as errors", got)
+	}
+}
+
+func TestClusterPolicyErrorsReportSheds(t *testing.T) {
+	c, q := overloadedCluster(t)
+
+	c.SetPolicy(RequireAll())
+	_, err := c.RetrieveErr(q, 4)
+	if err == nil || !strings.Contains(err.Error(), "(1 shed)") {
+		t.Errorf("require-all error = %v, want shed count in message", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Errorf("policy error does not unwrap to ErrOverloaded: %v", err)
+	}
+
+	// Quorum(2) is satisfiable by the two healthy nodes: sheds degrade, the
+	// query still succeeds.
+	c.SetPolicy(Quorum(2))
+	rs, err := c.RetrieveErr(q, 4)
+	if err != nil {
+		t.Errorf("quorum(2) with one shed node failed: %v", err)
+	}
+	if len(rs) == 0 {
+		t.Error("quorum(2) returned no results")
+	}
+}
+
+func TestClusterShedSpanOutcome(t *testing.T) {
+	c, q := overloadedCluster(t)
+	tr := trace.New("overload-test")
+	c.SetTrace(tr)
+
+	root := tr.Start(nil, "retrieve")
+	c.RetrieveTraced(root.Ctx(), q, 4)
+	root.End()
+
+	outcomes := map[string]int{}
+	for _, rec := range tr.Records() {
+		if rec.Name != "node" {
+			continue
+		}
+		if o, ok := rec.Attrs["outcome"].(string); ok {
+			outcomes[o]++
+		}
+	}
+	if outcomes["shed"] != 1 || outcomes["ok"] != 2 {
+		t.Errorf("node span outcomes = %v, want 1 shed + 2 ok", outcomes)
+	}
+}

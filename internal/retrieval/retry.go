@@ -53,6 +53,9 @@ func (c *RetryConfig) applyDefaults() {
 //
 // A breaker fast-fail (ErrBreakerOpen) is not retried: backing off against
 // a breaker that will stay open for its whole cooldown only adds latency.
+// A load shed (ErrOverloaded) IS retried: the node is alive and refusing
+// work to protect itself, and the backoff is exactly the pressure-release
+// valve that lets the spike pass before the next attempt.
 type RetryTransport struct {
 	inner Transport
 	cfg   RetryConfig
@@ -64,8 +67,11 @@ type RetryTransport struct {
 	// telRetries mirrors the retries counter into a telemetry registry.
 	// Only genuine re-attempts count: a breaker fast-fail aborts the loop
 	// before the retry bookkeeping, so it is never recorded here.
-	telRetries  *telemetry.Counter
-	telAttempts *telemetry.Counter
+	// telOverloads counts attempts refused with ErrOverloaded (each such
+	// attempt is retryable, so the counter can exceed the call count).
+	telRetries   *telemetry.Counter
+	telAttempts  *telemetry.Counter
+	telOverloads *telemetry.Counter
 }
 
 var _ Transport = (*RetryTransport)(nil)
@@ -83,6 +89,7 @@ func (t *RetryTransport) SetTelemetry(r *telemetry.Registry, prefix string) {
 	defer t.mu.Unlock()
 	t.telRetries = r.Counter(prefix + ".retries")
 	t.telAttempts = r.Counter(prefix + ".attempts")
+	t.telOverloads = r.Counter(prefix + ".overloads")
 }
 
 // Retries returns the total number of retry attempts performed (attempts
@@ -133,6 +140,9 @@ func (t *RetryTransport) do(call func() ([]Result, error)) ([]Result, error) {
 			return rs, nil
 		}
 		lastErr = err
+		if errors.Is(err, ErrOverloaded) {
+			t.telOverloads.Inc()
+		}
 		if errors.Is(err, ErrBreakerOpen) {
 			break
 		}

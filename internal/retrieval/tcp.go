@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"duo/internal/telemetry"
 	"duo/internal/trace"
 )
 
@@ -34,19 +36,35 @@ const (
 // untraced request is byte-identical to the pre-trace protocol, and a
 // gob decoder ignores wire fields its local struct lacks, so an old
 // server simply drops the context (wire_test.go pins both directions).
+//
+// ID multiplexes concurrent requests over one connection: a response
+// echoes its request's ID, so replies may arrive out of order. The same
+// gob property keeps this extension compatible both ways: ID 0 is omitted
+// from the wire entirely, an old server ignores the field and serializes
+// per connection (so its unnumbered replies arrive in request order and
+// the client matches them FIFO), and an old client never sends an ID, for
+// which the server falls back to serialized in-order handling.
 type nearestRequest struct {
 	Feat []float64
 	M    int
 	TC   *trace.Context
+	ID   uint64
 }
 
+// nearestResponse's Overloaded flag is how ErrOverloaded crosses the wire:
+// a typed sentinel can't ride a string field, so the client re-wraps the
+// flag into ErrOverloaded and errors.Is works across the process boundary.
+// An old client ignores the flag and still sees the Err text.
 type nearestResponse struct {
-	Results []Result
-	Err     string
+	Results    []Result
+	Err        string
+	ID         uint64
+	Overloaded bool
 }
 
-// NodeServerConfig parameterizes a NodeServer's deadlines. The zero value
-// selects the package defaults; negative values disable the deadline.
+// NodeServerConfig parameterizes a NodeServer's deadlines and admission
+// limits. The zero value selects the package defaults (and unbounded
+// admission); negative durations disable the deadline.
 type NodeServerConfig struct {
 	// IdleTimeout is the per-request read deadline: the maximum wait for
 	// the next complete request on a connection.
@@ -57,6 +75,13 @@ type NodeServerConfig struct {
 	// request carrying a coordinator span context parents the span
 	// remotely under it (stitched back together by duotrace).
 	Trace *trace.Tracer
+	// Admission bounds concurrent request handling; excess load is shed
+	// with ErrOverloaded instead of queueing without bound. The zero value
+	// admits everything (the pre-overload behaviour).
+	Admission AdmissionConfig
+	// Telemetry, when non-nil, receives the admission counters under the
+	// "node.admission" prefix.
+	Telemetry *telemetry.Registry
 }
 
 func (c *NodeServerConfig) applyDefaults() {
@@ -68,11 +93,15 @@ func (c *NodeServerConfig) applyDefaults() {
 	}
 }
 
-// NodeServer serves one shard over TCP.
+// NodeServer serves one shard over TCP. Multiplexed requests (ID != 0) are
+// handled concurrently, gated by the admission config; legacy unnumbered
+// requests are handled serially in request order, exactly like the
+// pre-multiplexing server.
 type NodeServer struct {
 	shard *Shard
 	ln    net.Listener
 	cfg   NodeServerConfig
+	adm   *admission
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -86,14 +115,18 @@ func ServeNode(addr string, shard *Shard) (*NodeServer, error) {
 	return ServeNodeConfig(addr, shard, NodeServerConfig{})
 }
 
-// ServeNodeConfig is ServeNode with explicit deadline configuration.
+// ServeNodeConfig is ServeNode with explicit configuration.
 func ServeNodeConfig(addr string, shard *Shard, cfg NodeServerConfig) (*NodeServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("retrieval: listen %s: %w", addr, err)
 	}
 	cfg.applyDefaults()
-	s := &NodeServer{shard: shard, ln: ln, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s := &NodeServer{
+		shard: shard, ln: ln, cfg: cfg,
+		adm:   newAdmission(cfg.Admission, resolveAdmissionTel(cfg.Telemetry, "node.admission")),
+		conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -101,6 +134,27 @@ func ServeNodeConfig(addr string, shard *Shard, cfg NodeServerConfig) (*NodeServ
 
 // Addr returns the server's listen address.
 func (s *NodeServer) Addr() string { return s.ln.Addr().String() }
+
+// AdmissionStats is a point-in-time snapshot of a NodeServer's admission
+// accounting (the counter mirror lives under "node.admission" when the
+// server has a telemetry registry).
+type AdmissionStats struct {
+	// Admitted counts requests that got an in-flight slot.
+	Admitted int64
+	// Sheds counts requests refused with ErrOverloaded.
+	Sheds int64
+	// HighWater is the peak concurrent in-flight count observed.
+	HighWater int
+}
+
+// AdmissionStats returns the server's admission accounting snapshot.
+func (s *NodeServer) AdmissionStats() AdmissionStats {
+	return AdmissionStats{
+		Admitted:  s.adm.Served(),
+		Sheds:     s.adm.Sheds(),
+		HighWater: s.adm.HighWater(),
+	}
+}
 
 func (s *NodeServer) acceptLoop() {
 	defer s.wg.Done()
@@ -122,9 +176,20 @@ func (s *NodeServer) acceptLoop() {
 	}
 }
 
+// shedResponse is the well-framed refusal for a request that lost
+// admission; id echoes the request so multiplexed clients match it.
+func shedResponse(id uint64) nearestResponse {
+	return nearestResponse{ID: id, Err: "node overloaded", Overloaded: true}
+}
+
 func (s *NodeServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	// handlers tracks this connection's in-flight request goroutines, so
+	// the connection (and Close) waits for them before tearing down.
+	var handlers sync.WaitGroup
+	var wmu sync.Mutex
 	defer func() {
+		handlers.Wait()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -140,30 +205,96 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // client hung up, idled out, or connection torn down
 		}
-		var tc trace.Context
-		if req.TC != nil {
-			tc = *req.TC
+		if req.ID == 0 {
+			// Legacy client: it has exactly one request in flight on this
+			// connection and expects the reply before the next request, so
+			// handling stays inline and serialized. Admission still applies:
+			// under saturation a queued ticket blocks right here — which is
+			// the natural backpressure for a serialized stream.
+			tk := s.adm.reserve()
+			if tk == ticketShed {
+				if !s.writeResp(conn, enc, &wmu, shedResponse(0)) {
+					return
+				}
+				continue
+			}
+			if tk == ticketQueued {
+				s.adm.acquire()
+			}
+			resp := s.handle(req)
+			s.adm.release()
+			if !s.writeResp(conn, enc, &wmu, resp) {
+				return
+			}
+			continue
 		}
-		sp := s.cfg.Trace.StartCtx(tc, "node.serve")
-		sp.SetInt("m", int64(req.M))
-		var resp nearestResponse
-		if req.M < 0 {
-			resp.Err = fmt.Sprintf("negative m %d", req.M)
-		} else {
-			resp.Results = s.shard.Nearest(req.Feat, req.M)
-		}
-		sp.SetInt("results", int64(len(resp.Results)))
-		if resp.Err != "" {
-			sp.SetStr("error", resp.Err)
-		}
-		sp.End()
-		if s.cfg.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //duolint:allow walltime socket deadlines are wall-clock by definition; no result bit depends on them
-		}
-		if err := enc.Encode(&resp); err != nil {
-			return
+		// Multiplexed client: sheds are answered immediately from the read
+		// loop (shedding must stay cheap — that is its whole point), and
+		// admitted requests are dispatched concurrently.
+		switch s.adm.reserve() {
+		case ticketShed:
+			if !s.writeResp(conn, enc, &wmu, shedResponse(req.ID)) {
+				return
+			}
+		case ticketDirect:
+			handlers.Add(1)
+			go func(req nearestRequest) {
+				defer handlers.Done()
+				resp := s.handle(req)
+				s.adm.release()
+				s.writeResp(conn, enc, &wmu, resp)
+			}(req)
+		case ticketQueued:
+			handlers.Add(1)
+			go func(req nearestRequest) {
+				defer handlers.Done()
+				s.adm.acquire()
+				resp := s.handle(req)
+				s.adm.release()
+				s.writeResp(conn, enc, &wmu, resp)
+			}(req)
 		}
 	}
+}
+
+// handle serves one admitted request (span + shard scan); it never touches
+// the connection.
+func (s *NodeServer) handle(req nearestRequest) nearestResponse {
+	var tc trace.Context
+	if req.TC != nil {
+		tc = *req.TC
+	}
+	sp := s.cfg.Trace.StartCtx(tc, "node.serve")
+	sp.SetInt("m", int64(req.M))
+	resp := nearestResponse{ID: req.ID}
+	if req.M < 0 {
+		resp.Err = fmt.Sprintf("negative m %d", req.M)
+	} else {
+		resp.Results = s.shard.Nearest(req.Feat, req.M)
+	}
+	sp.SetInt("results", int64(len(resp.Results)))
+	if resp.Err != "" {
+		sp.SetStr("error", resp.Err)
+	}
+	sp.End()
+	return resp
+}
+
+// writeResp encodes one response under the connection's write mutex (gob
+// frames must not interleave) and write deadline. A failed write closes
+// the connection so the read loop notices promptly; false means the
+// connection is gone.
+func (s *NodeServer) writeResp(conn net.Conn, enc *gob.Encoder, wmu *sync.Mutex, resp nearestResponse) bool {
+	wmu.Lock()
+	defer wmu.Unlock()
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //duolint:allow walltime socket deadlines are wall-clock by definition; no result bit depends on them
+	}
+	if err := enc.Encode(&resp); err != nil {
+		conn.Close()
+		return false
+	}
+	return true
 }
 
 // Close stops accepting, tears down open connections, and waits for the
@@ -184,22 +315,182 @@ func (s *NodeServer) Close() error {
 	return err
 }
 
+// TCPConfig parameterizes a TCPTransport.
+type TCPConfig struct {
+	// Timeout bounds one request/response exchange, including the dial
+	// (≤ 0 disables deadlines; DialNode uses DefaultCallTimeout).
+	Timeout time.Duration
+	// Conns is the connection-pool size (default 1). Requests multiplex
+	// over every connection concurrently either way; a pool only adds
+	// parallel TCP streams under heavy fan-out.
+	Conns int
+}
+
+func (c *TCPConfig) applyDefaults() {
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+}
+
+// muxReply carries a matched response (or the connection's fatal error)
+// back to the waiting caller.
+type muxReply struct {
+	resp nearestResponse
+	err  error
+}
+
+// muxConn is one multiplexed connection: a dedicated reader goroutine
+// decodes responses and hands each to its waiting caller by request ID
+// (or FIFO, for unnumbered replies from a legacy server — which serializes
+// per connection, so arrival order IS request order). Any transport-level
+// error kills the whole connection: gob streams are stateful, and a
+// half-read message would desync every later one.
+type muxConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex // gob writes must not interleave
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxReply
+	order   []uint64 // FIFO of outstanding IDs, for legacy unnumbered replies
+	dead    bool
+}
+
+// dialMux establishes one multiplexed connection and starts its reader.
+func dialMux(addr string, timeout time.Duration) (*muxConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("retrieval: dial %s: %w", addr, err)
+	}
+	c := &muxConn{
+		conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn),
+		pending: make(map[uint64]chan muxReply),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *muxConn) readLoop() {
+	for {
+		var resp nearestResponse
+		if err := c.dec.Decode(&resp); err != nil {
+			c.fail(fmt.Errorf("retrieval: recv: %w", err))
+			return
+		}
+		c.deliver(resp)
+	}
+}
+
+// deliver routes one decoded response to its caller.
+func (c *muxConn) deliver(resp nearestResponse) {
+	c.mu.Lock()
+	id := resp.ID
+	if id == 0 && len(c.order) > 0 {
+		id = c.order[0]
+	}
+	ch := c.pending[id]
+	delete(c.pending, id)
+	c.dropOrderLocked(id)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- muxReply{resp: resp}
+	}
+}
+
+func (c *muxConn) dropOrderLocked(id uint64) {
+	for i, v := range c.order {
+		if v == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// fail marks the connection dead, closes it, and errors out every waiter.
+func (c *muxConn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	pend := c.pending
+	c.pending = make(map[uint64]chan muxReply)
+	c.order = nil
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range pend {
+		ch <- muxReply{err: err}
+	}
+}
+
+func (c *muxConn) broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// register reserves a reply channel for the request ID (buffered: delivery
+// never blocks the reader on a caller that already timed out).
+func (c *muxConn) register(id uint64) (chan muxReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return nil, errors.New("retrieval: send: connection lost")
+	}
+	ch := make(chan muxReply, 1)
+	c.pending[id] = ch
+	c.order = append(c.order, id)
+	return ch, nil
+}
+
+func (c *muxConn) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.dropOrderLocked(id)
+	c.mu.Unlock()
+}
+
+// call registers the request and encodes it in one critical section: the
+// FIFO order slice must reflect actual wire order, and two concurrent
+// callers could otherwise register in one order and write in the other —
+// misrouting every legacy (unnumbered) reply after the inversion.
+func (c *muxConn) call(req *nearestRequest, timeout time.Duration) (chan muxReply, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	ch, err := c.register(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	if timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(timeout)) //duolint:allow walltime socket deadlines are wall-clock by definition; no result bit depends on them
+	}
+	if err := c.enc.Encode(req); err != nil {
+		c.unregister(req.ID)
+		return nil, fmt.Errorf("retrieval: send: %w", err)
+	}
+	return ch, nil
+}
+
 // TCPTransport is the coordinator-side client for a TCP data node. It is
-// safe for concurrent use; calls are serialized over one connection.
+// safe for concurrent use: requests carry IDs and multiplex over a small
+// connection pool, so concurrent callers dispatch in parallel instead of
+// serializing on one gob stream.
 //
-// Every call runs under a deadline, and any transport-level error (timeout,
-// broken pipe, decode failure) discards the connection: gob streams are
-// stateful, so a half-read response would desync every later message. The
-// next call transparently redials with fresh encoder/decoder state instead
-// of poisoning the session.
+// Every call runs under a deadline, and any transport-level error
+// (timeout, broken pipe, decode failure) discards the affected connection:
+// in-flight calls on it fail, and the next call transparently redials with
+// fresh codec state instead of poisoning the session.
 type TCPTransport struct {
-	addr    string
-	timeout time.Duration
+	addr   string
+	cfg    TCPConfig
+	nextID atomic.Uint64
 
 	mu         sync.Mutex
-	conn       net.Conn
-	enc        *gob.Encoder
-	dec        *gob.Decoder
+	slots      []*muxConn
+	dialed     []bool // slot ever dialed (redials count as reconnects)
+	rr         int
 	closed     bool
 	reconnects int64
 }
@@ -208,55 +499,72 @@ var _ Transport = (*TCPTransport)(nil)
 
 // DialNode connects to a NodeServer with the default per-call deadline.
 func DialNode(addr string) (*TCPTransport, error) {
-	return DialNodeTimeout(addr, DefaultCallTimeout)
+	return DialNodeConfig(addr, TCPConfig{Timeout: DefaultCallTimeout})
 }
 
 // DialNodeTimeout connects to a NodeServer with an explicit per-call
 // deadline covering dial, send, and receive (≤ 0 disables deadlines).
 func DialNodeTimeout(addr string, timeout time.Duration) (*TCPTransport, error) {
-	t := &TCPTransport{addr: addr, timeout: timeout}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := t.redialLocked(); err != nil {
+	return DialNodeConfig(addr, TCPConfig{Timeout: timeout})
+}
+
+// DialNodeConfig connects to a NodeServer with full transport
+// configuration; the first pool connection is dialed eagerly so
+// configuration errors surface at construction.
+func DialNodeConfig(addr string, cfg TCPConfig) (*TCPTransport, error) {
+	cfg.applyDefaults()
+	t := &TCPTransport{
+		addr: addr, cfg: cfg,
+		slots:  make([]*muxConn, cfg.Conns),
+		dialed: make([]bool, cfg.Conns),
+	}
+	c, err := dialMux(addr, t.dialTimeout())
+	if err != nil {
 		return nil, err
 	}
+	t.slots[0] = c
+	t.dialed[0] = true
 	return t, nil
 }
 
-// Reconnects returns how many times the transport re-established its
-// connection after a transport error.
+// Reconnects returns how many times the transport re-established a
+// connection after a transport error (initial pool dials don't count).
 func (t *TCPTransport) Reconnects() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.reconnects
 }
 
-// redialLocked (re)establishes the connection and resets codec state.
-func (t *TCPTransport) redialLocked() error {
-	conn, err := net.DialTimeout("tcp", t.addr, t.dialTimeout())
-	if err != nil {
-		return fmt.Errorf("retrieval: dial %s: %w", t.addr, err)
-	}
-	t.conn = conn
-	t.enc = gob.NewEncoder(conn)
-	t.dec = gob.NewDecoder(conn)
-	return nil
-}
-
 func (t *TCPTransport) dialTimeout() time.Duration {
-	if t.timeout > 0 {
-		return t.timeout
+	if t.cfg.Timeout > 0 {
+		return t.cfg.Timeout
 	}
 	return DefaultCallTimeout
 }
 
-// breakLocked discards a desynced or dead connection so the next call
-// redials instead of reusing poisoned codec state.
-func (t *TCPTransport) breakLocked() {
-	if t.conn != nil {
-		t.conn.Close()
+// slot picks the next pool connection round-robin, redialing dead slots.
+func (t *TCPTransport) slot() (*muxConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("retrieval: transport closed")
 	}
-	t.conn, t.enc, t.dec = nil, nil, nil
+	i := t.rr % len(t.slots)
+	t.rr++
+	c := t.slots[i]
+	if c == nil || c.broken() {
+		nc, err := dialMux(t.addr, t.dialTimeout())
+		if err != nil {
+			return nil, err
+		}
+		if t.dialed[i] {
+			t.reconnects++
+		}
+		t.dialed[i] = true
+		t.slots[i] = nc
+		c = nc
+	}
+	return c, nil
 }
 
 // Nearest implements Transport.
@@ -269,54 +577,69 @@ func (t *TCPTransport) Nearest(feat []float64, m int) ([]Result, error) {
 // node.serve span under the coordinator's node span. A zero context adds
 // nothing to the encoded request.
 func (t *TCPTransport) NearestTraced(tc trace.Context, feat []float64, m int) ([]Result, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return nil, errors.New("retrieval: transport closed")
+	c, err := t.slot()
+	if err != nil {
+		return nil, err
 	}
-	if t.conn == nil {
-		if err := t.redialLocked(); err != nil {
-			return nil, err
-		}
-		t.reconnects++
-	}
-	if t.timeout > 0 {
-		t.conn.SetDeadline(time.Now().Add(t.timeout)) //duolint:allow walltime socket deadlines are wall-clock by definition; no result bit depends on them
-	}
-	req := nearestRequest{Feat: feat, M: m}
+	id := t.nextID.Add(1)
+	req := nearestRequest{ID: id, Feat: feat, M: m}
 	if tc.Valid() {
 		req.TC = &tc
 	}
-	if err := t.enc.Encode(&req); err != nil {
-		t.breakLocked()
-		return nil, fmt.Errorf("retrieval: send: %w", err)
+	ch, err := c.call(&req, t.cfg.Timeout)
+	if err != nil {
+		c.fail(err)
+		return nil, err
 	}
-	var resp nearestResponse
-	if err := t.dec.Decode(&resp); err != nil {
-		t.breakLocked()
-		return nil, fmt.Errorf("retrieval: recv: %w", err)
+	var reply muxReply
+	if t.cfg.Timeout > 0 {
+		timer := time.NewTimer(t.cfg.Timeout) //duolint:allow walltime per-call response deadline; replaces the old conn-wide SetDeadline, no result bit depends on it
+		select {
+		case reply = <-ch:
+			timer.Stop()
+		case <-timer.C:
+			// A response deadline is a transport error: the stream may now
+			// hold a stale reply we'd mismatch, so the connection dies with
+			// every other call in flight on it — same blast radius as the old
+			// conn-wide SetDeadline.
+			err := fmt.Errorf("retrieval: recv %s: deadline exceeded after %v", t.addr, t.cfg.Timeout)
+			c.fail(err)
+			reply = muxReply{err: err}
+		}
+	} else {
+		reply = <-ch
 	}
-	if t.timeout > 0 {
-		t.conn.SetDeadline(time.Time{})
+	if reply.err != nil {
+		return nil, reply.err
+	}
+	resp := reply.resp
+	if resp.Overloaded {
+		// A shed arrives as a complete, well-framed response: the stream is
+		// in sync and the connection stays up — only this request was refused.
+		return nil, fmt.Errorf("retrieval: node %s: %w", t.addr, ErrOverloaded)
 	}
 	if resp.Err != "" {
-		// A node-side application error arrives as a complete, well-framed
-		// response: the stream is still in sync, keep the connection.
+		// A node-side application error likewise keeps the connection.
 		return nil, fmt.Errorf("retrieval: node error: %s", resp.Err)
 	}
 	return resp.Results, nil
 }
 
-// Close implements Transport.
+// Close implements Transport: every pool connection dies, failing any
+// in-flight calls.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return nil
 	}
 	t.closed = true
-	if t.conn == nil {
-		return nil
+	slots := append([]*muxConn(nil), t.slots...)
+	t.mu.Unlock()
+	for _, c := range slots {
+		if c != nil {
+			c.fail(errors.New("retrieval: transport closed"))
+		}
 	}
-	return t.conn.Close()
+	return nil
 }

@@ -1,0 +1,248 @@
+package retrieval
+
+// Integration tests for the multiplexed TCP transport and the admission-
+// gated node server: concurrent in-flight dispatch over a pooled client,
+// cross-version interop against an in-test legacy (pre-mux) server, and
+// ErrOverloaded crossing the wire as a typed, connection-preserving error.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"duo/internal/models"
+)
+
+func TestTCPTransportConcurrentMultiplexedCalls(t *testing.T) {
+	m, c := chaosSystem(t)
+	shard := NewShard(m, c.Train)
+	srv, err := ServeNode("127.0.0.1:0", shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr, err := DialNodeConfig(srv.Addr(), TCPConfig{Timeout: 10 * time.Second, Conns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Distinct queries per worker, so a mismatched (misrouted) response is
+	// detectable: every reply must equal the shard's direct answer for THE
+	// SAME query — out-of-order delivery with ID matching guarantees it.
+	queries := make([][]float64, len(c.Test))
+	want := make([][]Result, len(c.Test))
+	for i, v := range c.Test {
+		queries[i] = models.Embed(m, v).Data()
+		want[i] = shard.Nearest(queries[i], 4)
+	}
+
+	const workers, rounds = 8, 20
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				qi := (w + r) % len(queries)
+				rs, err := tr.Nearest(queries[qi], 4)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d round %d: %w", w, r, err)
+					return
+				}
+				if !reflect.DeepEqual(rs, want[qi]) {
+					errs <- fmt.Errorf("worker %d round %d: response for query %d mismatched (misrouted reply?)", w, r, qi)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if tr.Reconnects() != 0 {
+		t.Errorf("reconnects = %d, want 0 under healthy concurrent load", tr.Reconnects())
+	}
+}
+
+func TestTCPServerShedsOverloadAcrossWire(t *testing.T) {
+	m, c := chaosSystem(t)
+	shard := NewShard(m, c.Train)
+	srv, err := ServeNodeConfig("127.0.0.1:0", shard, NodeServerConfig{
+		Admission: AdmissionConfig{MaxInFlight: 1, MaxQueue: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr, err := DialNodeConfig(srv.Addr(), TCPConfig{Timeout: 10 * time.Second, Conns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	feat := models.Embed(m, c.Test[0]).Data()
+
+	// Hammer a 1-slot server from 8 workers until a shed is observed (in
+	// practice the very first concurrent burst sheds), then drain.
+	var served, shed, unexpected atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := tr.Nearest(feat, 4)
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					shed.Add(1)
+				default:
+					unexpected.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)                                    //duolint:allow walltime test watchdog bound on a load generator; never limits the pass path
+	for shed.Load() == 0 && time.Now().Before(deadline) && unexpected.Load() == 0 { //duolint:allow walltime test watchdog bound on a load generator; never limits the pass path
+		time.Sleep(time.Millisecond) //duolint:allow walltime polling cadence of the test watchdog only
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := unexpected.Load(); n != 0 {
+		t.Fatalf("%d calls failed with a non-overload error", n)
+	}
+	if shed.Load() == 0 {
+		t.Fatal("1-slot server never shed under 8-way concurrent load")
+	}
+	st := srv.AdmissionStats()
+	if st.Sheds != shed.Load() {
+		t.Errorf("server sheds = %d, client observed %d", st.Sheds, shed.Load())
+	}
+	if st.Admitted != served.Load() {
+		t.Errorf("server admitted = %d, client served %d", st.Admitted, served.Load())
+	}
+	if st.HighWater > 1 {
+		t.Errorf("in-flight high-water = %d, want ≤ 1 (MaxInFlight)", st.HighWater)
+	}
+	// Sheds are well-framed responses: the pool must not have burned a
+	// single connection on them, and the node must still serve.
+	if tr.Reconnects() != 0 {
+		t.Errorf("reconnects = %d, want 0 — sheds must keep the connection", tr.Reconnects())
+	}
+	if _, err := tr.Nearest(feat, 4); err != nil {
+		t.Errorf("call after load drained: %v", err)
+	}
+}
+
+// legacyNodeServer is an in-test pre-multiplexing node: it speaks the old
+// wire structs (no ID, no Overloaded), serializes strictly per connection,
+// and answers with a payload derived from the request so the client's
+// FIFO matching is verifiable per call.
+func legacyNodeServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req legacyNearestRequest
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					resp := legacyNearestResponse{Results: []Result{
+						{ID: fmt.Sprintf("echo-m%d", req.M), Label: req.M, Dist: float64(req.M)},
+					}}
+					if err := enc.Encode(&resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+func TestNewClientAgainstLegacyServer(t *testing.T) {
+	addr, stop := legacyNodeServer(t)
+	defer stop()
+	tr, err := DialNode(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Sequential calls: unnumbered replies FIFO-match trivially.
+	for _, m := range []int{2, 5, 9} {
+		rs, err := tr.Nearest([]float64{1}, m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if len(rs) != 1 || rs[0].Label != m {
+			t.Fatalf("m=%d got %+v, want the echo for this call", m, rs)
+		}
+	}
+
+	// Concurrent calls over the single legacy connection: the server
+	// serializes, so unnumbered replies arrive in request order and the
+	// FIFO fallback must route each to its own caller.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				rs, err := tr.Nearest([]float64{1}, m)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(rs) != 1 || rs[0].Label != m {
+					errs <- fmt.Errorf("caller m=%d received echo for m=%d: FIFO matching misrouted", m, rs[0].Label)
+					return
+				}
+			}
+		}(10 + w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if tr.Reconnects() != 0 {
+		t.Errorf("reconnects = %d, want 0 against a healthy legacy server", tr.Reconnects())
+	}
+}

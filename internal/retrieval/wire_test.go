@@ -32,6 +32,7 @@ func TestNearestRequestRoundTrip(t *testing.T) {
 		Feat: []float64{0.25, -1, 3.5},
 		M:    7,
 		TC:   &trace.Context{TraceID: "run-17", SpanID: 42},
+		ID:   91,
 	}
 	var out nearestRequest
 	gobRoundTrip(t, &in, &out)
@@ -46,7 +47,9 @@ func TestNearestResponseRoundTrip(t *testing.T) {
 			{ID: "v01", Label: 2, Dist: 0.125},
 			{ID: "v02", Label: 0, Dist: 1.5},
 		},
-		Err: "boom",
+		Err:        "boom",
+		ID:         91,
+		Overloaded: true,
 	}
 	var out nearestResponse
 	gobRoundTrip(t, &in, &out)
@@ -70,22 +73,32 @@ func TestIndexRecordRoundTrip(t *testing.T) {
 }
 
 // legacyNearestRequest is the pre-trace wire struct, kept here to pin
-// cross-version compatibility of the protocol extension.
+// cross-version compatibility of the protocol extensions (trace context,
+// then multiplexing IDs).
 type legacyNearestRequest struct {
 	Feat []float64
 	M    int
 }
 
+// legacyNearestResponse is the pre-multiplexing response struct (no ID, no
+// Overloaded flag), pinning the server-to-old-client direction.
+type legacyNearestResponse struct {
+	Results []Result
+	Err     string
+}
+
 func TestNearestRequestBackwardCompatible(t *testing.T) {
-	// New client -> old server: the unknown TC field is skipped.
-	in := nearestRequest{Feat: []float64{1, 2}, M: 3, TC: &trace.Context{TraceID: "t", SpanID: 9}}
+	// New client -> old server: the unknown TC and ID fields are skipped,
+	// so a multiplexed frame still decodes on a pre-mux node.
+	in := nearestRequest{Feat: []float64{1, 2}, M: 3, TC: &trace.Context{TraceID: "t", SpanID: 9}, ID: 7}
 	var old legacyNearestRequest
 	gobRoundTrip(t, &in, &old)
 	if !reflect.DeepEqual(old.Feat, in.Feat) || old.M != in.M {
 		t.Errorf("old server decoded %+v from %+v", old, in)
 	}
 
-	// Old client -> new server: TC stays zero (no phantom span parent).
+	// Old client -> new server: TC stays zero (no phantom span parent) and
+	// ID stays 0 (which routes the server onto the serialized legacy path).
 	legacy := legacyNearestRequest{Feat: []float64{4, 5}, M: 6}
 	var out nearestRequest
 	gobRoundTrip(t, &legacy, &out)
@@ -94,6 +107,70 @@ func TestNearestRequestBackwardCompatible(t *testing.T) {
 	}
 	if out.TC != nil {
 		t.Errorf("legacy request produced a trace context: %+v", out.TC)
+	}
+	if out.ID != 0 {
+		t.Errorf("legacy request produced a mux ID: %d", out.ID)
+	}
+}
+
+func TestNearestResponseBackwardCompatible(t *testing.T) {
+	// New server -> old client: ID and Overloaded are skipped; a shed still
+	// surfaces as an ordinary node error through the Err text.
+	in := shedResponse(42)
+	var old legacyNearestResponse
+	gobRoundTrip(t, &in, &old)
+	if old.Err == "" {
+		t.Error("old client saw no error text on a shed response")
+	}
+
+	// Old server -> new client: no ID on the wire, so the response decodes
+	// with ID 0 (FIFO-matched) and Overloaded false.
+	legacy := legacyNearestResponse{Results: []Result{{ID: "v01", Label: 1, Dist: 0.5}}, Err: ""}
+	var out nearestResponse
+	gobRoundTrip(t, &legacy, &out)
+	if !reflect.DeepEqual(out.Results, legacy.Results) {
+		t.Errorf("new client decoded %+v from %+v", out, legacy)
+	}
+	if out.ID != 0 || out.Overloaded {
+		t.Errorf("legacy response produced mux fields: %+v", out)
+	}
+}
+
+func TestZeroMuxFieldsAddNoPayload(t *testing.T) {
+	// The multiplexing extension leans on the same gob property as the
+	// trace context: zero-valued fields are omitted from the encoded value,
+	// so an unnumbered response is byte-identical to the legacy protocol.
+	secondMessage := func(v1, v2 any) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		if err := enc.Encode(v1); err != nil {
+			t.Fatal(err)
+		}
+		n := buf.Len()
+		if err := enc.Encode(v2); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()[n:]
+	}
+	rs := []Result{{ID: "v01", Label: 1, Dist: 0.5}}
+	unnumbered := secondMessage(
+		&nearestResponse{Results: rs[:1]},
+		&nearestResponse{Results: rs},
+	)
+	legacy := secondMessage(
+		&legacyNearestResponse{Results: rs[:1]},
+		&legacyNearestResponse{Results: rs},
+	)
+	if len(unnumbered) < 4 || len(legacy) < 4 || !bytes.Equal(unnumbered[3:], legacy[3:]) {
+		t.Errorf("unnumbered response value bytes differ from legacy protocol:\n% x\nvs\n% x", unnumbered, legacy)
+	}
+	numbered := secondMessage(
+		&nearestResponse{Results: rs[:1]},
+		&nearestResponse{Results: rs, ID: 9},
+	)
+	if len(numbered) <= len(unnumbered) {
+		t.Errorf("numbered message (%d bytes) not longer than unnumbered (%d): ID did not ride the wire", len(numbered), len(unnumbered))
 	}
 }
 

@@ -1,0 +1,213 @@
+package duo
+
+// Golden-pipeline chaos test for overload: the full DUO attack runs
+// against a sharded victim whose nodes shed a seeded fraction of calls
+// with retrieval.ErrOverloaded. The retry layer absorbs sheds with
+// backoff and the attack layer refunds any that surface, so the run must
+// produce the exact same fingerprint as the same pipeline with shedding
+// disabled — and the same fingerprint, shed counts, and span trace at
+// workers=1 and workers=4.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"duo/internal/parallel"
+	"duo/internal/retrieval"
+)
+
+// overloadFingerprint summarizes one pipeline run for equality checks.
+type overloadFingerprint struct {
+	APBefore float64
+	APAfter  float64
+	Spa      int
+	Frames   int
+	PScore   float64
+	Queries  int
+	TopM     []string
+	AdvSHA   string
+}
+
+// overloadRun is one full pipeline execution against the overloaded
+// cluster, with everything needed for cross-run comparison.
+type overloadRun struct {
+	fp overloadFingerprint
+	// perNodeSheds is each FaultTransport's injected overload count.
+	perNodeSheds []int64
+	// health is the cluster's post-run per-node accounting.
+	health []retrieval.NodeHealth
+	// surfacedSheds is the attack.run span's shed_total: sheds that
+	// outlived the transport retries and reached the attack loop.
+	surfacedSheds int64
+	reg           *Telemetry
+	tr            *Tracer
+}
+
+// overloadGoldenRun builds the golden system, steals the surrogate against
+// the clean victim, then swaps the victim for a 2-node cluster whose nodes
+// shed with probability pOverload on seeded schedules (absorbed by a
+// no-sleep retry layer), and runs the golden attack through it.
+func overloadGoldenRun(t *testing.T, pOverload float64) *overloadRun {
+	t.Helper()
+	sys, err := NewSystem(SystemOptions{
+		Categories: 3, TrainPerCategory: 4, TestPerCategory: 2,
+		Frames: 6, Height: 10, Width: 10,
+		FeatureDim: 12, TrainEpochs: 2, M: 6, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewTelemetry()
+	tr := NewTracer("overload-golden")
+	sys.SetTelemetry(reg)
+	sys.SetTrace(tr)
+	surr, err := sys.StealSurrogate(SurrogateOptions{MaxSamples: 12, Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The overloaded victim: same model, same gallery, split over two
+	// nodes. Fault seeds are fixed so the shed schedule is a function of
+	// the call sequence alone; retry backoff sleeps are no-ops so the
+	// absorbed sheds cost test time nothing.
+	model := sys.VictimModel()
+	train := sys.Corpus.Train
+	half := len(train) / 2
+	parts := [][]*Video{train[:half], train[half:]}
+	faults := make([]*retrieval.FaultTransport, len(parts))
+	transports := make([]retrieval.Transport, len(parts))
+	for i, part := range parts {
+		faults[i] = retrieval.NewFaultTransport(
+			&retrieval.LocalTransport{Shard: retrieval.NewShard(model, part)},
+			retrieval.FaultConfig{Seed: int64(101 + i), POverload: pOverload},
+		)
+		transports[i] = retrieval.NewRetryTransport(faults[i], retrieval.RetryConfig{
+			MaxAttempts: 6,
+			Seed:        int64(201 + i),
+			Sleep:       func(time.Duration) {},
+		})
+	}
+	cl := retrieval.NewCluster(model, transports).SetPolicy(retrieval.RequireAll())
+	cl.SetTelemetry(reg)
+	cl.SetTrace(tr)
+	defer cl.Close()
+	sys.Victim = cl
+
+	pair := sys.SamplePairs(5, 1)[0]
+	rep, err := sys.Attack(pair.Original, pair.Target, surr, AttackOptions{Queries: 80, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := &overloadRun{
+		fp: overloadFingerprint{
+			APBefore: rep.APBefore,
+			APAfter:  rep.APAfter,
+			Spa:      rep.Spa,
+			Frames:   rep.PerturbedFrames,
+			PScore:   rep.PScore,
+			Queries:  rep.Queries,
+			TopM:     retrieval.IDs(sys.Retrieve(rep.Adv, sys.M)),
+			AdvSHA:   videoSHA256(rep.Adv),
+		},
+		health: cl.Health(),
+		reg:    reg,
+		tr:     tr,
+	}
+	for _, f := range faults {
+		run.perNodeSheds = append(run.perNodeSheds, f.Stats().Overloads)
+	}
+	for _, r := range tr.Records() {
+		if r.Name == "attack.run" {
+			run.surfacedSheds, _ = r.Int("shed_total")
+		}
+	}
+	return run
+}
+
+func TestGoldenPipelineUnderOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+
+	clean := overloadGoldenRun(t, 0)
+	over := overloadGoldenRun(t, 0.3)
+
+	// Graceful degradation, end to end: shedding 30% of node calls changes
+	// nothing observable about the attack — retries absorb the sheds and
+	// refunds keep billing equal to what the victim actually served, so the
+	// adversarial video, the retrieval lists, and the query count are
+	// bitwise-identical to the clean run.
+	if !reflect.DeepEqual(clean.fp, over.fp) {
+		t.Errorf("overload changed the pipeline fingerprint:\nclean %+v\nover  %+v", clean.fp, over.fp)
+	}
+	var injected int64
+	for _, n := range over.perNodeSheds {
+		injected += n
+	}
+	if injected == 0 {
+		t.Fatal("overload schedule never fired; the test exercises nothing")
+	}
+	for _, n := range clean.perNodeSheds {
+		if n != 0 {
+			t.Fatalf("clean run injected sheds: %v", clean.perNodeSheds)
+		}
+	}
+	// Sheds are liveness, not failure: cluster health must show every node
+	// healthy with zero failures, whatever the admission weather was.
+	for _, h := range over.health {
+		if h.Failures != 0 || h.ConsecutiveFailures != 0 {
+			t.Errorf("node %d: %d failures (%d consecutive) — sheds must not count as failures",
+				h.Node, h.Failures, h.ConsecutiveFailures)
+		}
+	}
+
+	// duotrace's invariant on the overloaded run: every billed query is
+	// attributed to a retrieve leaf, and telemetry agrees with the report.
+	var attributed int64
+	for _, r := range over.tr.Records() {
+		q, ok := r.Int("queries")
+		if !ok {
+			continue
+		}
+		if r.Name != "retrieve" {
+			t.Errorf("span %q carries a `queries` attr; reserved for retrieve leaves", r.Name)
+		}
+		attributed += q
+	}
+	if attributed != int64(over.fp.Queries) {
+		t.Errorf("trace attributes %d queries, billed %d", attributed, over.fp.Queries)
+	}
+	snap := over.reg.Snapshot()
+	if got := snap.Counters["attack.queries"]; got != int64(over.fp.Queries) {
+		t.Errorf("telemetry attack.queries = %d, billed %d", got, over.fp.Queries)
+	}
+	if got := snap.Counters["attack.shed"]; got != over.surfacedSheds {
+		t.Errorf("telemetry attack.shed = %d, attack.run shed_total = %d", got, over.surfacedSheds)
+	}
+
+	// The same seeded overload schedule at workers=4: identical fingerprint,
+	// identical per-node shed counts, identical cluster policy outcomes,
+	// identical span trace — overload handling sits entirely on the
+	// deterministic orchestration path.
+	parallel.SetWorkers(4)
+	over4 := overloadGoldenRun(t, 0.3)
+	if !reflect.DeepEqual(over.fp, over4.fp) {
+		t.Errorf("workers=4 fingerprint differs:\n w1 %+v\n w4 %+v", over.fp, over4.fp)
+	}
+	if !reflect.DeepEqual(over.perNodeSheds, over4.perNodeSheds) {
+		t.Errorf("per-node shed counts differ: w1 %v, w4 %v", over.perNodeSheds, over4.perNodeSheds)
+	}
+	if !reflect.DeepEqual(over.health, over4.health) {
+		t.Errorf("cluster health differs:\n w1 %+v\n w4 %+v", over.health, over4.health)
+	}
+	if over.surfacedSheds != over4.surfacedSheds {
+		t.Errorf("surfaced sheds differ: w1 %d, w4 %d", over.surfacedSheds, over4.surfacedSheds)
+	}
+	if f1, f4 := traceSHA256(t, over.tr), traceSHA256(t, over4.tr); f1 != f4 {
+		t.Errorf("trace fingerprint differs between workers=1 (%s) and workers=4 (%s)", f1, f4)
+	}
+}
