@@ -44,7 +44,7 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "worker count for parallel compute (0 = GOMAXPROCS, overrides DUO_PARALLEL)")
 		telem    = fs.Bool("telemetry", false, "aggregate instrumentation across all experiments and print a summary at the end")
 
-		bench    = fs.String("bench", "", "run micro-benchmarks instead of experiments (comma-separated: retrieve, conv)")
+		bench    = fs.String("bench", "", "run micro-benchmarks instead of experiments (comma-separated: retrieve, conv, pq)")
 		benchOut = fs.String("benchout", ".", "directory for BENCH_*.json files (micro-benchmarks and -serve)")
 
 		serve          = fs.Bool("serve", false, "run the closed-loop saturation benchmark against a live TCP cluster")

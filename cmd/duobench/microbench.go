@@ -115,8 +115,15 @@ func runMicrobench(ids string, outDir string, emit func(string)) error {
 			results, err = benchRetrieve()
 		case "conv":
 			results, err = benchConv()
+		case "pq":
+			// The PQ bench writes its own richer BENCH_pq.json (recall and
+			// cold-start columns don't fit the flat benchResult rows).
+			if err := runPQBench(outDir, emit); err != nil {
+				return fmt.Errorf("bench %s: %w", id, err)
+			}
+			continue
 		default:
-			return fmt.Errorf("unknown bench id %q (want retrieve or conv)", id)
+			return fmt.Errorf("unknown bench id %q (want retrieve, conv, or pq)", id)
 		}
 		if err != nil {
 			return fmt.Errorf("bench %s: %w", id, err)

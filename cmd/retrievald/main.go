@@ -16,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -24,8 +25,10 @@ import (
 	"strings"
 
 	"duo"
+	"duo/internal/models"
 	"duo/internal/retrieval"
 	"duo/internal/telemetry"
+	"duo/internal/tensor"
 	"duo/internal/trace"
 )
 
@@ -44,14 +47,19 @@ func run(args []string) error {
 		shard   = fs.String("shard", "0/1", "shard spec i/n for node mode")
 		nodes   = fs.String("nodes", "", "comma-separated node addresses for query mode")
 		idxFile = fs.String("indexfile", "", "node mode: persist/reuse the shard's feature index at this path")
-		index   = fs.Int("index", 0, "test-video index to query")
-		m       = fs.Int("m", 10, "retrieval list length")
-		seed    = fs.Int64("seed", 1, "deterministic system seed")
-		timeout = fs.Duration("timeout", retrieval.DefaultCallTimeout, "per-call I/O deadline on node connections")
-		retries = fs.Int("retries", 3, "query mode: attempts per node call (1 disables retry)")
-		breakK  = fs.Int("break-after", 5, "query mode: consecutive failures before a node's circuit breaker opens (0 disables)")
-		policy  = fs.String("policy", "besteffort", "query mode: partial-result policy: besteffort, all, or quorum=N")
-		admin   = fs.String("admin", "", "serve telemetry admin endpoints (/metrics.json, /debug/vars, /debug/pprof/) on this address; empty disables")
+		engine  = fs.String("engine", "exact", "node mode: index format: exact (full scan) or pq (product-quantized, ADC scan + exact re-rank)")
+
+		pqSub    = fs.Int("pq-subspaces", 4, "pq engine: code subspaces per vector")
+		pqCent   = fs.Int("pq-centroids", 16, "pq engine: centroids per subspace (≤ 256; clamped to the shard size)")
+		pqRerank = fs.Int("pq-rerank", 32, "pq engine: exact re-rank depth per query")
+		index    = fs.Int("index", 0, "test-video index to query")
+		m        = fs.Int("m", 10, "retrieval list length")
+		seed     = fs.Int64("seed", 1, "deterministic system seed")
+		timeout  = fs.Duration("timeout", retrieval.DefaultCallTimeout, "per-call I/O deadline on node connections")
+		retries  = fs.Int("retries", 3, "query mode: attempts per node call (1 disables retry)")
+		breakK   = fs.Int("break-after", 5, "query mode: consecutive failures before a node's circuit breaker opens (0 disables)")
+		policy   = fs.String("policy", "besteffort", "query mode: partial-result policy: besteffort, all, or quorum=N")
+		admin    = fs.String("admin", "", "serve telemetry admin endpoints (/metrics.json, /debug/vars, /debug/pprof/) on this address; empty disables")
 
 		maxInflight = fs.Int("max-inflight", 0, "node mode: max concurrently served requests (0 = unlimited)")
 		queue       = fs.Int("queue", 0, "node mode: admission queue slots beyond -max-inflight (negative = none)")
@@ -98,17 +106,40 @@ func run(args []string) error {
 				mine = append(mine, v)
 			}
 		}
-		shardIdx, fromDisk, err := loadOrBuildShard(*idxFile, sys, mine)
-		if err != nil {
-			return err
+		var (
+			nodeIdx  retrieval.GalleryIndex
+			fromDisk bool
+		)
+		switch *engine {
+		case "exact":
+			shardIdx, loaded, err := loadOrBuildShard(*idxFile, sys, mine)
+			if err != nil {
+				return err
+			}
+			shardIdx.SetTelemetry(reg)
+			nodeIdx, fromDisk = shardIdx, loaded
+		case "pq":
+			pqIdx, loaded, err := loadOrBuildPQ(*idxFile, sys, mine, retrieval.PQConfig{
+				Subspaces:   *pqSub,
+				Centroids:   *pqCent,
+				Seed:        *seed,
+				RerankDepth: *pqRerank,
+			})
+			if err != nil {
+				return err
+			}
+			pqIdx.SetTelemetry(reg)
+			defer pqIdx.Close()
+			nodeIdx, fromDisk = pqIdx, loaded
+		default:
+			return fmt.Errorf("unknown -engine %q (want exact or pq)", *engine)
 		}
-		shardIdx.SetTelemetry(reg)
 		if fromDisk {
-			fmt.Printf("loaded feature index from %s\n", *idxFile)
+			fmt.Printf("loaded %s feature index from %s\n", *engine, *idxFile)
 		} else if *idxFile != "" {
-			fmt.Printf("built and saved feature index to %s\n", *idxFile)
+			fmt.Printf("built and saved %s feature index to %s\n", *engine, *idxFile)
 		}
-		srv, err := retrieval.ServeNodeConfig(*addr, shardIdx, retrieval.NodeServerConfig{
+		srv, err := retrieval.ServeNodeConfig(*addr, nodeIdx, retrieval.NodeServerConfig{
 			Trace: tracer,
 			Admission: retrieval.AdmissionConfig{
 				MaxInFlight: *maxInflight,
@@ -274,24 +305,73 @@ func loadOrBuildShard(path string, sys *duo.System, mine []*duo.Video) (*retriev
 	}
 	shard := retrieval.NewShard(sys.VictimModel(), mine)
 	if path != "" {
-		if err := writeShardAtomic(path, shard); err != nil {
+		if err := writeIndexAtomic(path, shard.WriteIndex); err != nil {
 			return nil, false, err
 		}
 	}
 	return shard, false, nil
 }
 
-// writeShardAtomic persists the index via temp file + rename so a crash
+// loadOrBuildPQ is loadOrBuildShard for the product-quantized engine: it
+// reuses a persisted PQ index (memory-mapped read-only, so cold starts
+// skip both feature extraction and codebook training), otherwise embeds
+// the shard, trains the index, and persists it if a path was given.
+//
+// A missing file means "build". A file that fails the format's typed
+// validation (truncated, corrupt, wrong version, not a PQ index) is
+// reported and rebuilt, overwriting it — same contract as the exact
+// engine's gob index.
+func loadOrBuildPQ(path string, sys *duo.System, mine []*duo.Video, cfg retrieval.PQConfig) (*retrieval.PQIndex, bool, error) {
+	if path != "" {
+		idx, err := retrieval.OpenPQIndexFile(path)
+		switch {
+		case err == nil:
+			return idx, true, nil
+		case errors.Is(err, retrieval.ErrIndexMagic),
+			errors.Is(err, retrieval.ErrIndexVersion),
+			errors.Is(err, retrieval.ErrIndexTruncated),
+			errors.Is(err, retrieval.ErrIndexCorrupt):
+			fmt.Fprintf(os.Stderr, "retrievald: pq index %s unusable (%v); rebuilding\n", path, err)
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, false, fmt.Errorf("open pq index %s: %w", path, err)
+		}
+	}
+	model := sys.VictimModel()
+	ids := make([]string, len(mine))
+	labels := make([]int, len(mine))
+	feats := make([]*tensor.Tensor, len(mine))
+	for i, v := range mine {
+		ids[i] = v.ID
+		labels[i] = v.Label
+		feats[i] = models.Embed(model, v)
+	}
+	if cfg.Centroids > len(mine) {
+		cfg.Centroids = len(mine)
+	}
+	idx, err := retrieval.NewPQIndex(ids, labels, feats, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if path != "" {
+		if err := writeIndexAtomic(path, idx.WriteIndex); err != nil {
+			return nil, false, err
+		}
+	}
+	return idx, false, nil
+}
+
+// writeIndexAtomic persists an index via temp file + rename so a crash
 // mid-write can never leave a truncated index that poisons the next
-// startup: readers see either the old file or the complete new one.
-func writeShardAtomic(path string, shard *retrieval.Shard) error {
+// startup: readers see either the old file or the complete new one. write
+// is the index's encoder (Shard.WriteIndex, PQIndex.WriteIndex, ...).
+func writeIndexAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("persist index: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := shard.WriteIndex(tmp); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("persist index: %w", err)
 	}

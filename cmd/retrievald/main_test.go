@@ -310,3 +310,127 @@ func TestLoadOrBuildShardRoundTrip(t *testing.T) {
 		t.Errorf("sizes differ: %d vs %d", loaded.Size(), built.Size())
 	}
 }
+
+func testPQConfig() retrieval.PQConfig {
+	return retrieval.PQConfig{Subspaces: 4, Centroids: 4, KMeansIters: 10, Seed: 2, RerankDepth: 8}
+}
+
+func TestLoadOrBuildPQRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sys, err := newTestSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pq.duopq")
+	built, fromDisk, err := loadOrBuildPQ(path, sys, sys.Corpus.Train[:4], testPQConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer built.Close()
+	if fromDisk {
+		t.Error("first call should build, not load")
+	}
+	if built.Size() != 4 {
+		t.Errorf("built index has %d entries, want 4", built.Size())
+	}
+	loaded, fromDisk, err := loadOrBuildPQ(path, sys, nil, testPQConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if !fromDisk {
+		t.Error("second call should load from disk")
+	}
+	if loaded.Size() != built.Size() {
+		t.Errorf("sizes differ: %d vs %d", loaded.Size(), built.Size())
+	}
+}
+
+func TestLoadOrBuildPQCorruptIndexRebuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sys, err := newTestSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pq.duopq")
+	if err := os.WriteFile(path, []byte("not a pq index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, fromDisk, err := loadOrBuildPQ(path, sys, sys.Corpus.Train[:4], testPQConfig())
+	if err != nil {
+		t.Fatalf("corrupt index was not rebuilt: %v", err)
+	}
+	defer idx.Close()
+	if fromDisk {
+		t.Error("corrupt index reported as loaded from disk")
+	}
+	// The rebuild overwrote the file atomically: it now loads, and the
+	// directory holds no temp droppings.
+	repaired, fromDisk, err := loadOrBuildPQ(path, sys, nil, testPQConfig())
+	if err != nil || !fromDisk {
+		t.Fatalf("repaired index did not load: fromDisk=%v, err=%v", fromDisk, err)
+	}
+	defer repaired.Close()
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("index dir has stray files: %v", names)
+	}
+}
+
+func TestLoadOrBuildPQReportsUnreadablePath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sys, err := newTestSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ENOTDIR is an environment problem, not a missing-or-damaged index;
+	// it must surface instead of triggering a silent rebuild.
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadOrBuildPQ(filepath.Join(blocker, "pq.duopq"), sys, sys.Corpus.Train[:2], testPQConfig()); err == nil {
+		t.Error("unreadable index path did not surface an error")
+	}
+}
+
+// TestQueryAgainstPQNode serves a product-quantized index behind the same
+// TCP node protocol the exact shards use and runs a real CLI query against
+// it — the GalleryIndex seam, exercised end to end.
+func TestQueryAgainstPQNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sys, err := newTestSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testPQConfig()
+	idx, _, err := loadOrBuildPQ("", sys, sys.Corpus.Train[:4], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	node, err := retrieval.ServeNode("127.0.0.1:0", idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	err = run([]string{"-mode", "query", "-nodes", node.Addr(), "-index", "0", "-m", "3"})
+	if err != nil {
+		t.Fatalf("query against pq node: %v", err)
+	}
+}

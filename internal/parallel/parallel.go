@@ -64,6 +64,27 @@ func SetWorkers(n int) int {
 	return int(pinned.Swap(int64(n)))
 }
 
+// CapWorkers bounds a worker count so that every shard receives at least
+// minPerShard items: the largest w' ≤ w with n/w' ≥ minPerShard (always
+// ≥ 1). Scans whose per-item cost is tiny — the PQ code scan does a
+// handful of table lookups per row — use it to avoid paying goroutine
+// fan-out latency on small inputs. The cap is a pure function of
+// (w, n, minPerShard), and callers remain bound by the determinism
+// contract regardless: sharded results must be bitwise-identical at every
+// worker count, capped or not.
+func CapWorkers(w, n, minPerShard int) int {
+	if minPerShard < 1 {
+		minPerShard = 1
+	}
+	if max := n / minPerShard; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Bounds returns the half-open [start, end) range of shard s when n items
 // are split into w contiguous shards: every shard gets n/w items and the
 // first n%w shards one extra. The bounds are a pure function of (n, w, s),

@@ -111,3 +111,39 @@ func TestForRunsShardZeroOnCaller(t *testing.T) {
 		}
 	}
 }
+
+func TestCapWorkers(t *testing.T) {
+	cases := []struct{ w, n, min, want int }{
+		{8, 100, 10, 8},   // plenty of rows per shard: keep w
+		{8, 100, 25, 4},   // capped so each shard keeps ≥ min rows
+		{8, 100, 1000, 1}, // tiny input: collapse to one worker
+		{8, 0, 10, 1},     // empty input still yields a valid count
+		{0, 100, 10, 1},   // nonpositive w is clamped up
+		{-3, 100, 10, 1},  // negative w is clamped up
+		{8, 100, 0, 8},    // min < 1 treated as 1
+		{4, 4, 1, 4},      // exact fit
+	}
+	for _, c := range cases {
+		if got := CapWorkers(c.w, c.n, c.min); got != c.want {
+			t.Errorf("CapWorkers(%d, %d, %d) = %d, want %d", c.w, c.n, c.min, got, c.want)
+		}
+	}
+}
+
+func TestCapWorkersPreservesMinShardWidth(t *testing.T) {
+	// Whatever the inputs, every shard produced under the capped count must
+	// hold at least min rows (or the whole input when n < min).
+	for _, c := range []struct{ w, n, min int }{
+		{16, 1000, 64}, {7, 129, 10}, {3, 2, 5}, {12, 4096, 1024},
+	} {
+		w := CapWorkers(c.w, c.n, c.min)
+		for s := 0; s < w; s++ {
+			lo, hi := Bounds(c.n, w, s)
+			width := hi - lo
+			if c.n >= c.min && width < c.min {
+				t.Errorf("CapWorkers(%d,%d,%d)=%d: shard %d has width %d < %d",
+					c.w, c.n, c.min, w, s, width, c.min)
+			}
+		}
+	}
+}

@@ -44,6 +44,32 @@ func NewShard(m models.Model, gallery []*video.Video) *Shard {
 	return s
 }
 
+// NewShardFromFeatures builds a shard index directly from pre-extracted
+// feature rows (parallel slices), bypassing the extractor. Benchmarks and
+// index-conversion tools use it to study scan behaviour on synthetic or
+// re-loaded galleries.
+func NewShardFromFeatures(ids []string, labels []int, feats []*tensor.Tensor) *Shard {
+	return &Shard{
+		ids:    append([]string(nil), ids...),
+		labels: append([]int(nil), labels...),
+		feats:  append([]*tensor.Tensor(nil), feats...),
+	}
+}
+
+// GalleryIndex is the node-side serving surface: a model-free index that
+// answers raw-feature top-m queries. The exact Shard and the
+// product-quantized PQIndex both implement it, so a data node can serve
+// either index format behind the same wire protocol.
+type GalleryIndex interface {
+	// Nearest returns the index's top-m entries for the query feature in
+	// the service-wide (Dist, ID) order.
+	Nearest(feat []float64, m int) []Result
+	// Size returns the number of indexed entries.
+	Size() int
+}
+
+var _ GalleryIndex = (*Shard)(nil)
+
 // Size returns the number of indexed entries.
 func (s *Shard) Size() int { return len(s.ids) }
 

@@ -156,3 +156,94 @@ func TestRecallAtMEdgeCases(t *testing.T) {
 		t.Errorf("self recall = %g, want 1", got)
 	}
 }
+
+// TestKMeansNoEmptyClusters pins the farthest-point re-seeding contract:
+// whenever the data has at least k distinct points, a fitted codebook
+// never returns a dead centroid — every cell owns at least one point.
+func TestKMeansNoEmptyClusters(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		// Adversarial shape for Lloyd: one dense blob plus a few remote
+		// points, with k far above the natural cluster count, which is
+		// exactly the regime where cells empty out mid-iteration.
+		var vs []*tensor.Tensor
+		for i := 0; i < 40; i++ {
+			vs = append(vs, tensor.From([]float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1}, 2))
+		}
+		for i := 0; i < 3; i++ {
+			vs = append(vs, tensor.From([]float64{50 + rng.NormFloat64(), 50 + rng.NormFloat64()}, 2))
+		}
+		k := 8
+		km, err := KMeans(rng, vs, k, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		occupied := make([]int, k)
+		for _, a := range km.Assign {
+			occupied[a]++
+		}
+		for ci, c := range occupied {
+			if c == 0 {
+				t.Errorf("seed %d: cluster %d is empty (occupancy %v)", seed, ci, occupied)
+			}
+		}
+	}
+}
+
+// TestKMeansReseedDeterministic: the re-seeding path must stay inside the
+// determinism contract — same seed, same data, bitwise-identical
+// centroids.
+func TestKMeansReseedDeterministic(t *testing.T) {
+	build := func() *KMeansResult {
+		rng := rand.New(rand.NewSource(31))
+		var vs []*tensor.Tensor
+		for i := 0; i < 30; i++ {
+			vs = append(vs, tensor.From([]float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1}, 2))
+		}
+		vs = append(vs, tensor.From([]float64{40, 40}, 2))
+		km, err := KMeans(rng, vs, 6, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return km
+	}
+	a, b := build(), build()
+	for ci := range a.Centroids {
+		ad, bd := a.Centroids[ci].Data(), b.Centroids[ci].Data()
+		for d := range ad {
+			if math.Float64bits(ad[d]) != math.Float64bits(bd[d]) {
+				t.Fatalf("centroid %d dim %d differs: %v vs %v", ci, d, ad[d], bd[d])
+			}
+		}
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}
+
+// TestKMeansFewerDistinctPointsThanK: with fewer distinct values than k
+// there is nothing to separate; the fit must still return (duplicate
+// centroids allowed) with zero inertia and consistent assignments.
+func TestKMeansFewerDistinctPointsThanK(t *testing.T) {
+	var vs []*tensor.Tensor
+	for i := 0; i < 6; i++ {
+		vs = append(vs, tensor.From([]float64{1, 2}, 2))
+	}
+	for i := 0; i < 6; i++ {
+		vs = append(vs, tensor.From([]float64{9, 9}, 2))
+	}
+	km, err := KMeans(rand.New(rand.NewSource(33)), vs, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.Inertia > 1e-12 {
+		t.Errorf("inertia %g, want 0 (every point sits on a centroid)", km.Inertia)
+	}
+	for i, a := range km.Assign {
+		if d := vs[i].SquaredDistance(km.Centroids[a]); d > 1e-12 {
+			t.Errorf("point %d assigned to centroid at distance %g", i, d)
+		}
+	}
+}

@@ -21,7 +21,12 @@ type KMeansResult struct {
 }
 
 // KMeans fits k centroids to the vectors with Lloyd's algorithm and
-// k-means++ seeding. It is the coarse quantizer behind the IVF index.
+// k-means++ seeding. It is the coarse quantizer behind the IVF index and
+// the per-subspace codebook trainer behind the PQ index. Clusters that
+// empty out during Lloyd iterations are re-seeded deterministically from
+// the point farthest from its assigned centroid, so a fitted codebook
+// never silently carries dead centroids (unless the data has fewer
+// distinct points than k).
 func KMeans(rng *rand.Rand, vectors []*tensor.Tensor, k, maxIter int) (*KMeansResult, error) {
 	n := len(vectors)
 	if n == 0 {
@@ -76,10 +81,8 @@ func KMeans(rng *rand.Rand, vectors []*tensor.Tensor, k, maxIter int) (*KMeansRe
 	}
 
 	res := &KMeansResult{Centroids: centroids, Assign: make([]int, n)}
-	prevInertia := math.Inf(1)
-	for it := 0; it < maxIter; it++ {
-		res.Iterations = it + 1
-		// Assignment step.
+	pointDist := make([]float64, n)
+	assign := func() {
 		inertia := 0.0
 		for i, v := range vectors {
 			best, bi := math.Inf(1), 0
@@ -89,9 +92,16 @@ func KMeans(rng *rand.Rand, vectors []*tensor.Tensor, k, maxIter int) (*KMeansRe
 				}
 			}
 			res.Assign[i] = bi
+			pointDist[i] = best
 			inertia += best
 		}
 		res.Inertia = inertia
+	}
+	prevInertia := math.Inf(1)
+	reseeded := false
+	for it := 0; it < maxIter; it++ {
+		res.Iterations = it + 1
+		assign()
 
 		// Update step.
 		counts := make([]int, k)
@@ -104,19 +114,49 @@ func KMeans(rng *rand.Rand, vectors []*tensor.Tensor, k, maxIter int) (*KMeansRe
 			counts[ci]++
 			sums[ci].AddInPlace(v.Reshape(dim))
 		}
+		reseeded = false
 		for ci := range centroids {
-			if counts[ci] == 0 {
-				// Re-seed an empty cluster with a random vector.
-				centroids[ci] = vectors[rng.Intn(n)].Clone()
+			if counts[ci] > 0 {
+				centroids[ci] = sums[ci].Scale(1 / float64(counts[ci]))
 				continue
 			}
-			centroids[ci] = sums[ci].Scale(1 / float64(counts[ci]))
+			// Empty cluster: re-seed deterministically from the point
+			// farthest from its assigned centroid (lowest index on ties).
+			// Consuming that point's distance prevents two empty clusters
+			// from claiming the same re-seed in one pass. If every point
+			// coincides with a centroid (fewer distinct points than k) the
+			// duplicate centroid is left in place — there is nothing to
+			// separate.
+			far, fd := -1, 0.0
+			for i, d := range pointDist {
+				if d > fd {
+					far, fd = i, d
+				}
+			}
+			if far < 0 {
+				continue
+			}
+			centroids[ci] = vectors[far].Clone()
+			pointDist[far] = 0
+			reseeded = true
 		}
 
-		if math.Abs(prevInertia-inertia) < 1e-9*(1+inertia) {
+		if reseeded {
+			// A re-seeded centroid invalidates the assignment this inertia
+			// was computed from; force another Lloyd round so points can
+			// migrate to it before convergence is declared.
+			prevInertia = math.Inf(1)
+			continue
+		}
+		if math.Abs(prevInertia-res.Inertia) < 1e-9*(1+res.Inertia) {
 			break
 		}
-		prevInertia = inertia
+		prevInertia = res.Inertia
+	}
+	if reseeded {
+		// The loop ended on a re-seeding pass: refresh the assignment so
+		// Assign/Inertia describe the returned centroids.
+		assign()
 	}
 	return res, nil
 }

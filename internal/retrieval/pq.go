@@ -1,0 +1,514 @@
+package retrieval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"duo/internal/models"
+	"duo/internal/parallel"
+	"duo/internal/telemetry"
+	"duo/internal/tensor"
+	"duo/internal/trace"
+	"duo/internal/video"
+)
+
+// This file implements product quantization (PQ), the compressed-index
+// tier of the retrieval service. Gallery features are split into
+// contiguous subspaces, each subspace gets its own k-means codebook, and
+// every gallery vector is stored as one byte code per subspace. A query
+// scans the code matrix with an asymmetric-distance lookup table (ADC) —
+// a handful of table lookups per row instead of a full float distance —
+// selects a fixed number of candidates, and re-ranks them with exact
+// distances so the final list is bit-identical to what the exact engine
+// would return for those candidates. This is how production ANN systems
+// keep million-entry galleries scannable (§I's "ever-growing large
+// database"); DESIGN.md §14 specifies the determinism contract and the
+// on-disk layout (pqfile.go).
+
+// pqScanMinShard is the minimum code rows per scan shard: below this the
+// per-row ADC work (nsub table lookups) is too cheap to amortize goroutine
+// fan-out.
+const pqScanMinShard = 1024
+
+// PQConfig parameterizes product-quantized index construction.
+type PQConfig struct {
+	// Subspaces is the number of code subspaces (1 ≤ Subspaces ≤ dim).
+	// Each gallery vector is stored as Subspaces bytes.
+	Subspaces int
+	// Centroids is the per-subspace codebook size (1 ≤ Centroids ≤ 256,
+	// and at most the gallery size — codes are single bytes).
+	Centroids int
+	// KMeansIters bounds each subspace codebook fit (0 = default).
+	KMeansIters int
+	// Seed drives the (deterministic) codebook training.
+	Seed int64
+	// RerankDepth is how many ADC candidates are re-ranked with exact
+	// distances per query (≥ 1; raised to m when a query asks for more).
+	// It is fixed at build time so retrieval fingerprints are a property
+	// of the index, not of the caller.
+	RerankDepth int
+}
+
+func (cfg *PQConfig) validate(n, dim int) error {
+	if cfg.Subspaces < 1 || cfg.Subspaces > dim {
+		return fmt.Errorf("retrieval: pq: subspaces=%d out of range [1, %d]", cfg.Subspaces, dim)
+	}
+	if cfg.Centroids < 1 || cfg.Centroids > 256 {
+		return fmt.Errorf("retrieval: pq: centroids=%d out of range [1, 256]", cfg.Centroids)
+	}
+	if cfg.Centroids > n {
+		return fmt.Errorf("retrieval: pq: centroids=%d exceeds gallery size %d", cfg.Centroids, n)
+	}
+	if cfg.RerankDepth < 1 {
+		return fmt.Errorf("retrieval: pq: rerank depth %d < 1", cfg.RerankDepth)
+	}
+	return nil
+}
+
+// pqTel holds the PQ scan instruments (write-only; the all-nil zero value
+// is the disabled state, mirroring engineTel).
+type pqTel struct {
+	// scanNs times the ADC code scan per query (pq.adc_ns — distinct from
+	// pq.scan_ns, the engine-level embed-excluded query timer).
+	scanNs *telemetry.Histogram
+	// rerankNs times the exact re-rank per query.
+	rerankNs *telemetry.Histogram
+	// codes counts code rows scanned across all queries.
+	codes *telemetry.Counter
+	// reranked counts candidates re-ranked exactly across all queries.
+	reranked *telemetry.Counter
+}
+
+func resolvePQTel(r *telemetry.Registry) pqTel {
+	return pqTel{
+		scanNs:   r.Latency("pq.adc_ns"),
+		rerankNs: r.Latency("pq.rerank_ns"),
+		codes:    r.Counter("pq.codes_scanned"),
+		reranked: r.Counter("pq.reranked"),
+	}
+}
+
+// pqScratch is the pooled per-query workspace: the ADC lookup table, the
+// candidate-selection scratch, and the re-rank buffer.
+type pqScratch struct {
+	lut []float64
+	idx idxScratch
+	res []Result
+}
+
+// PQIndex is a model-free product-quantized gallery index: codebooks, the
+// byte code matrix, and the exact feature rows used for re-ranking. It
+// answers raw-feature queries (the node-side GalleryIndex surface) and is
+// the unit persisted by pqfile.go. All storage is flat and read-only after
+// construction, so a loaded index can alias a memory-mapped file directly.
+type PQIndex struct {
+	dim    int
+	nsub   int
+	k      int
+	rerank int
+
+	// codebooks holds the nsub codebooks back to back: codebook s occupies
+	// codebooks[s*k*w_s ...] with w_s = Bounds(dim, nsub, s) width; entry j
+	// is w_s contiguous floats. Total length k*dim.
+	codebooks []float64
+	// cbOff[s] is the float offset of codebook s; cbOff[nsub] == k*dim.
+	cbOff []int
+	// codes is the n×nsub row-major code matrix.
+	codes []byte
+	// feats is the n×dim row-major exact feature matrix (re-rank only —
+	// the ADC scan never touches it, which is what makes the scan cheap
+	// and the mmap'd layout lazy).
+	feats []float64
+
+	ids    []string
+	labels []int
+
+	// closer releases a memory-mapped backing file (nil for built or
+	// copy-decoded indexes).
+	closer func() error
+
+	scratch sync.Pool
+	tel     pqTel
+}
+
+var _ GalleryIndex = (*PQIndex)(nil)
+
+// pqSubWidth returns the [lo, hi) coordinate range of subspace s, reusing
+// the deterministic contiguous split of parallel.Bounds.
+func pqSubBounds(dim, nsub, s int) (lo, hi int) { return parallel.Bounds(dim, nsub, s) }
+
+// pqCodebookOffsets computes the per-subspace float offsets into the flat
+// codebook storage.
+func pqCodebookOffsets(dim, nsub, k int) []int {
+	off := make([]int, nsub+1)
+	for s := 0; s < nsub; s++ {
+		lo, hi := pqSubBounds(dim, nsub, s)
+		off[s+1] = off[s] + k*(hi-lo)
+	}
+	return off
+}
+
+// NewPQIndex trains a product-quantized index over the feature rows.
+// ids/labels/feats are parallel slices; every feature must share one
+// dimension. Training is deterministic: each subspace codebook is fit by
+// the seeded KMeans with an independent per-subspace seed, so the result
+// is bitwise-identical at every worker count.
+func NewPQIndex(ids []string, labels []int, feats []*tensor.Tensor, cfg PQConfig) (*PQIndex, error) {
+	n := len(feats)
+	if n == 0 {
+		return nil, fmt.Errorf("retrieval: pq: empty gallery")
+	}
+	if len(ids) != n || len(labels) != n {
+		return nil, fmt.Errorf("retrieval: pq: %d ids, %d labels for %d features", len(ids), len(labels), n)
+	}
+	dim := feats[0].Len()
+	for i, f := range feats {
+		if f.Len() != dim {
+			return nil, fmt.Errorf("retrieval: pq: feature %d has dim %d, want %d", i, f.Len(), dim)
+		}
+	}
+	if cfg.KMeansIters <= 0 {
+		cfg.KMeansIters = 25
+	}
+	if err := cfg.validate(n, dim); err != nil {
+		return nil, err
+	}
+
+	ix := &PQIndex{
+		dim:    dim,
+		nsub:   cfg.Subspaces,
+		k:      cfg.Centroids,
+		rerank: cfg.RerankDepth,
+		cbOff:  pqCodebookOffsets(dim, cfg.Subspaces, cfg.Centroids),
+		codes:  make([]byte, n*cfg.Subspaces),
+		feats:  make([]float64, n*dim),
+		ids:    append([]string(nil), ids...),
+		labels: append([]int(nil), labels...),
+	}
+	ix.codebooks = make([]float64, ix.cbOff[ix.nsub])
+	for i, f := range feats {
+		copy(ix.feats[i*dim:(i+1)*dim], f.Data())
+	}
+
+	// Train the nsub codebooks concurrently. Each subspace draws from its
+	// own seeded generator, so the fit is independent of the worker count
+	// and of training order.
+	errs := make([]error, ix.nsub)
+	parallel.For(ix.nsub, func(_, start, end int) {
+		for s := start; s < end; s++ {
+			errs[s] = ix.trainSubspace(s, cfg)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// trainSubspace fits codebook s and writes the codes of its coordinate
+// range. Only state owned by subspace s is touched.
+func (ix *PQIndex) trainSubspace(s int, cfg PQConfig) error {
+	lo, hi := pqSubBounds(ix.dim, ix.nsub, s)
+	w := hi - lo
+	n := len(ix.ids)
+	sub := make([]*tensor.Tensor, n)
+	for i := 0; i < n; i++ {
+		sub[i] = tensor.From(ix.feats[i*ix.dim+lo:i*ix.dim+hi], w)
+	}
+	// Decorrelate per-subspace streams with a large odd stride so nearby
+	// subspaces never share a seed.
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(s)*0x9E3779B9))
+	km, err := KMeans(rng, sub, ix.k, cfg.KMeansIters)
+	if err != nil {
+		return fmt.Errorf("retrieval: pq: subspace %d: %w", s, err)
+	}
+	for j, c := range km.Centroids {
+		copy(ix.codebooks[ix.cbOff[s]+j*w:ix.cbOff[s]+(j+1)*w], c.Data())
+	}
+	for i, a := range km.Assign {
+		ix.codes[i*ix.nsub+s] = byte(a)
+	}
+	return nil
+}
+
+// SetTelemetry wires the index's scan instruments into the registry under
+// the "pq" prefix; nil disables (the default). Write-only: enabling it
+// cannot change any retrieval result.
+func (ix *PQIndex) SetTelemetry(r *telemetry.Registry) { ix.tel = resolvePQTel(r) }
+
+// Size returns the number of indexed entries.
+func (ix *PQIndex) Size() int { return len(ix.ids) }
+
+// Dim returns the feature dimension.
+func (ix *PQIndex) Dim() int { return ix.dim }
+
+// RerankDepth returns the index's fixed exact re-rank depth.
+func (ix *PQIndex) RerankDepth() int { return ix.rerank }
+
+// Close releases the index's backing storage (the memory mapping for an
+// index opened from a file; a no-op otherwise). The index must not be used
+// after Close.
+func (ix *PQIndex) Close() error {
+	if ix.closer == nil {
+		return nil
+	}
+	c := ix.closer
+	ix.closer = nil
+	// Drop the aliases into the mapping before releasing it.
+	ix.codebooks, ix.codes, ix.feats = nil, nil, nil
+	return c()
+}
+
+// effectiveRerank is the candidate count actually re-ranked for a query
+// asking for m results: the fixed depth, raised to m, capped at the
+// gallery size.
+func (ix *PQIndex) effectiveRerank(m int) int {
+	r := ix.rerank
+	if r < m {
+		r = m
+	}
+	if n := len(ix.ids); r > n {
+		r = n
+	}
+	return r
+}
+
+// Nearest returns the index's top-m entries for the query feature,
+// single-threaded (the cluster's node fan-out is the unit of parallelism,
+// exactly like Shard.Nearest).
+func (ix *PQIndex) Nearest(feat []float64, m int) []Result {
+	return ix.nearest(feat, m, 1)
+}
+
+// l2sq is the flat-slice squared L2 distance. The loop mirrors
+// tensor.SquaredDistance element for element, so re-ranked distances are
+// bitwise-identical to the exact engine's tensor-based scan.
+func l2sq(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// nearest is the PQ query hot path: build the ADC lookup table, select the
+// re-rank candidates from the code matrix with the sharded top-R scan, and
+// re-rank them exactly. Candidate selection orders by (ADC distance, ID)
+// and re-ranking orders by (exact distance, ID) — both strict total orders
+// — so the output is bitwise-identical at every worker count.
+func (ix *PQIndex) nearest(feat []float64, m, workers int) []Result {
+	if len(feat) != ix.dim {
+		panic(fmt.Sprintf("retrieval: pq: query dim %d, index dim %d", len(feat), ix.dim))
+	}
+	n := len(ix.ids)
+	if m > n {
+		m = n
+	}
+	if m < 0 {
+		m = 0
+	}
+	out := make([]Result, m)
+	if m == 0 {
+		return out
+	}
+
+	sc, _ := ix.scratch.Get().(*pqScratch)
+	if sc == nil {
+		sc = new(pqScratch)
+	}
+	defer ix.scratch.Put(sc)
+
+	// ADC lookup table: lut[s*k+j] = ‖query_s − codebook_s[j]‖². Each cell
+	// is independent; the table is dim*k float ops, negligible next to the
+	// scan it replaces.
+	if cap(sc.lut) < ix.nsub*ix.k {
+		sc.lut = make([]float64, ix.nsub*ix.k)
+	}
+	lut := sc.lut[:ix.nsub*ix.k]
+	for s := 0; s < ix.nsub; s++ {
+		lo, hi := pqSubBounds(ix.dim, ix.nsub, s)
+		q := feat[lo:hi]
+		w := hi - lo
+		cb := ix.codebooks[ix.cbOff[s]:ix.cbOff[s+1]]
+		for j := 0; j < ix.k; j++ {
+			lut[s*ix.k+j] = l2sq(q, cb[j*w:(j+1)*w])
+		}
+	}
+
+	// Sharded candidate scan over the code matrix. The per-row score is a
+	// fixed-order sum of nsub table cells, so it is a pure function of the
+	// row — sharding cannot change a single bit of it.
+	R := ix.effectiveRerank(m)
+	nsub, k := ix.nsub, ix.k
+	codes := ix.codes
+	sw := ix.tel.scanNs.Start()
+	cands := scanTopMIdx(n, R, parallel.CapWorkers(workers, n, pqScanMinShard), func(i int) float64 {
+		s := 0.0
+		for sub, c := range codes[i*nsub : (i+1)*nsub] {
+			s += lut[sub*k+int(c)]
+		}
+		return s
+	}, ix.ids, &sc.idx)
+	sw.Stop()
+	ix.tel.codes.Add(int64(n))
+
+	// Exact re-rank at fixed depth: candidates get their true distances
+	// (bitwise-identical to the exact engine's) and the final order is the
+	// service-wide (Dist, ID) order.
+	sw = ix.tel.rerankNs.Start()
+	res := sc.res[:0]
+	for _, cd := range cands {
+		row := ix.feats[cd.row*ix.dim : (cd.row+1)*ix.dim]
+		res = append(res, Result{
+			ID:    ix.ids[cd.row],
+			Label: ix.labels[cd.row],
+			Dist:  math.Sqrt(l2sq(feat, row)),
+		})
+	}
+	sort.Slice(res, func(a, b int) bool { return resultLess(res[a], res[b]) })
+	sc.res = res
+	sw.Stop()
+	ix.tel.reranked.Add(int64(len(res)))
+
+	copy(out, res[:m])
+	return out
+}
+
+// PQEngine is a retrieval engine backed by a product-quantized index: the
+// query-side feature extractor plus a PQIndex. Its black-box interface is
+// identical to the exact Engine's, so every attack and evaluation in the
+// repository runs against it unchanged.
+type PQEngine struct {
+	model   models.Model
+	idx     *PQIndex
+	queries atomic.Int64
+	tel     engineTel
+	tracer  *trace.Tracer
+}
+
+var _ Retriever = (*PQEngine)(nil)
+var _ BatchRetriever = (*PQEngine)(nil)
+var _ FallibleRetriever = (*PQEngine)(nil)
+var _ TracedRetriever = (*PQEngine)(nil)
+
+// NewPQEngine extracts gallery features with m and trains a PQ index over
+// them.
+func NewPQEngine(m models.Model, gallery []*video.Video, cfg PQConfig) (*PQEngine, error) {
+	ids := make([]string, len(gallery))
+	labels := make([]int, len(gallery))
+	feats := make([]*tensor.Tensor, len(gallery))
+	for i, v := range gallery {
+		ids[i] = v.ID
+		labels[i] = v.Label
+		feats[i] = models.Embed(m, v)
+	}
+	ix, err := NewPQIndex(ids, labels, feats, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewPQEngineFromIndex(m, ix)
+}
+
+// NewPQEngineFromIndex attaches the query-side extractor to a built or
+// loaded index. The model must be the one that produced the index's
+// features, or retrieval distances are meaningless; the dimension check
+// catches the obvious mismatch.
+func NewPQEngineFromIndex(m models.Model, ix *PQIndex) (*PQEngine, error) {
+	if m.FeatureDim() != ix.dim {
+		return nil, fmt.Errorf("retrieval: pq: model dim %d does not match index dim %d", m.FeatureDim(), ix.dim)
+	}
+	return &PQEngine{model: m, idx: ix}, nil
+}
+
+// Index exposes the engine's underlying PQ index (persistence, telemetry).
+func (e *PQEngine) Index() *PQIndex { return e.idx }
+
+// Model exposes the engine's feature extractor (white-box access used only
+// by defenses and evaluation, never by the black-box attacks).
+func (e *PQEngine) Model() models.Model { return e.model }
+
+// GallerySize returns the number of indexed videos.
+func (e *PQEngine) GallerySize() int { return e.idx.Size() }
+
+// QueryCount returns the number of Retrieve calls served.
+func (e *PQEngine) QueryCount() int64 { return e.queries.Load() }
+
+// ResetQueryCount zeroes the query counter.
+func (e *PQEngine) ResetQueryCount() { e.queries.Store(0) }
+
+// SetTelemetry wires the engine's instruments (and the index's scan
+// instruments) into the registry under the "pq" prefix; nil disables.
+func (e *PQEngine) SetTelemetry(r *telemetry.Registry) {
+	e.tel = resolveEngineTel(r, "pq")
+	e.idx.SetTelemetry(r)
+}
+
+// SetTrace attaches a tracer: subsequent RetrieveTraced calls record one
+// pq.retrieve span each, carrying the scan shape (pq.* attributes).
+// Tracing is write-only and cannot change any retrieval result.
+func (e *PQEngine) SetTrace(t *trace.Tracer) *PQEngine {
+	e.tracer = t
+	return e
+}
+
+// Retrieve implements Retriever: embed the query and run the ADC scan +
+// exact re-rank across parallel.Workers().
+func (e *PQEngine) Retrieve(v *video.Video, m int) []Result {
+	e.queries.Add(1)
+	e.tel.queries.Inc()
+	e.tel.topM.Observe(float64(m))
+	feat := models.Embed(e.model, v)
+	sw := e.tel.scanNs.Start()
+	rs := e.idx.nearest(feat.Data(), m, parallel.Workers())
+	sw.Stop()
+	e.tel.scanned.Add(int64(e.idx.Size()))
+	return rs
+}
+
+// RetrieveErr implements FallibleRetriever; a local PQ scan cannot fail.
+func (e *PQEngine) RetrieveErr(v *video.Video, m int) ([]Result, error) {
+	return e.Retrieve(v, m), nil
+}
+
+// RetrieveTraced implements TracedRetriever: Retrieve under a span
+// recording the quantized-scan shape. Attribute values are pure functions
+// of the index and m, so the span tree is deterministic (the bare
+// "queries" attribute stays reserved for retrieve leaves, per the golden
+// trace contract).
+func (e *PQEngine) RetrieveTraced(tc trace.Context, v *video.Video, m int) ([]Result, error) {
+	sp := e.tracer.StartCtx(tc, "pq.retrieve")
+	sp.SetInt("m", int64(m))
+	sp.SetInt("pq.codes_scanned", int64(e.idx.Size()))
+	sp.SetInt("pq.rerank_depth", int64(e.idx.effectiveRerank(m)))
+	sp.SetInt("pq.subspaces", int64(e.idx.nsub))
+	rs := e.Retrieve(v, m)
+	sp.SetInt("results", int64(len(rs)))
+	sp.End()
+	return rs, nil
+}
+
+// RetrieveBatch implements BatchRetriever: independent queries fan out
+// across workers (each scanning single-threaded, so the batch is the unit
+// of parallelism) and each one is billed to QueryCount.
+func (e *PQEngine) RetrieveBatch(vs []*video.Video, m int) [][]Result {
+	e.queries.Add(int64(len(vs)))
+	e.tel.batchSize.Observe(float64(len(vs)))
+	out := make([][]Result, len(vs))
+	parallel.For(len(vs), func(_, start, end int) {
+		for i := start; i < end; i++ {
+			e.tel.queries.Inc()
+			e.tel.topM.Observe(float64(m))
+			feat := models.Embed(e.model, vs[i])
+			out[i] = e.idx.nearest(feat.Data(), m, 1)
+			e.tel.scanned.Add(int64(e.idx.Size()))
+		}
+	})
+	return out
+}

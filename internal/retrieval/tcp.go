@@ -98,7 +98,7 @@ func (c *NodeServerConfig) applyDefaults() {
 // requests are handled serially in request order, exactly like the
 // pre-multiplexing server.
 type NodeServer struct {
-	shard *Shard
+	shard GalleryIndex
 	ln    net.Listener
 	cfg   NodeServerConfig
 	adm   *admission
@@ -109,14 +109,16 @@ type NodeServer struct {
 	wg     sync.WaitGroup
 }
 
-// ServeNode starts serving the shard on addr (use "127.0.0.1:0" for an
-// ephemeral port) with default deadlines and returns immediately.
-func ServeNode(addr string, shard *Shard) (*NodeServer, error) {
+// ServeNode starts serving the index on addr (use "127.0.0.1:0" for an
+// ephemeral port) with default deadlines and returns immediately. Any
+// GalleryIndex works: exact shards and product-quantized indexes share the
+// wire protocol.
+func ServeNode(addr string, shard GalleryIndex) (*NodeServer, error) {
 	return ServeNodeConfig(addr, shard, NodeServerConfig{})
 }
 
 // ServeNodeConfig is ServeNode with explicit configuration.
-func ServeNodeConfig(addr string, shard *Shard, cfg NodeServerConfig) (*NodeServer, error) {
+func ServeNodeConfig(addr string, shard GalleryIndex, cfg NodeServerConfig) (*NodeServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("retrieval: listen %s: %w", addr, err)

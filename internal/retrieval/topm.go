@@ -63,15 +63,17 @@ func getScratch(pool *sync.Pool) *scanScratch {
 	return sc
 }
 
-// pushTopM inserts r into the bounded max-heap h (worst kept entry at the
-// root), retaining the m smallest entries under resultLess.
-func pushTopM(h []Result, r Result, m int) []Result {
+// pushBounded inserts r into the bounded max-heap h (worst kept entry at
+// the root), retaining the m smallest entries under less. It is the shared
+// selection kernel of the sharded scans: the exact/IVF scans instantiate it
+// with Result+resultLess, the PQ code scan with row-index candidates.
+func pushBounded[T any](h []T, r T, m int, less func(a, b T) bool) []T {
 	if len(h) < m {
 		h = append(h, r)
 		i := len(h) - 1
 		for i > 0 {
 			p := (i - 1) / 2
-			if !resultLess(h[p], h[i]) {
+			if !less(h[p], h[i]) {
 				break
 			}
 			h[p], h[i] = h[i], h[p]
@@ -79,7 +81,7 @@ func pushTopM(h []Result, r Result, m int) []Result {
 		}
 		return h
 	}
-	if !resultLess(r, h[0]) {
+	if !less(r, h[0]) {
 		return h
 	}
 	h[0] = r
@@ -87,10 +89,10 @@ func pushTopM(h []Result, r Result, m int) []Result {
 	for {
 		l, rr := 2*i+1, 2*i+2
 		big := i
-		if l < len(h) && resultLess(h[big], h[l]) {
+		if l < len(h) && less(h[big], h[l]) {
 			big = l
 		}
-		if rr < len(h) && resultLess(h[big], h[rr]) {
+		if rr < len(h) && less(h[big], h[rr]) {
 			big = rr
 		}
 		if big == i {
@@ -99,6 +101,12 @@ func pushTopM(h []Result, r Result, m int) []Result {
 		h[i], h[big] = h[big], h[i]
 		i = big
 	}
+}
+
+// pushTopM inserts r into the bounded max-heap h, retaining the m smallest
+// entries under resultLess.
+func pushTopM(h []Result, r Result, m int) []Result {
+	return pushBounded(h, r, m, resultLess)
 }
 
 // scanTopM scores feat against the index and returns the global top-m in
@@ -143,4 +151,77 @@ func scanTopM(feat *tensor.Tensor, ids []string, labels []int, feats []*tensor.T
 	sc.merged = merged
 	copy(out, merged[:m])
 	return out
+}
+
+// scored is a candidate row with its (approximate) distance — the unit the
+// PQ code scan selects before exact re-ranking. Ordering is (dist, ID of
+// the row), the same strict total order resultLess imposes on Results, so
+// the selected candidate set is identical at every worker count.
+type scored struct {
+	row  int
+	dist float64
+}
+
+// idxScratch is the reusable workspace of a sharded row-index scan (the
+// scored analogue of scanScratch).
+type idxScratch struct {
+	heaps  [][]scored
+	merged []scored
+}
+
+func (sc *idxScratch) shards(w, m int) [][]scored {
+	if cap(sc.heaps) < w {
+		sc.heaps = make([][]scored, w)
+	}
+	sc.heaps = sc.heaps[:w]
+	for s := range sc.heaps {
+		if cap(sc.heaps[s]) < m {
+			sc.heaps[s] = make([]scored, 0, m)
+		} else {
+			sc.heaps[s] = sc.heaps[s][:0]
+		}
+	}
+	return sc.heaps
+}
+
+// scanTopMIdx returns the m rows of [0, n) with the smallest dist(i) in
+// (dist, ids[row]) order, scanning with w contiguous shards. Like scanTopM
+// it is bitwise-deterministic for any w ≥ 1 given unique ids: every dist(i)
+// is computed independently and the merge order is a strict total order.
+// The returned slice aliases sc.merged and is valid until the next scan
+// with the same scratch.
+func scanTopMIdx(n, m, w int, dist func(i int) float64, ids []string, sc *idxScratch) []scored {
+	if m > n {
+		m = n
+	}
+	if m <= 0 {
+		return nil
+	}
+	less := func(a, b scored) bool {
+		if a.dist != b.dist { //duolint:allow floateq comparator tie-break: exact equality IS the tie, and both operands are the same unrounded computation
+			return a.dist < b.dist
+		}
+		return ids[a.row] < ids[b.row]
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	heaps := sc.shards(w, m)
+	parallel.ForN(w, n, func(shard, start, end int) {
+		h := heaps[shard]
+		for i := start; i < end; i++ {
+			h = pushBounded(h, scored{row: i, dist: dist(i)}, m, less)
+		}
+		heaps[shard] = h
+	})
+	merged := sc.merged[:0]
+	for _, h := range heaps {
+		merged = append(merged, h...)
+	}
+	sort.Slice(merged, func(a, b int) bool { return less(merged[a], merged[b]) })
+	sc.merged = merged
+	return merged[:m]
 }
