@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"duo"
@@ -34,6 +35,7 @@ func run(args []string) error {
 		loss     = fs.String("loss", "ArcFaceLoss", "victim loss: ArcFaceLoss, LiftedLoss, AngularLoss, Triplet")
 		surrArch = fs.String("surrogate", "C3D", "surrogate backbone: C3D or Resnet18")
 		queries  = fs.Int("queries", 600, "victim query budget")
+		strategy = fs.String("strategy", "sparsequery", "black-box optimizer: "+strings.Join(duo.Strategies(), ", "))
 		tau      = fs.Float64("tau", 0, "per-element perturbation bound (0 = default)")
 		k        = fs.Int("k", 0, "pixel budget (0 = default)")
 		n        = fs.Int("n", 0, "frame budget (0 = default)")
@@ -109,6 +111,7 @@ func run(args []string) error {
 		K: *k, N: *n, Tau: *tau,
 		Queries:  *queries,
 		IterNumH: *iterH,
+		Strategy: *strategy,
 		Seed:     *seed + 13,
 	})
 	if err != nil {
@@ -116,7 +119,7 @@ func run(args []string) error {
 	}
 
 	fmt.Println()
-	fmt.Println("== DUO attack report ==")
+	fmt.Printf("== DUO attack report (strategy %s) ==\n", *strategy)
 	fmt.Printf("AP@m w/o attack : %6.2f%%\n", rep.APBefore)
 	fmt.Printf("AP@m with attack: %6.2f%%\n", rep.APAfter)
 	fmt.Printf("Spa (perturbed elements): %d of %d\n", rep.Spa, pair.Original.Data.Len())

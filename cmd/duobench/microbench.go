@@ -122,8 +122,15 @@ func runMicrobench(ids string, outDir string, emit func(string)) error {
 				return fmt.Errorf("bench %s: %w", id, err)
 			}
 			continue
+		case "strategies":
+			// The strategy shootout also writes its own richer report
+			// (success rates and per-pair query counts, not ns/op rows).
+			if err := runStrategiesBench(outDir, emit); err != nil {
+				return fmt.Errorf("bench %s: %w", id, err)
+			}
+			continue
 		default:
-			return fmt.Errorf("unknown bench id %q (want retrieve, conv, or pq)", id)
+			return fmt.Errorf("unknown bench id %q (want retrieve, conv, pq, or strategies)", id)
 		}
 		if err != nil {
 			return fmt.Errorf("bench %s: %w", id, err)

@@ -1,0 +1,135 @@
+package main
+
+// Strategy shootout: `duobench -bench strategies` runs every registered
+// black-box optimizer (SparseQuery baseline, Sparse-RS, evolutionary) over
+// the same tiny victim + surrogate + attack pairs and reports
+// queries-to-success, success rate, and wall time per strategy. The whole
+// report lands in BENCH_strategies.json so CI can assert the new
+// strategies actually close attacks within budget and EXPERIMENTS.md can
+// table the comparison.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"duo"
+)
+
+const (
+	// strategiesBenchPairs is the number of (original, target) pairs every
+	// strategy attacks; one shared sample keeps the comparison paired.
+	strategiesBenchPairs = 4
+	// strategiesBenchBudget is the per-attack victim query budget. Matches
+	// the golden fixture's order of magnitude: big enough for each strategy
+	// to converge on the tiny corpus, small enough for a CI smoke run.
+	strategiesBenchBudget = 120
+)
+
+// strategyPairResult is one (strategy, pair) attack outcome.
+type strategyPairResult struct {
+	Pair     string  `json:"pair"`
+	Success  bool    `json:"success"`
+	APBefore float64 `json:"ap_before"`
+	APAfter  float64 `json:"ap_after"`
+	Queries  int     `json:"queries"`
+	Spa      int     `json:"spa"`
+	WallMs   float64 `json:"wall_ms"`
+}
+
+// strategyRow aggregates one strategy across all pairs.
+type strategyRow struct {
+	Strategy      string               `json:"strategy"`
+	Pairs         int                  `json:"pairs"`
+	Successes     int                  `json:"successes"`
+	SuccessRate   float64              `json:"success_rate"`
+	MedianQueries int                  `json:"median_queries"`
+	MeanAPGain    float64              `json:"mean_ap_gain"`
+	TotalWallMs   float64              `json:"total_wall_ms"`
+	PerPair       []strategyPairResult `json:"per_pair"`
+}
+
+// strategiesBenchReport is the BENCH_strategies.json shape.
+type strategiesBenchReport struct {
+	Budget   int           `json:"budget"`
+	Pairs    int           `json:"pairs"`
+	Baseline string        `json:"baseline"`
+	Rows     []strategyRow `json:"rows"`
+}
+
+// runStrategiesBench builds one tiny victim system and surrogate, samples a
+// fixed pair set, and attacks every pair once per registered strategy.
+func runStrategiesBench(outDir string, emit func(string)) error {
+	sys, err := duo.NewSystem(duo.SystemOptions{
+		Categories: 3, TrainPerCategory: 4, TestPerCategory: 2,
+		Frames: 6, Height: 10, Width: 10,
+		FeatureDim: 12, TrainEpochs: 2, M: 6, Seed: 17,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	surr, err := sys.StealSurrogate(duo.SurrogateOptions{MaxSamples: 12, Epochs: 3})
+	if err != nil {
+		return err
+	}
+	pairs := sys.SamplePairs(5, strategiesBenchPairs)
+
+	report := strategiesBenchReport{
+		Budget:   strategiesBenchBudget,
+		Pairs:    len(pairs),
+		Baseline: "sparsequery",
+	}
+	for _, strategy := range duo.Strategies() {
+		row := strategyRow{Strategy: strategy, Pairs: len(pairs)}
+		var queries []int
+		for i, pair := range pairs {
+			start := time.Now() //duolint:allow walltime benchmark timing is the point here
+			rep, err := sys.Attack(pair.Original, pair.Target, surr, duo.AttackOptions{
+				Queries:  strategiesBenchBudget,
+				Strategy: strategy,
+				Seed:     100 + int64(i),
+			})
+			if err != nil {
+				return fmt.Errorf("strategy %s pair %d: %w", strategy, i, err)
+			}
+			wallMs := float64(time.Since(start).Nanoseconds()) / 1e6 //duolint:allow walltime benchmark timing is the point here
+			pr := strategyPairResult{
+				Pair:     fmt.Sprintf("%s→%s", pair.Original.ID, pair.Target.ID),
+				Success:  rep.APAfter > rep.APBefore,
+				APBefore: rep.APBefore,
+				APAfter:  rep.APAfter,
+				Queries:  rep.Queries,
+				Spa:      rep.Spa,
+				WallMs:   wallMs,
+			}
+			if pr.Success {
+				row.Successes++
+			}
+			row.MeanAPGain += (rep.APAfter - rep.APBefore) / float64(len(pairs))
+			row.TotalWallMs += wallMs
+			queries = append(queries, rep.Queries)
+			row.PerPair = append(row.PerPair, pr)
+		}
+		row.SuccessRate = float64(row.Successes) / float64(len(pairs))
+		sort.Ints(queries)
+		row.MedianQueries = queries[len(queries)/2]
+		report.Rows = append(report.Rows, row)
+		emit(fmt.Sprintf("%-12s success %d/%d  median queries %3d  mean ΔAP %+6.2f  wall %7.0f ms\n",
+			strategy, row.Successes, row.Pairs, row.MedianQueries, row.MeanAPGain, row.TotalWallMs))
+	}
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "BENCH_strategies.json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	emit(fmt.Sprintf("wrote %s\n", path))
+	return nil
+}

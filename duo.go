@@ -363,6 +363,13 @@ type AttackOptions struct {
 	Queries int
 	// IterNumH loops SparseTransfer↔SparseQuery (default 2).
 	IterNumH int
+	// Strategy selects the black-box optimizer driving the victim-query
+	// stage: "sparsequery" (empty value and default — the paper's
+	// Algorithm 2 coordinate descent), "sparsers" (Sparse-RS random
+	// search), or "evolutionary" (population-based search). Every strategy
+	// runs inside the same billing/tracing/shed-refund harness, so query
+	// counts stay comparable across strategies. See Strategies().
+	Strategy string
 	// Seed drives the query stage's randomness.
 	Seed int64
 	// Telemetry optionally collects this run's stage timings, query-budget
@@ -401,6 +408,10 @@ type Report struct {
 	Adv *Video
 }
 
+// Strategies lists the registered black-box optimizer strategy names
+// accepted by AttackOptions.Strategy (and `duoattack -strategy`).
+func Strategies() []string { return core.OptimizerNames() }
+
 // Attack runs the full DUO pipeline against the system's victim.
 func (s *System) Attack(v, vt *Video, surr Model, opts AttackOptions) (*Report, error) {
 	cfg := core.DefaultConfig(s.geom)
@@ -422,6 +433,7 @@ func (s *System) Attack(v, vt *Video, surr Model, opts AttackOptions) (*Report, 
 	if opts.IterNumH > 0 {
 		cfg.IterNumH = opts.IterNumH
 	}
+	cfg.Query.Strategy = opts.Strategy
 	if opts.Seed == 0 {
 		opts.Seed = s.opts.Seed + 13
 	}
@@ -479,6 +491,7 @@ func (s *System) AttackUntargeted(v *Video, surr Model, opts AttackOptions) (*Re
 	if opts.IterNumH > 0 {
 		cfg.IterNumH = opts.IterNumH
 	}
+	cfg.Query.Strategy = opts.Strategy
 	if opts.Seed == 0 {
 		opts.Seed = s.opts.Seed + 13
 	}

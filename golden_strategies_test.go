@@ -1,0 +1,154 @@
+package duo
+
+// Golden fingerprints for the non-default optimizer strategies, mirroring
+// TestGoldenPipeline (which pins the sparsequery default): one checked-in
+// fingerprint per strategy at workers=1, plus a workers=4 rerun that must
+// be bitwise-identical. Any drift in a strategy's RNG consumption, billing,
+// or acceptance rule fails here; deliberate changes re-baseline with
+// `go test -run TestGoldenStrategies -update`.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"duo/internal/parallel"
+	"duo/internal/retrieval"
+)
+
+const goldenStrategiesPath = "testdata/golden_strategies.json"
+
+// goldenStrategy is one strategy's checked-in fingerprint.
+type goldenStrategy struct {
+	APBefore  float64  `json:"ap_before"`
+	APAfter   float64  `json:"ap_after"`
+	Spa       int      `json:"spa"`
+	Frames    int      `json:"perturbed_frames"`
+	Queries   int      `json:"queries"`
+	TopM      []string `json:"top_m"`
+	AdvSHA256 string   `json:"adv_sha256"`
+}
+
+// goldenStrategyRun executes the golden pipeline with the given strategy
+// and summarizes it. The victim system and surrogate are rebuilt each call
+// so worker-count reruns share nothing but the seeds.
+func goldenStrategyRun(t *testing.T, strategy string) (*goldenStrategy, *Tracer) {
+	t.Helper()
+	sys, err := NewSystem(SystemOptions{
+		Categories: 3, TrainPerCategory: 4, TestPerCategory: 2,
+		Frames: 6, Height: 10, Width: 10,
+		FeatureDim: 12, TrainEpochs: 2, M: 6, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer("golden-" + strategy)
+	sys.SetTrace(tr)
+	surr, err := sys.StealSurrogate(SurrogateOptions{MaxSamples: 12, Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := sys.SamplePairs(5, 1)[0]
+	rep, err := sys.Attack(pair.Original, pair.Target, surr, AttackOptions{Queries: 80, Strategy: strategy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &goldenStrategy{
+		APBefore:  rep.APBefore,
+		APAfter:   rep.APAfter,
+		Spa:       rep.Spa,
+		Frames:    rep.PerturbedFrames,
+		Queries:   rep.Queries,
+		TopM:      retrieval.IDs(sys.Retrieve(rep.Adv, sys.M)),
+		AdvSHA256: videoSHA256(rep.Adv),
+	}, tr
+}
+
+// TestGoldenStrategies pins every non-default strategy to its checked-in
+// fingerprint and proves worker-count invariance (w1 vs w4 bitwise equal,
+// including the span trace).
+func TestGoldenStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline runs")
+	}
+	got := map[string]*goldenStrategy{}
+	for _, strategy := range Strategies() {
+		if strategy == "sparsequery" {
+			continue // pinned by TestGoldenPipeline
+		}
+		strategy := strategy
+		t.Run(strategy, func(t *testing.T) {
+			prev := parallel.SetWorkers(1)
+			defer parallel.SetWorkers(prev)
+			fp1, tr1 := goldenStrategyRun(t, strategy)
+			got[strategy] = fp1
+
+			// The `queries` trace attribute must account for every billed
+			// query, whatever the strategy.
+			var attributed int64
+			for _, r := range tr1.Records() {
+				if q, ok := r.Int("queries"); ok {
+					if r.Name != "retrieve" {
+						t.Errorf("span %q carries a `queries` attr; reserved for retrieve leaves", r.Name)
+					}
+					attributed += q
+				}
+			}
+			if attributed != int64(fp1.Queries) {
+				t.Errorf("trace attributes %d queries, billed %d", attributed, fp1.Queries)
+			}
+			if fp1.Queries > 80 {
+				t.Errorf("queries = %d exceed the 80-query budget", fp1.Queries)
+			}
+
+			parallel.SetWorkers(4)
+			fp4, tr4 := goldenStrategyRun(t, strategy)
+			if !reflect.DeepEqual(fp1, fp4) {
+				t.Errorf("workers=4 fingerprint differs:\n w1 %+v\n w4 %+v", fp1, fp4)
+			}
+			if f1, f4 := traceSHA256(t, tr1), traceSHA256(t, tr4); f1 != f4 {
+				t.Errorf("trace fingerprint differs between workers=1 (%s) and workers=4 (%s)", f1, f4)
+			}
+		})
+	}
+
+	if *updateGolden {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenStrategiesPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenStrategiesPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenStrategiesPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenStrategiesPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestGoldenStrategies -update .`): %v", err)
+	}
+	want := map[string]*goldenStrategy{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	for strategy, fp := range got {
+		if want[strategy] == nil {
+			t.Errorf("strategy %s has no checked-in golden; re-baseline with -update", strategy)
+			continue
+		}
+		if !reflect.DeepEqual(fp, want[strategy]) {
+			t.Errorf("strategy %s drifted from golden:\ngot  %+v\nwant %+v", strategy, fp, want[strategy])
+		}
+	}
+	for strategy := range want {
+		if got[strategy] == nil {
+			t.Errorf("golden file pins unknown strategy %q; re-baseline with -update", strategy)
+		}
+	}
+}

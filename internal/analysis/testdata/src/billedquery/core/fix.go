@@ -58,3 +58,29 @@ func negativeBilledTraced(v victim) ([]string, error) {
 	_ = queries
 	return v.RetrieveTraced(nil, "q", 5)
 }
+
+// oracle mirrors the optimizer harness shape: the victim and the billing
+// meter live on the same struct, and billing charges a field, not a local.
+type oracle struct {
+	victim  victim
+	queries int
+}
+
+func (o *oracle) negativeBilledField(q string) []string {
+	o.queries++
+	return o.victim.Retrieve(q, 5)
+}
+
+func (o *oracle) negativeBilledFieldPair(qs []string) [][]string {
+	o.queries += 2
+	return o.victim.RetrieveBatch(qs, 5)
+}
+
+func (o *oracle) positiveUnbilledField(q string) []string {
+	return o.victim.Retrieve(q, 5) // want `\[billedquery\] victim Retrieve call is not budget-billed`
+}
+
+func (o *oracle) positiveRefundIsNotBilling(q string) []string {
+	o.queries--                    // a shed refund decrements; it never licenses a new call
+	return o.victim.Retrieve(q, 5) // want `\[billedquery\] victim Retrieve call is not budget-billed`
+}

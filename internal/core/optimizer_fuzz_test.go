@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"duo/internal/retrieval"
+	"duo/internal/video"
+)
+
+// spyVictim records every video the harness sends to the victim, so the
+// fuzz target can check the support/budget contract on the actual queries —
+// not just the final adversarial video.
+type spyVictim struct {
+	inner   retrieval.Retriever
+	queried []*video.Video
+}
+
+func (s *spyVictim) Retrieve(v *video.Video, m int) []retrieval.Result {
+	s.queried = append(s.queried, v)
+	return s.inner.Retrieve(v, m)
+}
+
+// FuzzOptimizerSupport fuzzes (seed, strategy, budget) over every
+// registered optimizer and asserts the two hard safety contracts on every
+// single victim query: no candidate ever perturbs an element outside the
+// ℐ⊙𝓕 mask, no candidate ever exceeds the ±τ ball around the original, and
+// the total victim round-trips never exceed the budget. A strategy that
+// leaks even one out-of-mask pixel into one probe breaks stealth — the
+// property must hold per query, not just at the end.
+func FuzzOptimizerSupport(f *testing.F) {
+	for i := range OptimizerNames() {
+		f.Add(int64(1), uint8(i), uint16(12))
+		f.Add(int64(99), uint8(i), uint16(40))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, strategyIdx uint8, budget uint16) {
+		names := OptimizerNames()
+		strategy := names[int(strategyIdx)%len(names)]
+		fix := getFixture(t)
+		masks := contractMasks(t)
+
+		cfg := testQueryConfig()
+		cfg.Strategy = strategy
+		cfg.MaxQueries = 1 + int(budget)%60
+
+		spy := &spyVictim{inner: fix.victim}
+		ctx := newCtx(fix, seed)
+		ctx.Victim = spy
+		qr, err := SparseQuery(ctx, fix.origin, fix.target, masks, cfg)
+		if cfg.MaxQueries < 3 {
+			// Too small to cover the two reference fetches plus the initial
+			// 𝕋⁰ evaluation: the harness must reject it up front rather
+			// than overrun the budget (found by this very fuzz target).
+			if err == nil {
+				t.Fatalf("strategy %s: budget %d accepted", strategy, cfg.MaxQueries)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("strategy %s: %v", strategy, err)
+		}
+		if len(spy.queried) > cfg.MaxQueries {
+			t.Fatalf("victim served %d queries, budget %d", len(spy.queried), cfg.MaxQueries)
+		}
+		if qr.Queries != len(spy.queried) {
+			t.Fatalf("billed %d, victim served %d", qr.Queries, len(spy.queried))
+		}
+
+		base := fix.origin.Add(masks.Compose().Clamp(-cfg.Tau, cfg.Tau))
+		baseData := base.Data.Data()
+		origData := fix.origin.Data.Data()
+		pm, fm := masks.Pixel.Data(), masks.Frame.Data()
+		for qi, q := range spy.queried {
+			if q == fix.target {
+				continue // the target-list reference query, not a candidate
+			}
+			qd := q.Data.Data()
+			for i := range qd {
+				if pm[i]*fm[i] == 0 && qd[i] != baseData[i] {
+					t.Fatalf("query %d (strategy %s): element %d outside the mask perturbed", qi, strategy, i)
+				}
+				if d := math.Abs(qd[i] - origData[i]); d > cfg.Tau+1e-9 {
+					t.Fatalf("query %d (strategy %s): |Δ[%d]| = %g > τ = %g", qi, strategy, i, d, cfg.Tau)
+				}
+				if qd[i] < video.PixelMin-1e-9 || qd[i] > video.PixelMax+1e-9 {
+					t.Fatalf("query %d (strategy %s): pixel %d = %g out of range", qi, strategy, i, qd[i])
+				}
+			}
+		}
+	})
+}
+
+// TestOptimizerSeedDeterminism is the property-test companion to the fuzz
+// target: for every strategy and a spread of seeds, two runs with the same
+// seed must produce bit-identical trajectories and adversarial videos.
+func TestOptimizerSeedDeterminism(t *testing.T) {
+	for _, strategy := range OptimizerNames() {
+		strategy := strategy
+		t.Run(strategy, func(t *testing.T) {
+			for _, seed := range []int64{1, 42, 12345} {
+				a, _, _, _ := runStrategy(t, strategy, seed)
+				b, _, _, _ := runStrategy(t, strategy, seed)
+				if !a.Adv.Data.Equal(b.Adv.Data, 0) {
+					t.Fatalf("seed %d: adversarial videos differ", seed)
+				}
+				if len(a.Trajectory) != len(b.Trajectory) {
+					t.Fatalf("seed %d: trajectory lengths %d vs %d", seed, len(a.Trajectory), len(b.Trajectory))
+				}
+				for i := range a.Trajectory {
+					if math.Float64bits(a.Trajectory[i]) != math.Float64bits(b.Trajectory[i]) {
+						t.Fatalf("seed %d: trajectory diverged at %d", seed, i)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -34,7 +33,7 @@ const (
 	BasisDCT
 )
 
-// QueryConfig parameterizes SparseQuery.
+// QueryConfig parameterizes the black-box rectification stage.
 type QueryConfig struct {
 	// MaxQueries is iter_numQ, the query budget (1,000 in §V-B).
 	MaxQueries int
@@ -51,8 +50,15 @@ type QueryConfig struct {
 	// Mode selects Targeted (zero value and default) or Untargeted; the
 	// untargeted objective drops the target term of Eq. (2).
 	Mode Mode
-	// Basis selects Cartesian (default, per the paper) or DCT directions.
+	// Basis selects Cartesian (default, per the paper) or DCT directions
+	// for the sparsequery strategy.
 	Basis BasisType
+	// Strategy selects the registered BlackBoxOptimizer driving the
+	// victim-query walk: "sparsequery" (empty value and default, the
+	// paper's Algorithm 2), "sparsers" (Sparse-RS random search), or
+	// "evolutionary" (population-based frame-pixel search). Every strategy
+	// runs inside the same billing/tracing/shed-refund harness.
+	Strategy string
 	// QueryRetries is how many extra attempts a failed victim query gets
 	// before its candidate step is skipped. Every attempt — retries
 	// included — counts against MaxQueries: a flaky victim burns budget,
@@ -66,7 +72,8 @@ type QueryConfig struct {
 	// would have been accepted, so the walk trades query-budget efficiency
 	// for round-trip latency; it is therefore opt-in and off by default.
 	// Fallible (distributed) victims always take the sequential path —
-	// their retry accounting needs one query at a time.
+	// their retry accounting needs one query at a time. Only the
+	// sparsequery strategy batches pairs.
 	BatchPairs bool
 }
 
@@ -76,7 +83,7 @@ func DefaultQueryConfig() QueryConfig {
 	return QueryConfig{MaxQueries: 1000, Eta: 0.5, Tau: 30}
 }
 
-// QueryResult is SparseQuery's outcome for one round.
+// QueryResult is the rectification stage's outcome for one round.
 type QueryResult struct {
 	// Adv is the rectified adversarial video.
 	Adv *video.Video
@@ -85,7 +92,7 @@ type QueryResult struct {
 	// Queries is the number of victim queries consumed (failed attempts
 	// and their retries included — the victim still served them).
 	Queries int
-	// Improved reports whether any coordinate step was accepted.
+	// Improved reports whether any candidate strictly lowered 𝕋.
 	Improved bool
 	// Skipped counts candidate steps abandoned because the victim query
 	// failed even after retries (distributed victims only).
@@ -100,27 +107,35 @@ type QueryResult struct {
 	BatchedPairs int
 }
 
-// SparseQuery runs Algorithm 2: masked SimBA-style coordinate descent on
-// the victim. v is the round's base video, vt the target, and masks the
-// prior from SparseTransfer; perturbations stay inside the support of
-// ℐ⊙𝓕⊙θ (Eq. 4) and within ±τ of v on every element.
+// SparseQuery runs the black-box rectification stage: the strategy named
+// by cfg.Strategy (Algorithm 2's masked SimBA-style coordinate descent by
+// default) walks candidates against the victim. v is the round's base
+// video, vt the target, and masks the prior from SparseTransfer;
+// perturbations stay inside the support of ℐ⊙𝓕⊙θ (Eq. 4) and within ±τ of
+// v on every element, whatever the strategy.
 func SparseQuery(ctx *attack.Context, v, vt *video.Video, masks *Masks, cfg QueryConfig) (*QueryResult, error) {
 	return sparseQuery(ctx, nil, v, vt, masks, cfg)
 }
 
 // sparseQuery is SparseQuery with span recording under parent: one
-// sparsequery span, one query.step span per coordinate iteration (with
-// the candidate pixel and post-step 𝕋), and one leaf retrieve span per
-// victim round-trip. The `queries` attribute appears ONLY on retrieve
-// leaves and covers every billing site — reference fetches, walk steps,
-// retries, batched pairs — so Σ queries over retrieve spans equals the
-// round's billed query count exactly (duotrace enforces this).
+// sparsequery span (carrying the strategy name), one query.step span per
+// strategy iteration, and one leaf retrieve span per victim round-trip.
+// The `queries` attribute appears ONLY on retrieve leaves and covers every
+// billing site — reference fetches, walk steps, retries, batched pairs —
+// so Σ queries over retrieve spans equals the round's billed query count
+// exactly (duotrace enforces this). The harness below owns everything the
+// contracts bind; the selected BlackBoxOptimizer only ever sees the
+// Oracle.
 func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, masks *Masks, cfg QueryConfig) (*QueryResult, error) {
 	if cfg.MaxQueries <= 0 {
 		return nil, fmt.Errorf("core: non-positive query budget %d", cfg.MaxQueries)
 	}
 	if cfg.Tau <= 0 {
 		return nil, fmt.Errorf("core: τ=%g must be positive", cfg.Tau)
+	}
+	strategy, err := newOptimizer(cfg.Strategy)
+	if err != nil {
+		return nil, err
 	}
 	sim := cfg.Sim
 	if sim == nil {
@@ -139,212 +154,146 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 		retries = 0
 	}
 
-	// Write-only instruments: the query counter burns with the budget and
-	// the ring keeps the tail of the 𝕋 trajectory (Fig. 5) for inspection.
-	// Neither is ever read back, so telemetry cannot perturb the walk.
-	telQueries := ctx.Telemetry.Counter("attack.queries")
-	telShed := ctx.Telemetry.Counter("attack.shed")
-	telTraj := ctx.Telemetry.Ring("attack.trajectory", 512)
+	mode := cfg.Mode
+	if mode == 0 {
+		mode = Targeted
+	}
+
+	// The harness itself bills queries before any strategy step runs: the
+	// reference-list fetches plus the initial 𝕋⁰ evaluation. A budget that
+	// cannot even cover that overhead would overrun MaxQueries, so reject
+	// it as a misconfiguration instead.
+	overhead := 2 // R(v) reference + 𝕋⁰
+	if mode != Untargeted {
+		overhead++ // R(v_t) reference
+	}
+	if cfg.MaxQueries < overhead {
+		return nil, fmt.Errorf("core: query budget %d cannot cover the %d reference/initial queries", cfg.MaxQueries, overhead)
+	}
 
 	tr := ctx.Trace
 	qsp := tr.Start(parent, "sparsequery")
 	defer qsp.End()
-	// retrParent is the span the next leaf retrieve span hangs under: the
-	// sparsequery span for the reference fetches, the current query.step
-	// span during the walk.
-	retrParent := qsp
+	qsp.SetStr("strategy", strategy.Name())
 
-	queries := 0
-	shedTotal := 0
-	fallible, _ := ctx.Victim.(retrieval.FallibleRetriever)
-	traced, _ := ctx.Victim.(retrieval.TracedRetriever)
+	o := &Oracle{
+		ctx:     &oracleCtx{victim: ctx.Victim, m: ctx.M, rng: ctx.Rng},
+		cfg:     cfg,
+		eps:     eps,
+		sim:     sim,
+		mode:    mode,
+		v:       v,
+		vt:      vt,
+		masks:   masks,
+		retries: retries,
+		tr:      tr,
+		qsp:     qsp,
+		res:     &QueryResult{},
+		// Write-only instruments: the query counter burns with the budget
+		// and the ring keeps the tail of the 𝕋 trajectory (Fig. 5) for
+		// inspection. Neither is ever read back, so telemetry cannot
+		// perturb the walk.
+		telQueries: ctx.Telemetry.Counter("attack.queries"),
+		telShed:    ctx.Telemetry.Counter("attack.shed"),
+		telTraj:    ctx.Telemetry.Ring("attack.trajectory", 512),
+	}
+	o.retrParent = qsp
+	o.fallible, _ = ctx.Victim.(retrieval.FallibleRetriever)
+	o.traced, _ = ctx.Victim.(retrieval.TracedRetriever)
 	// A fallible victim keeps the one-query-at-a-time path so retries are
 	// billed per attempt; batching is only sound when Retrieve cannot fail.
-	var batcher retrieval.BatchRetriever
-	if fallible == nil {
-		batcher, _ = ctx.Victim.(retrieval.BatchRetriever)
-	}
-	// retrieveIDs issues one victim query, retrying a fallible victim up
-	// to `retries` extra times; every attempt counts against the budget.
-	// A nil error guarantees the list is complete — a failed node must
-	// never leak a silently-partial top-m into 𝕋 (Eq. 2). Each call
-	// records one leaf retrieve span whose `queries` attribute is exactly
-	// what this call billed, retries included — EXCEPT sheds: an attempt
-	// the victim refused at admission (ErrOverloaded) is refunded, because
-	// the victim never served it. Shed attempts still consume a retry slot
-	// (the loop is bounded by `retries`, not by budget), and they surface
-	// on the span as a `shed` attribute, never inside `queries`.
-	retrieveIDs := func(qv *video.Video) ([]string, error) {
-		rsp := tr.Start(retrParent, "retrieve")
-		if fallible == nil {
-			queries++
-			telQueries.Inc()
-			ids := retrieval.IDs(ctx.Victim.Retrieve(qv, ctx.M))
-			rsp.SetInt("queries", 1)
-			rsp.SetStr("outcome", "ok")
-			rsp.End()
-			return ids, nil
-		}
-		billed := 0
-		shed := 0
-		var lastErr error
-		for attempt := 0; attempt <= retries; attempt++ {
-			if attempt > 0 && queries >= cfg.MaxQueries {
-				break // no budget left to retry
-			}
-			queries++
-			billed++
-			var rs []retrieval.Result
-			var err error
-			// A traced victim (the cluster) attributes per-node child
-			// spans under this retrieve leaf; results and billing are
-			// identical to RetrieveErr.
-			if tc := rsp.Ctx(); traced != nil && tc.Valid() {
-				rs, err = traced.RetrieveTraced(tc, qv, ctx.M)
-			} else {
-				rs, err = fallible.RetrieveErr(qv, ctx.M)
-			}
-			if errors.Is(err, retrieval.ErrOverloaded) {
-				// Load shed: the request never reached a shard, so it is
-				// not a query the victim answered. Refund the bill and
-				// account the attempt separately.
-				queries--
-				billed--
-				shed++
-				shedTotal++
-				telShed.Inc()
-				lastErr = err
-				continue
-			}
-			telQueries.Inc()
-			if err == nil {
-				rsp.SetInt("queries", int64(billed))
-				if shed > 0 {
-					rsp.SetInt("shed", int64(shed))
-				}
-				rsp.SetStr("outcome", "ok")
-				rsp.End()
-				return retrieval.IDs(rs), nil
-			}
-			lastErr = err
-		}
-		rsp.SetInt("queries", int64(billed))
-		if shed > 0 {
-			rsp.SetInt("shed", int64(shed))
-		}
-		if billed == 0 && shed > 0 {
-			// Every attempt was refused at admission — the round-trip cost
-			// nothing, it just didn't happen.
-			rsp.SetStr("outcome", "shed")
-		} else {
-			rsp.SetStr("outcome", "failed")
-		}
-		rsp.End()
-		return nil, fmt.Errorf("core: victim query failed: %w", lastErr)
+	if o.fallible == nil {
+		o.batcher, _ = ctx.Victim.(retrieval.BatchRetriever)
 	}
 
 	// Reference lists for Eq. (2). Untargeted runs have no target list and
 	// minimize ℍ(R(v_adv), R(v)) + η alone. A victim that cannot answer
 	// the reference queries leaves the round with no objective at all.
-	// Targeted rounds against a batching victim fetch both references in
-	// one round-trip; billing and results are identical to two Retrieves.
-	var origList, targetList []string
-	var err error
-	if cfg.Mode != Untargeted && vt == nil {
+	if mode != Untargeted && vt == nil {
 		return nil, fmt.Errorf("core: targeted SparseQuery needs a target video")
 	}
-	if batcher != nil && cfg.Mode != Untargeted {
-		rsp := tr.Start(qsp, "retrieve")
-		queries += 2
-		telQueries.Add(2)
-		lists := batcher.RetrieveBatch([]*video.Video{v, vt}, ctx.M)
-		origList, targetList = retrieval.IDs(lists[0]), retrieval.IDs(lists[1])
-		rsp.SetInt("queries", 2)
-		rsp.SetStr("outcome", "ok")
-		rsp.SetStr("kind", "batch")
-		rsp.End()
-	} else {
-		if origList, err = retrieveIDs(v); err != nil {
-			return nil, err
-		}
-		if cfg.Mode != Untargeted {
-			if targetList, err = retrieveIDs(vt); err != nil {
-				return nil, err
-			}
-		}
-	}
-	// score is the billing-free half of the objective: Eq. (2) on an
-	// already-retrieved list.
-	score := func(advList []string) float64 {
-		if cfg.Mode == Untargeted {
-			return sim(advList, origList) + cfg.Eta
-		}
-		return metrics.Objective(sim, advList, origList, targetList, cfg.Eta)
-	}
-	objective := func(qv *video.Video) (float64, error) {
-		advList, err := retrieveIDs(qv)
-		if err != nil {
-			return 0, err
-		}
-		return score(advList), nil
+	if err := o.fetchReferences(); err != nil {
+		return nil, err
 	}
 
 	// Line 1–2: v_adv⁰ = v + ℐ⊙𝓕⊙θ, 𝕋⁰. The prior is projected into this
 	// stage's τ-ball so the ‖v_adv − v‖∞ ≤ τ contract holds even when the
 	// caller configured a larger transfer-stage budget.
 	adv := v.Add(masks.Compose().Clamp(-cfg.Tau, cfg.Tau))
-	tCur, err := objective(adv)
+	tCur, err := o.objective(adv)
 	if err != nil {
 		return nil, err
 	}
+	o.cur, o.tCur = adv, tCur
 
-	// The Cartesian basis is restricted to the support of ℐ⊙𝓕⊙θ (Eq. 4).
+	// Every strategy is restricted to the support of ℐ⊙𝓕⊙θ (Eq. 4).
 	support := supportIndices(masks)
 	if len(support) == 0 {
 		// Degenerate prior (θ ≡ 0 on the mask): explore the mask itself.
 		support = maskIndices(masks)
 	}
 	if len(support) == 0 {
-		telTraj.Push(tCur)
-		return &QueryResult{Adv: adv, Trajectory: []float64{tCur}, Queries: queries, Shed: shedTotal}, nil
+		o.telTraj.Push(tCur)
+		return &QueryResult{Adv: adv, Trajectory: []float64{tCur}, Queries: o.queries, Shed: o.shedTotal}, nil
 	}
+	o.support = support
+
+	o.res.Trajectory = []float64{tCur}
+	o.telTraj.Push(tCur)
+
+	if err := strategy.Optimize(o); err != nil {
+		return nil, err
+	}
+
+	res := o.res
+	res.Adv = o.cur
+	res.Queries = o.queries
+	res.Shed = o.shedTotal
+	qsp.SetInt("support", int64(len(support)))
+	qsp.SetInt("round_queries", int64(res.Queries))
+	qsp.SetInt("skipped", int64(res.Skipped))
+	qsp.SetInt("shed", int64(res.Shed))
+	qsp.SetInt("batched_pairs", int64(res.BatchedPairs))
+	return res, nil
+}
+
+func init() {
+	RegisterOptimizer(StrategySparseQuery, func() BlackBoxOptimizer { return sparseQueryOpt{} })
+}
+
+// sparseQueryOpt is the paper's Algorithm 2 as a BlackBoxOptimizer: masked
+// SimBA-style coordinate descent, one ±ε candidate pair per iteration over
+// a without-replacement permutation of the support (or masked DCT basis
+// directions with cfg.Basis == BasisDCT).
+type sparseQueryOpt struct{}
+
+func (sparseQueryOpt) Name() string { return StrategySparseQuery }
+
+func (sparseQueryOpt) Optimize(o *Oracle) error {
+	cfg := o.cfg
+	v := o.v
+	support := o.support
+	eps := o.eps
+	rng := o.Rng()
 
 	// The retrieval list is a step function of the input, so 𝕋 plateaus
 	// between rank boundaries. Eq. (3) therefore accepts non-strictly
 	// (𝕋 ≤ 𝕋_prev keeps the +ε step): the walk keeps moving across
 	// plateaus and descends whenever it crosses a boundary. Acceptance
 	// never increases 𝕋, so the final state is also the best visited.
-	res := &QueryResult{Trajectory: []float64{tCur}}
-	telTraj.Push(tCur)
-	perm := ctx.Rng.Perm(len(support))
+	perm := rng.Perm(len(support))
 	pi := 0
-
-	// applyStep writes a candidate value at one flat index, respecting the
-	// ±τ box around v and the pixel range; it reports whether anything
-	// changed.
-	applyStep := func(cand *video.Video, idx int, delta float64) bool {
-		d := cand.Data.Data()
-		base := v.Data.Data()[idx]
-		nv := d[idx] + delta
-		nv = math.Max(base-cfg.Tau, math.Min(base+cfg.Tau, nv))
-		nv = math.Max(video.PixelMin, math.Min(video.PixelMax, nv))
-		if nv == d[idx] { //duolint:allow floateq exact no-op detection: a clipped step is worth a query iff it changed at least one bit
-			return false
-		}
-		d[idx] = nv
-		return true
-	}
 
 	// makeCandidate builds the κ-th candidate pair generator according to
 	// the configured basis.
 	cartesianCandidate := func(sign float64) (*video.Video, bool) {
 		idx := support[perm[pi%len(perm)]]
-		cand := adv.Clone()
-		return cand, applyStep(cand, idx, sign*eps)
+		cand := o.cur.Clone()
+		return cand, o.ApplyStep(cand, idx, sign*eps)
 	}
 	var activeFrames []int
 	if cfg.Basis == BasisDCT {
-		activeFrames = masks.ActiveFrames()
+		activeFrames = o.masks.ActiveFrames()
 		if len(activeFrames) == 0 {
 			for f := 0; f < v.Frames(); f++ {
 				activeFrames = append(activeFrames, f)
@@ -354,12 +303,12 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 	var dctDir [][]float64
 	var dctFrame, dctChannel int
 	sampleDCT := func() {
-		dctFrame = activeFrames[ctx.Rng.Intn(len(activeFrames))]
-		dctChannel = ctx.Rng.Intn(v.Channels())
+		dctFrame = activeFrames[rng.Intn(len(activeFrames))]
+		dctChannel = rng.Intn(v.Channels())
 		// Low-frequency quarter of the spectrum.
 		maxU := max(1, v.Height()/4)
 		maxV := max(1, v.Width()/4)
-		dir := mathx.DCTBasis2D(v.Height(), v.Width(), ctx.Rng.Intn(maxU), ctx.Rng.Intn(maxV))
+		dir := mathx.DCTBasis2D(v.Height(), v.Width(), rng.Intn(maxU), rng.Intn(maxV))
 		// Normalize to ‖·‖∞ = 1 so ε keeps its per-element meaning.
 		peak := 0.0
 		for _, row := range dir {
@@ -379,8 +328,8 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 		dctDir = dir
 	}
 	dctCandidate := func(sign float64) (*video.Video, bool) {
-		cand := adv.Clone()
-		pm, fm := masks.Pixel.Data(), masks.Frame.Data()
+		cand := o.cur.Clone()
+		pm, fm := o.masks.Pixel.Data(), o.masks.Frame.Data()
 		perFrame := v.Data.Len() / v.Frames()
 		plane := v.Height() * v.Width()
 		changed := false
@@ -390,7 +339,7 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 				if pm[idx]*fm[idx] == 0 {
 					continue
 				}
-				if applyStep(cand, idx, sign*eps*dctDir[y][x]) {
+				if o.ApplyStep(cand, idx, sign*eps*dctDir[y][x]) {
 					changed = true
 				}
 			}
@@ -403,18 +352,6 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 		}
 		return cartesianCandidate(sign)
 	}
-	// accept applies Eq. (3): keep a candidate whose 𝕋 did not increase.
-	accept := func(cand *video.Video, tNew float64) bool {
-		if tNew > tCur {
-			return false
-		}
-		if tNew < tCur {
-			res.Improved = true
-		}
-		adv = cand
-		tCur = tNew
-		return true
-	}
 	// trySequential walks prebuilt arms in Eq. (3) order (+ε before −ε),
 	// one victim query each, keeping the first non-increasing candidate.
 	type arm struct {
@@ -426,33 +363,32 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 			if !a.changed {
 				continue // no-op candidate, don't waste a query
 			}
-			if queries >= cfg.MaxQueries {
+			if o.Remaining() == 0 {
 				break
 			}
-			tNew, err := objective(a.cand)
+			tNew, err := o.Score(a.cand)
 			if err != nil {
-				// Retry-or-skip: the retries inside retrieveIDs are spent;
+				// Retry-or-skip: the retries inside the oracle are spent;
 				// reject the candidate rather than scoring it against a
 				// partial (availability-degraded) retrieval list.
-				res.Skipped++
+				o.Skip()
 				continue
 			}
-			if accept(a.cand, tNew) {
+			if o.Accept(a.cand, tNew) {
 				break
 			}
 		}
 	}
-	pairBatch := cfg.BatchPairs && batcher != nil
+	pairBatch := cfg.BatchPairs && o.PairBatching()
 
-	for queries < cfg.MaxQueries {
+	for o.Remaining() > 0 {
 		// Line 5: sample q from the basis without replacement; reshuffle
 		// once the Cartesian basis is exhausted.
 		if pi >= len(perm) {
-			perm = ctx.Rng.Perm(len(support))
+			perm = rng.Perm(len(support))
 			pi = 0
 		}
-		stepSp := tr.Start(qsp, "query.step")
-		retrParent = stepSp
+		stepSp := o.StepStart()
 		if cfg.Basis == BasisDCT {
 			sampleDCT()
 			stepSp.SetInt("frame", int64(dctFrame))
@@ -466,22 +402,16 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 		if pairBatch {
 			candP, okP := buildCandidate(1)
 			candM, okM := buildCandidate(-1)
-			if okP && okM && queries+2 <= cfg.MaxQueries {
+			if okP && okM && o.Remaining() >= 2 {
 				// Both arms go out in one round-trip; both are billed.
 				// Acceptance order is unchanged: +ε wins whenever it
 				// qualifies, so the per-iteration walk matches the
 				// sequential one exactly.
-				rsp := tr.Start(stepSp, "retrieve")
-				queries += 2
-				telQueries.Add(2)
-				res.BatchedPairs++
-				lists := batcher.RetrieveBatch([]*video.Video{candP, candM}, ctx.M)
-				rsp.SetInt("queries", 2)
-				rsp.SetStr("outcome", "ok")
-				rsp.SetStr("kind", "pair")
-				rsp.End()
-				if !accept(candP, score(retrieval.IDs(lists[0]))) {
-					accept(candM, score(retrieval.IDs(lists[1])))
+				tp, tm, err := o.ScorePair(candP, candM)
+				if err != nil {
+					o.Skip()
+				} else if !o.Accept(candP, tp) {
+					o.Accept(candM, tm)
 				}
 			} else {
 				// A no-op arm or budget for at most one query: fall back
@@ -494,22 +424,11 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 			trySequential([]arm{{candP, okP}, {candM, okM}})
 		}
 		pi++
-		res.Trajectory = append(res.Trajectory, tCur)
-		telTraj.Push(tCur)
-		stepSp.SetFloat("T", tCur)
-		stepSp.End()
-		retrParent = qsp
+		o.Record()
+		stepSp.SetFloat("T", o.tCur)
+		o.StepEnd(stepSp)
 	}
-
-	res.Adv = adv
-	res.Queries = queries
-	res.Shed = shedTotal
-	qsp.SetInt("support", int64(len(support)))
-	qsp.SetInt("round_queries", int64(res.Queries))
-	qsp.SetInt("skipped", int64(res.Skipped))
-	qsp.SetInt("shed", int64(res.Shed))
-	qsp.SetInt("batched_pairs", int64(res.BatchedPairs))
-	return res, nil
+	return nil
 }
 
 // supportIndices returns the flat indices where ℐ⊙𝓕⊙θ ≠ 0 (Eq. 4).

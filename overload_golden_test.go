@@ -47,8 +47,9 @@ type overloadRun struct {
 // overloadGoldenRun builds the golden system, steals the surrogate against
 // the clean victim, then swaps the victim for a 2-node cluster whose nodes
 // shed with probability pOverload on seeded schedules (absorbed by a
-// no-sleep retry layer), and runs the golden attack through it.
-func overloadGoldenRun(t *testing.T, pOverload float64) *overloadRun {
+// no-sleep retry layer), and runs the golden attack through it with the
+// given optimizer strategy ("" = the sparsequery default).
+func overloadGoldenRun(t *testing.T, pOverload float64, strategy string) *overloadRun {
 	t.Helper()
 	sys, err := NewSystem(SystemOptions{
 		Categories: 3, TrainPerCategory: 4, TestPerCategory: 2,
@@ -95,7 +96,7 @@ func overloadGoldenRun(t *testing.T, pOverload float64) *overloadRun {
 	sys.Victim = cl
 
 	pair := sys.SamplePairs(5, 1)[0]
-	rep, err := sys.Attack(pair.Original, pair.Target, surr, AttackOptions{Queries: 80, Telemetry: reg})
+	rep, err := sys.Attack(pair.Original, pair.Target, surr, AttackOptions{Queries: 80, Strategy: strategy, Telemetry: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,8 +134,8 @@ func TestGoldenPipelineUnderOverload(t *testing.T) {
 	prev := parallel.SetWorkers(1)
 	defer parallel.SetWorkers(prev)
 
-	clean := overloadGoldenRun(t, 0)
-	over := overloadGoldenRun(t, 0.3)
+	clean := overloadGoldenRun(t, 0, "")
+	over := overloadGoldenRun(t, 0.3, "")
 
 	// Graceful degradation, end to end: shedding 30% of node calls changes
 	// nothing observable about the attack — retries absorb the sheds and
@@ -194,7 +195,7 @@ func TestGoldenPipelineUnderOverload(t *testing.T) {
 	// identical span trace — overload handling sits entirely on the
 	// deterministic orchestration path.
 	parallel.SetWorkers(4)
-	over4 := overloadGoldenRun(t, 0.3)
+	over4 := overloadGoldenRun(t, 0.3, "")
 	if !reflect.DeepEqual(over.fp, over4.fp) {
 		t.Errorf("workers=4 fingerprint differs:\n w1 %+v\n w4 %+v", over.fp, over4.fp)
 	}
@@ -209,5 +210,52 @@ func TestGoldenPipelineUnderOverload(t *testing.T) {
 	}
 	if f1, f4 := traceSHA256(t, over.tr), traceSHA256(t, over4.tr); f1 != f4 {
 		t.Errorf("trace fingerprint differs between workers=1 (%s) and workers=4 (%s)", f1, f4)
+	}
+}
+
+// TestOverloadInvarianceByStrategy extends the chaos contract to every
+// registered optimizer strategy: shed refunds are a harness property, so a
+// 30%-shedding victim must leave each strategy's fingerprint — adversarial
+// bits, retrieval list, query count — bitwise-identical to its clean run.
+func TestOverloadInvarianceByStrategy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline runs")
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+
+	for _, strategy := range Strategies() {
+		strategy := strategy
+		t.Run(strategy, func(t *testing.T) {
+			clean := overloadGoldenRun(t, 0, strategy)
+			over := overloadGoldenRun(t, 0.3, strategy)
+			if !reflect.DeepEqual(clean.fp, over.fp) {
+				t.Errorf("overload changed the %s fingerprint:\nclean %+v\nover  %+v", strategy, clean.fp, over.fp)
+			}
+			var injected int64
+			for _, n := range over.perNodeSheds {
+				injected += n
+			}
+			if injected == 0 {
+				t.Fatal("overload schedule never fired; the test exercises nothing")
+			}
+			// Billing stays exact under shedding: trace attribution and
+			// telemetry both agree with the refunded query count.
+			var attributed int64
+			for _, r := range over.tr.Records() {
+				if q, ok := r.Int("queries"); ok {
+					attributed += q
+				}
+			}
+			if attributed != int64(over.fp.Queries) {
+				t.Errorf("trace attributes %d queries, billed %d", attributed, over.fp.Queries)
+			}
+			if got := over.reg.Snapshot().Counters["attack.queries"]; got != int64(over.fp.Queries) {
+				t.Errorf("telemetry attack.queries = %d, billed %d", got, over.fp.Queries)
+			}
+			if got := over.reg.Snapshot().Counters["attack.shed"]; got != over.surfacedSheds {
+				t.Errorf("telemetry attack.shed = %d, attack.run shed_total = %d", got, over.surfacedSheds)
+			}
+		})
 	}
 }
