@@ -1,0 +1,635 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Allocinloop enforces the hot-path allocation discipline that PR 2's
+// sync.Pool scratch idiom established by convention: inside loops
+// reachable from an annotated hot entry point, nothing may allocate per
+// iteration. A function opts in with a
+//
+//	//duolint:hot
+//
+// line in its doc comment; the rule then walks a loop-nesting view of the
+// function (and transitively treats every same-package function called
+// from a hot region as fully hot — its whole body runs once per
+// iteration), flagging:
+//
+//   - make and new
+//   - composite literals that allocate (&T{...}, slice and map literals;
+//     plain value struct literals live on the stack and are not flagged)
+//   - growing append
+//   - closure captures (a func literal referencing enclosing locals is
+//     materialized on the heap each time it is evaluated; a literal
+//     capturing nothing is a static function and is not flagged)
+//   - interface boxing at call sites (a non-pointer-shaped concrete
+//     argument passed to an interface parameter, variadic ...any included)
+//   - string <-> []byte/[]rune conversions
+//
+// The PR 2 scratch idiom is recognized and discharged, not flagged:
+//
+//   - pool checkout / grow-once: a make or append guarded by a len()/cap()
+//     comparison ("if cap(buf) < n { buf = make(...) }");
+//   - pre-sized buffers: append onto a target whose defining assignment
+//     before the append is a reslice ("buf := sc.merged[:0]"), a
+//     three-argument make, or a sync.Pool-style .Get() checkout.
+//
+// Anything legitimately allocating in a hot loop carries a
+// //duolint:allow allocinloop annotation with a reason, which doubles as
+// the inventory of every per-iteration allocation the project accepts.
+var Allocinloop = &Analyzer{
+	Name: "allocinloop",
+	Doc:  "no per-iteration heap allocation inside loops reachable from //duolint:hot entry points",
+	Run:  runAllocinloop,
+}
+
+// hotDirective is the annotation marking a hot entry point.
+const hotDirective = "//duolint:hot"
+
+func runAllocinloop(p *Pass) {
+	// Index every function declaration and local closure binding so calls
+	// inside hot regions can be resolved for propagation.
+	decls := map[types.Object]*ast.FuncDecl{}
+	closures := map[types.Object]*ast.FuncLit{}
+	var annotated []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := p.Info.ObjectOf(fd.Name); obj != nil {
+				decls[obj] = fd
+			}
+			if hasHotDirective(fd.Doc) {
+				annotated = append(annotated, fd)
+			}
+			// name := func(...){...} bindings inside this function.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					id, ok := as.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if obj := p.Info.ObjectOf(id); obj != nil {
+						closures[obj] = lit
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(annotated) == 0 {
+		return
+	}
+
+	// Propagation: every same-package function (or local closure) called
+	// from a hot region becomes fully hot. Fixpoint over a worklist.
+	type hotBody struct {
+		body   *ast.BlockStmt
+		full   bool
+		origin string
+	}
+	fullDone := map[ast.Node]string{} // node -> origin, processed as fully hot
+	var work []hotBody
+	enqueue := func(node ast.Node, body *ast.BlockStmt, origin string) {
+		if _, done := fullDone[node]; done {
+			return
+		}
+		fullDone[node] = origin
+		work = append(work, hotBody{body: body, full: true, origin: origin})
+	}
+	collectCalls := func(origin string) func(n ast.Node, _ []ast.Expr) {
+		return func(n ast.Node, _ []ast.Expr) {
+			ast.Inspect(n, func(c ast.Node) bool {
+				if _, isLit := c.(*ast.FuncLit); isLit {
+					return false // its body is walked with its own hotness
+				}
+				call, ok := c.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					obj := p.Info.Uses[fun]
+					if fd, ok := decls[obj]; ok && samePkg(p, obj) {
+						enqueue(fd, fd.Body, origin)
+					} else if lit, ok := closures[obj]; ok {
+						enqueue(lit, lit.Body, origin)
+					}
+				case *ast.SelectorExpr:
+					if obj := p.Info.Uses[fun.Sel]; samePkg(p, obj) {
+						if fd, ok := decls[obj]; ok {
+							enqueue(fd, fd.Body, origin)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, fd := range annotated {
+		walkHot(fd.Body, false, collectCalls(fd.Name.Name))
+	}
+	for len(work) > 0 {
+		hb := work[len(work)-1]
+		work = work[:len(work)-1]
+		walkHot(hb.body, hb.full, collectCalls(hb.origin))
+	}
+
+	// Reporting: annotated entry points contribute their loops; propagated
+	// functions contribute their whole bodies. A shared seen-set dedups
+	// regions visited from several directions.
+	seen := map[token.Pos]bool{}
+	for _, fd := range annotated {
+		if _, isFull := fullDone[fd]; isFull {
+			continue // reported below with the stronger judgment
+		}
+		walkHot(fd.Body, false, reportAllocs(p, fd.Name.Name, fd.Body, seen))
+	}
+	for node, origin := range fullDone {
+		var body *ast.BlockStmt
+		switch d := node.(type) {
+		case *ast.FuncDecl:
+			body = d.Body
+		case *ast.FuncLit:
+			body = d.Body
+		}
+		walkHot(body, true, reportAllocs(p, origin, body, seen))
+	}
+}
+
+// samePkg reports whether obj is declared in the package under analysis.
+func samePkg(p *Pass, obj types.Object) bool {
+	return obj != nil && obj.Pkg() == p.Pkg
+}
+
+// hasHotDirective reports whether a doc comment carries //duolint:hot.
+func hasHotDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == hotDirective || strings.HasPrefix(c.Text, hotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// walkHot walks a function body in its loop-nesting view, calling onHot
+// for every leaf statement or condition expression that executes per
+// hot-loop iteration — all of them when full, otherwise those inside
+// loops. Function literal bodies are descended into with the hotness of
+// the position where the literal is evaluated (a literal built inside a
+// hot loop runs at least once per iteration, so its whole body is hot; a
+// literal built outside contributes only its own loops). The enclosing
+// if-conditions within the walk are passed alongside for the discharge
+// heuristics.
+func walkHot(body *ast.BlockStmt, full bool, onHot func(n ast.Node, guards []ast.Expr)) {
+	w := &hotWalker{onHot: onHot}
+	w.stmts(body.List, full)
+}
+
+type hotWalker struct {
+	onHot  func(n ast.Node, guards []ast.Expr)
+	guards []ast.Expr
+}
+
+func (w *hotWalker) stmts(list []ast.Stmt, hot bool) {
+	for _, st := range list {
+		w.stmt(st, hot)
+	}
+}
+
+func (w *hotWalker) stmt(st ast.Stmt, hot bool) {
+	switch s := st.(type) {
+	case nil:
+		return
+	case *ast.BlockStmt:
+		w.stmts(s.List, hot)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, hot)
+	case *ast.IfStmt:
+		w.stmt(s.Init, hot)
+		w.node(s.Cond, hot)
+		w.guards = append(w.guards, s.Cond)
+		w.stmts(s.Body.List, hot)
+		w.guards = w.guards[:len(w.guards)-1]
+		w.stmt(s.Else, hot)
+	case *ast.ForStmt:
+		w.stmt(s.Init, hot)
+		if s.Cond != nil {
+			w.node(s.Cond, true) // evaluated per iteration
+		}
+		w.stmt(s.Post, true)
+		w.stmts(s.Body.List, true)
+	case *ast.RangeStmt:
+		w.node(s.X, hot) // the ranged expression is evaluated once
+		w.stmts(s.Body.List, true)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, hot)
+		if s.Tag != nil {
+			w.node(s.Tag, hot)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.node(e, hot)
+				}
+				w.stmts(cc.Body, hot)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, hot)
+		w.stmt(s.Assign, hot)
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, hot)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				w.stmt(cc.Comm, hot)
+				w.stmts(cc.Body, hot)
+			}
+		}
+	default:
+		// Leaf statement: Assign/Expr/IncDec/Decl/Return/Go/Defer/Send.
+		w.node(st, hot)
+	}
+}
+
+// node handles one leaf event: report it when hot, and descend into any
+// function literals it evaluates with the event's hotness.
+func (w *hotWalker) node(n ast.Node, hot bool) {
+	if n == nil {
+		return
+	}
+	if hot {
+		w.onHot(n, w.guards)
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if lit, ok := c.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, hot)
+			return false
+		}
+		return true
+	})
+}
+
+// reportAllocs returns the walkHot callback that flags allocation
+// operations inside one hot region. body is the enclosing function body
+// (the scope searched for pre-sizing definitions); origin names the hot
+// entry point for diagnostics; seen dedups nodes reachable through
+// several hot paths.
+func reportAllocs(p *Pass, origin string, body *ast.BlockStmt, seen map[token.Pos]bool) func(n ast.Node, guards []ast.Expr) {
+	return func(n ast.Node, guards []ast.Expr) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch e := c.(type) {
+			case *ast.FuncLit:
+				checkClosure(p, origin, e, seen)
+				return false // body walked separately by walkHot
+			case *ast.UnaryExpr:
+				if e.Op == token.AND {
+					if cl, ok := e.X.(*ast.CompositeLit); ok && !seen[cl.Pos()] {
+						seen[cl.Pos()] = true
+						reportAlloc(p, origin, e.Pos(), "&%s composite literal", typeLabel(p, cl))
+					}
+				}
+			case *ast.CallExpr:
+				checkCall(p, origin, body, e, guards, seen)
+			case *ast.CompositeLit:
+				checkComposite(p, origin, e, seen)
+			}
+			return true
+		})
+	}
+}
+
+// reportAlloc emits one allocinloop finding.
+func reportAlloc(p *Pass, origin string, pos token.Pos, format string, args ...any) {
+	what := fmt.Sprintf(format, args...)
+	p.Reportf(pos, "%s allocates on every iteration of a hot loop (hot path: %s); hoist it or use the pooled scratch idiom", what, origin)
+}
+
+// checkCall classifies one call expression in a hot region: builtin
+// allocators, allocating conversions, and interface boxing.
+func checkCall(p *Pass, origin string, body *ast.BlockStmt, call *ast.CallExpr, guards []ast.Expr, seen map[token.Pos]bool) {
+	if seen[call.Pos()] {
+		return
+	}
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				if !guardDischarges(guards) {
+					seen[call.Pos()] = true
+					reportAlloc(p, origin, call.Pos(), "make")
+				}
+			case "new":
+				seen[call.Pos()] = true
+				reportAlloc(p, origin, call.Pos(), "new")
+			case "append":
+				if !appendDischarged(p, body, call, guards) {
+					seen[call.Pos()] = true
+					reportAlloc(p, origin, call.Pos(), "growing append")
+				}
+			}
+			return
+		}
+	}
+	// Conversions: string <-> []byte / []rune.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := p.Info.TypeOf(call.Args[0])
+		if isStringByteConversion(dst, src) {
+			seen[call.Pos()] = true
+			reportAlloc(p, origin, call.Pos(), "%s conversion", types.TypeString(dst, types.RelativeTo(p.Pkg)))
+		}
+		return
+	}
+	// Interface boxing at the call site.
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := p.Info.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) || pointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if seen[arg.Pos()] {
+			continue
+		}
+		seen[arg.Pos()] = true
+		reportAlloc(p, origin, arg.Pos(), "interface boxing of %s argument", types.TypeString(at, types.RelativeTo(p.Pkg)))
+	}
+}
+
+// paramType resolves the i-th argument's parameter type, flattening
+// variadics; nil when no boxing judgment applies (spread calls pass the
+// slice through).
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	np := params.Len()
+	if np == 0 {
+		return nil
+	}
+	if sig.Variadic() {
+		if i < np-1 {
+			return params.At(i).Type()
+		}
+		if ellipsis {
+			return nil // f(xs...) passes the slice through, no per-element boxing
+		}
+		s, ok := params.At(np - 1).Type().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return s.Elem()
+	}
+	if i >= np {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// pointerShaped reports whether values of t fit an interface's data word
+// without allocating: pointers, channels, maps, funcs, unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isStringByteConversion reports a string <-> []byte/[]rune conversion
+// (each direction copies into a fresh allocation).
+func isStringByteConversion(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Uint8 || b.Kind() == types.Int32
+}
+
+// checkComposite flags slice and map composite literals. Value struct and
+// array literals are stack-allocated and skipped; &T{...} is handled by
+// the UnaryExpr case of reportAllocs.
+func checkComposite(p *Pass, origin string, cl *ast.CompositeLit, seen map[token.Pos]bool) {
+	if seen[cl.Pos()] {
+		return
+	}
+	t := p.Info.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		seen[cl.Pos()] = true
+		reportAlloc(p, origin, cl.Pos(), "%s slice literal", typeLabel(p, cl))
+	case *types.Map:
+		seen[cl.Pos()] = true
+		reportAlloc(p, origin, cl.Pos(), "%s map literal", typeLabel(p, cl))
+	}
+}
+
+// typeLabel renders a composite literal's type for diagnostics.
+func typeLabel(p *Pass, cl *ast.CompositeLit) string {
+	if t := p.Info.TypeOf(cl); t != nil {
+		return types.TypeString(t, types.RelativeTo(p.Pkg))
+	}
+	return "composite"
+}
+
+// checkClosure flags a func literal that captures enclosing variables: its
+// closure record is materialized per evaluation. A literal referencing
+// only its own locals/params and package-level state compiles to a static
+// function and is not flagged.
+func checkClosure(p *Pass, origin string, lit *ast.FuncLit, seen map[token.Pos]bool) {
+	if seen[lit.Pos()] {
+		return
+	}
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, isVar := p.Info.Uses[id].(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		// Package-level variables are statically addressed, not captured.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		// Declared inside the literal itself (params or locals): no capture.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		captured = id.Name
+		return false
+	})
+	if captured == "" {
+		return
+	}
+	seen[lit.Pos()] = true
+	reportAlloc(p, origin, lit.Pos(), "closure capturing %q", captured)
+}
+
+// guardDischarges reports whether an enclosing if-condition performs a
+// len()/cap() comparison — the grow-once / pool-checkout pattern
+// ("if cap(buf) < n { buf = make(...) }").
+func guardDischarges(guards []ast.Expr) bool {
+	for _, g := range guards {
+		found := false
+		ast.Inspect(g, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// appendDischarged applies the pre-sized-buffer discharges to an append
+// in a hot region: a len/cap guard on the path, or a target whose
+// defining assignment (lexically before the append, same function body)
+// is a reslice, a 3-arg make, or a pool .Get() checkout.
+func appendDischarged(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, guards []ast.Expr) bool {
+	if guardDischarges(guards) {
+		return true
+	}
+	if len(call.Args) == 0 {
+		return true
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	discharged := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if discharged {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() >= call.Pos() {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			lobj := p.Info.Defs[lid]
+			if lobj == nil {
+				lobj = p.Info.Uses[lid]
+			}
+			if lobj != obj {
+				continue
+			}
+			if presizedRHS(as.Rhs[i]) {
+				discharged = true
+				return false
+			}
+		}
+		return true
+	})
+	return discharged
+}
+
+// presizedRHS recognizes defining expressions that make a later append
+// amortized-free: a reslice (buf[:0], sc.merged[:n]), a 3-argument make
+// (explicit capacity), or a pool checkout (a .Get() call anywhere in the
+// expression, sync.Pool style).
+func presizedRHS(rhs ast.Expr) bool {
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) == 3 {
+			return true
+		}
+	}
+	got := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if got {
+			return false
+		}
+		switch c := n.(type) {
+		case *ast.SliceExpr:
+			got = true
+			return false
+		case *ast.CallExpr:
+			if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" && len(c.Args) == 0 {
+				got = true
+				return false
+			}
+		}
+		return true
+	})
+	return got
+}

@@ -10,6 +10,7 @@ func All() []*Analyzer {
 		Billedquery,
 		Telemetryro,
 		Gobsymmetry,
+		Allocinloop,
 	}
 }
 

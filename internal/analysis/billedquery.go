@@ -10,16 +10,19 @@ import (
 // query-efficiency numbers measurable: inside the attack path (packages
 // .../internal/core and .../internal/attack), every victim
 // Retrieve/RetrieveErr/RetrieveBatch call must be billed against the query
-// budget. Concretely, the innermost function issuing the call must
-// increment a budget counter (an identifier or field whose name contains
-// "queries") lexically before the call — the `queries++` /
-// `telQueries.Inc()` pattern of SparseQuery's retrieveIDs wrapper.
-// Evaluation-time queries outside the budget (metrics like AP@m) carry
-// //duolint:allow billedquery annotations, which doubles as an inventory
-// of every unbilled victim touchpoint.
+// budget. The check is CFG-grade: the issuing function must increment a
+// budget counter (an identifier or field whose name contains "queries")
+// on EVERY control-flow path from function entry to the call — the
+// `queries++` / `telQueries.Inc()` pattern of SparseQuery's retrieveIDs
+// wrapper. Billing split across both arms of a branch satisfies the rule
+// (the lexical predecessor check this replaces could not see that);
+// billing only one arm does not. Evaluation-time queries outside the
+// budget (metrics like AP@m) carry //duolint:allow billedquery
+// annotations, which doubles as an inventory of every unbilled victim
+// touchpoint.
 var Billedquery = &Analyzer{
 	Name: "billedquery",
-	Doc:  "victim Retrieve/RetrieveBatch calls in the attack path must be budget-billed in the issuing function",
+	Doc:  "victim Retrieve/RetrieveBatch calls in the attack path must be budget-billed on every path in the issuing function",
 	Run:  runBilledquery,
 }
 
@@ -39,56 +42,71 @@ func runBilledquery(p *Pass) {
 	}
 	for _, f := range p.Files {
 		funcBodies(f, func(_ ast.Node, body *ast.BlockStmt) {
-			var billingPos []token.Pos
-			type queryCall struct {
-				pos  token.Pos
-				name string
-			}
-			var calls []queryCall
-			inspectShallow(body, func(n ast.Node) bool {
-				switch st := n.(type) {
-				case *ast.IncDecStmt:
-					if st.Tok == token.INC && nameMentionsQueries(st.X) {
-						billingPos = append(billingPos, st.Pos())
-					}
-				case *ast.AssignStmt:
-					// Only an increment counts as billing — `queries := 0`
-					// initializes the meter, it does not charge it.
-					if st.Tok != token.ADD_ASSIGN {
-						return true
-					}
-					for _, lhs := range st.Lhs {
-						if nameMentionsQueries(lhs) {
-							billingPos = append(billingPos, st.Pos())
-							break
-						}
-					}
-				case *ast.CallExpr:
-					sel, ok := st.Fun.(*ast.SelectorExpr)
-					if !ok || !billedMethods[sel.Sel.Name] {
-						return true
-					}
-					if pkgNamePath(p.Info, sel.X) != "" {
-						return true // package function, not a victim method
-					}
-					calls = append(calls, queryCall{pos: st.Pos(), name: sel.Sel.Name})
-				}
-				return true
+			g := buildCFG(body)
+			verdict := g.allPathsBefore(eventBills, func(ev ast.Node) bool {
+				return len(victimCalls(p, ev)) > 0
 			})
-			for _, c := range calls {
-				billed := false
-				for _, bp := range billingPos {
-					if bp < c.pos {
-						billed = true
-						break
-					}
+			for ev, billed := range verdict {
+				if billed {
+					continue
 				}
-				if !billed {
-					p.Reportf(c.pos, "victim %s call is not budget-billed in this function; increment the query budget before issuing it", c.name)
+				for _, c := range victimCalls(p, ev) {
+					p.Reportf(c.Pos(), "victim %s call is not budget-billed on every path in this function; increment the query budget before issuing it",
+						c.Fun.(*ast.SelectorExpr).Sel.Name)
 				}
 			}
 		})
 	}
+}
+
+// eventBills reports whether one CFG event charges the query budget: an
+// increment or += on a name containing "queries". A plain assignment
+// (`queries := 0`) initializes the meter, it does not charge it.
+func eventBills(ev ast.Node) bool {
+	bills := false
+	inspectShallow(ev, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.IncDecStmt:
+			if st.Tok == token.INC && nameMentionsQueries(st.X) {
+				bills = true
+			}
+		case *ast.AssignStmt:
+			if st.Tok != token.ADD_ASSIGN {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				if nameMentionsQueries(lhs) {
+					bills = true
+					break
+				}
+			}
+		}
+		return !bills
+	})
+	return bills
+}
+
+// victimCalls collects the victim query calls issued by one CFG event
+// (method calls named Retrieve/RetrieveErr/RetrieveBatch/RetrieveTraced on
+// a value receiver — package-qualified functions are not victims).
+func victimCalls(p *Pass, ev ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	inspectShallow(ev, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !billedMethods[sel.Sel.Name] {
+			return true
+		}
+		if pkgNamePath(p.Info, sel.X) != "" {
+			return true // package function, not a victim method
+		}
+		out = append(out, call)
+		return true
+	})
+	return out
 }
 
 // nameMentionsQueries reports whether the assignment target is an

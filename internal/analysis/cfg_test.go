@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of a single function declaration and
+// returns it.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f(a, b, c int, xs []int, ch chan int) int {\n" + body + "\n}"
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// eventText renders an event node's leading token for matching in tests.
+func eventMatches(ev ast.Node, needle string) bool {
+	switch n := ev.(type) {
+	case *ast.ExprStmt:
+		return exprMentions(n.X, needle)
+	case *ast.AssignStmt:
+		for _, e := range append(append([]ast.Expr{}, n.Lhs...), n.Rhs...) {
+			if exprMentions(e, needle) {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return exprMentions(n.X, needle)
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			if exprMentions(e, needle) {
+				return true
+			}
+		}
+	case ast.Expr:
+		return exprMentions(n, needle)
+	}
+	return false
+}
+
+func exprMentions(e ast.Expr, needle string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(id.Name, needle) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(parseBody(t, "a = 1\nb = 2\nreturn a + b"))
+	if len(g.entry.events) != 3 {
+		t.Fatalf("entry events = %d, want 3", len(g.entry.events))
+	}
+	if loops := g.loopBlocks(); len(loops) != 0 {
+		t.Fatalf("straight-line code has loop blocks: %v", loops)
+	}
+}
+
+func TestCFGDominators(t *testing.T) {
+	// entry -> then/else -> join: the entry dominates everything; neither
+	// arm dominates the join.
+	g := buildCFG(parseBody(t, `
+a = 0
+if a > 0 {
+	b = 1
+} else {
+	b = 2
+}
+return b`))
+	idom := g.dominators()
+	var thenIdx, elseIdx, joinIdx = -1, -1, -1
+	for _, blk := range g.blocks {
+		for _, ev := range blk.events {
+			as, ok := ev.(*ast.AssignStmt)
+			if ok && len(as.Rhs) == 1 {
+				if lit, ok := as.Rhs[0].(*ast.BasicLit); ok {
+					switch lit.Value {
+					case "1":
+						thenIdx = blk.idx
+					case "2":
+						elseIdx = blk.idx
+					}
+				}
+			}
+			if _, ok := ev.(*ast.ReturnStmt); ok {
+				joinIdx = blk.idx
+			}
+		}
+	}
+	if thenIdx < 0 || elseIdx < 0 || joinIdx < 0 {
+		t.Fatalf("blocks not found: then=%d else=%d join=%d", thenIdx, elseIdx, joinIdx)
+	}
+	e := g.entry.idx
+	if !dominates(idom, e, thenIdx) || !dominates(idom, e, elseIdx) || !dominates(idom, e, joinIdx) {
+		t.Errorf("entry should dominate all blocks")
+	}
+	if dominates(idom, thenIdx, joinIdx) || dominates(idom, elseIdx, joinIdx) {
+		t.Errorf("neither branch arm may dominate the join")
+	}
+	if idom[joinIdx] != e {
+		t.Errorf("join's immediate dominator = %d, want entry %d", idom[joinIdx], e)
+	}
+}
+
+func TestCFGLoopBlocks(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+a = 0
+for i := 0; i < b; i++ {
+	a += i
+}
+return a`))
+	loops := g.loopBlocks()
+	if len(loops) == 0 {
+		t.Fatalf("for loop produced no loop blocks")
+	}
+	inLoop := func(needle string) bool {
+		for _, blk := range g.blocks {
+			if !loops[blk.idx] {
+				continue
+			}
+			for _, ev := range blk.events {
+				if eventMatches(ev, needle) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !inLoop("i") {
+		t.Errorf("loop body/latch events not inside loop blocks")
+	}
+	// The return after the loop must not be in the loop.
+	for _, blk := range g.blocks {
+		for _, ev := range blk.events {
+			if _, ok := ev.(*ast.ReturnStmt); ok && loops[blk.idx] {
+				t.Errorf("return after loop classified as loop block")
+			}
+		}
+	}
+}
+
+func TestCFGNestedAndRangeLoops(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+total := 0
+for _, x := range xs {
+	for j := 0; j < x; j++ {
+		total += j
+	}
+}
+return total`))
+	loops := g.loopBlocks()
+	found := false
+	for _, blk := range g.blocks {
+		if !loops[blk.idx] {
+			continue
+		}
+		for _, ev := range blk.events {
+			if eventMatches(ev, "total") {
+				if _, ok := ev.(*ast.ReturnStmt); !ok {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("inner accumulation not recognized as loop work")
+	}
+}
+
+// allPaths runs allPathsBefore with establish/consume keyed on identifier
+// substrings and returns the verdicts of consuming events in source order.
+func allPaths(t *testing.T, body, establish, consume string) []bool {
+	t.Helper()
+	g := buildCFG(parseBody(t, body))
+	verdict := g.allPathsBefore(
+		func(ev ast.Node) bool { return eventMatches(ev, establish) },
+		func(ev ast.Node) bool { return eventMatches(ev, consume) },
+	)
+	type kv struct {
+		pos token.Pos
+		ok  bool
+	}
+	var ordered []kv
+	for ev, ok := range verdict {
+		ordered = append(ordered, kv{ev.Pos(), ok})
+	}
+	for i := range ordered {
+		for j := i + 1; j < len(ordered); j++ {
+			if ordered[j].pos < ordered[i].pos {
+				ordered[i], ordered[j] = ordered[j], ordered[i]
+			}
+		}
+	}
+	out := make([]bool, len(ordered))
+	for i, o := range ordered {
+		out[i] = o.ok
+	}
+	return out
+}
+
+func TestAllPathsBefore(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want []bool
+	}{
+		{"straight line established", "bill()\nconsume()", []bool{true}},
+		{"consume first", "consume()\nbill()", []bool{false}},
+		{"one arm only", "if a > 0 { bill() }\nconsume()", []bool{false}},
+		{"both arms", "if a > 0 { bill() } else { bill() }\nconsume()", []bool{true}},
+		{"switch without default", "switch a {\ncase 0:\n\tbill()\ncase 1:\n\tbill()\n}\nconsume()", []bool{false}},
+		{"switch with default", "switch a {\ncase 0:\n\tbill()\ndefault:\n\tbill()\n}\nconsume()", []bool{true}},
+		{"zero-trip loop", "for i := 0; i < a; i++ { bill() }\nconsume()", []bool{false}},
+		{"bill then loop consume", "bill()\nfor i := 0; i < a; i++ { consume() }", []bool{true}},
+		{"consume before bill in loop", "for i := 0; i < a; i++ { consume(); bill() }", []bool{false}},
+		{"bill before consume in loop", "for i := 0; i < a; i++ { bill(); consume() }", []bool{true}},
+		{"early return guards consume", "if a > 0 { return 0 }\nbill()\nconsume()", []bool{true}},
+		{"break skips bill", "for i := 0; i < a; i++ { if i > 2 { break }; bill() }\nconsume()", []bool{false}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := allPaths(t, tc.body, "bill", "consume")
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d consuming events, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("consume #%d verdict = %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}

@@ -72,12 +72,12 @@ func funcBodies(f *ast.File, fn func(enclosing ast.Node, body *ast.BlockStmt)) {
 	})
 }
 
-// inspectShallow walks the statements of body that belong to the given
-// function itself, NOT descending into nested function literals. Used by
-// rules whose judgment is per-innermost-function (e.g. billing must happen
-// in the same function that issues the query).
-func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
-	ast.Inspect(body, func(n ast.Node) bool {
+// inspectShallow walks the subtree under root that belongs to the
+// enclosing function itself, NOT descending into nested function literals.
+// Used by rules whose judgment is per-innermost-function (e.g. billing
+// must happen in the same function that issues the query).
+func inspectShallow(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if _, isLit := n.(*ast.FuncLit); isLit {
 			return false
 		}

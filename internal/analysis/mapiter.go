@@ -7,45 +7,197 @@ import (
 	"strings"
 )
 
-// Mapiter flags the map-order nondeterminism hazard of the determinism
-// contract (DESIGN.md §9): a `range` over a map whose body builds ordered
-// output — appends to a slice or concatenates onto a string — without a
-// subsequent sort in the same block. Go's map iteration order is
-// randomized per run, so such output differs run to run and corrupts any
-// bitwise-reproducibility guarantee. Aggregations (sums, counts, writes
-// into another map) are order-insensitive and not flagged; a sort call
-// after the loop (package sort/slices, or any function whose name contains
-// "sort") discharges the hazard.
+// Mapiter flags the map-order nondeterminism hazards of the determinism
+// contract (DESIGN.md §9). A `range` over a map must not:
+//
+//   - build ordered output — append to a slice or concatenate onto a
+//     string — without a subsequent sort in the same block (a call into
+//     package sort/slices, or any function whose name contains "sort",
+//     discharges the hazard);
+//   - let the iteration pick escape — return the range key/value from
+//     inside the loop, or assign it to a named result — without a
+//     key-equality guard. `if k == want { return v }` is deterministic
+//     (map keys are unique); returning under any other condition selects
+//     whichever matching entry the randomized iteration order reaches
+//     first.
+//
+// Go's map iteration order is randomized per run, so both shapes differ
+// run to run and corrupt any bitwise-reproducibility guarantee.
+// Aggregations (sums, counts, writes into another map) are
+// order-insensitive and not flagged.
 var Mapiter = &Analyzer{
 	Name: "mapiter",
-	Doc:  "range over a map must not build ordered output without a subsequent sort",
+	Doc:  "range over a map must not build ordered output without a sort or leak the iteration pick without a key guard",
 	Run:  runMapiter,
 }
 
 func runMapiter(p *Pass) {
 	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			block, ok := n.(*ast.BlockStmt)
-			if !ok {
+		funcBodies(f, func(enclosing ast.Node, body *ast.BlockStmt) {
+			results := namedResults(p, enclosing)
+			inspectShallow(body, func(n ast.Node) bool {
+				block, ok := n.(*ast.BlockStmt)
+				if !ok {
+					return true
+				}
+				for i, st := range block.List {
+					rs, ok := st.(*ast.RangeStmt)
+					if !ok || !isMapType(p.Info, rs.X) {
+						continue
+					}
+					if hazard := orderedOutputHazard(p, rs); hazard != "" && !sortFollows(block.List[i+1:]) {
+						p.Reportf(rs.Pos(), "range over map %s without a subsequent sort; map iteration order is nondeterministic", hazard)
+					}
+					escapeHazards(p, rs, results)
+				}
 				return true
+			})
+		})
+	}
+}
+
+// namedResults collects the named result variables of the enclosing
+// function, the targets an escaping map-range pick can hide behind.
+func namedResults(p *Pass, enclosing ast.Node) map[types.Object]bool {
+	var ft *ast.FuncType
+	switch fn := enclosing.(type) {
+	case *ast.FuncDecl:
+		ft = fn.Type
+	case *ast.FuncLit:
+		ft = fn.Type
+	}
+	if ft == nil || ft.Results == nil {
+		return nil
+	}
+	out := make(map[types.Object]bool)
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				out[obj] = true
 			}
-			for i, st := range block.List {
-				rs, ok := st.(*ast.RangeStmt)
-				if !ok || !isMapType(p.Info, rs.X) {
-					continue
+		}
+	}
+	return out
+}
+
+// escapeHazards flags map-range key/value escapes from inside the loop
+// body: a return whose results mention the range variables, or an
+// assignment of them to a named result — unless the escape sits under a
+// key-equality guard (keys are unique, so `if k == want` pins the pick).
+func escapeHazards(p *Pass, rs *ast.RangeStmt, results map[types.Object]bool) {
+	keyObj := rangeVarObj(p, rs.Key)
+	valObj := rangeVarObj(p, rs.Value)
+	if keyObj == nil && valObj == nil {
+		return
+	}
+	mentionsRangeVar := func(e ast.Expr) string {
+		name := ""
+		ast.Inspect(e, func(n ast.Node) bool {
+			if name != "" {
+				return false
+			}
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && (obj == keyObj || obj == valObj) {
+					name = id.Name
+					return false
 				}
-				hazard := orderedOutputHazard(p, rs)
-				if hazard == "" {
-					continue
-				}
-				if sortFollows(block.List[i+1:]) {
-					continue
-				}
-				p.Reportf(rs.Pos(), "range over map %s without a subsequent sort; map iteration order is nondeterministic", hazard)
 			}
 			return true
 		})
+		return name
 	}
+	keyGuard := func(cond ast.Expr) bool {
+		found := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				if id, ok := side.(*ast.Ident); ok && keyObj != nil && p.Info.Uses[id] == keyObj {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	var walk func(st ast.Stmt, guarded bool)
+	walkList := func(list []ast.Stmt, guarded bool) {
+		for _, st := range list {
+			walk(st, guarded)
+		}
+	}
+	walk = func(st ast.Stmt, guarded bool) {
+		switch s := st.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			walkList(s.List, guarded)
+		case *ast.LabeledStmt:
+			walk(s.Stmt, guarded)
+		case *ast.IfStmt:
+			walk(s.Body, guarded || keyGuard(s.Cond))
+			walk(s.Else, guarded)
+		case *ast.ForStmt:
+			walk(s.Body, guarded)
+		case *ast.RangeStmt:
+			walk(s.Body, guarded)
+		case *ast.SwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					walkList(cc.Body, guarded)
+				}
+			}
+		case *ast.ReturnStmt:
+			if guarded {
+				return
+			}
+			for _, res := range s.Results {
+				if name := mentionsRangeVar(res); name != "" {
+					p.Reportf(s.Pos(), "map-range variable %q returned from inside the loop without a key-equality guard; map iteration order is nondeterministic", name)
+					return
+				}
+			}
+		case *ast.AssignStmt:
+			if guarded || len(results) == 0 {
+				return
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !results[p.Info.Uses[id]] {
+					continue
+				}
+				rhs := s.Rhs[0]
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				}
+				if name := mentionsRangeVar(rhs); name != "" {
+					p.Reportf(s.Pos(), "map-range variable %q assigned to named result %q without a key-equality guard; map iteration order is nondeterministic", name, id.Name)
+					return
+				}
+			}
+		}
+	}
+	walk(rs.Body, false)
+}
+
+// rangeVarObj resolves a range key/value expression to its variable
+// object; nil for blanks and non-identifiers.
+func rangeVarObj(p *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
 }
 
 // isMapType reports whether x's static type is (or is named with

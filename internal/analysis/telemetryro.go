@@ -7,13 +7,25 @@ import (
 
 // Telemetryro enforces the write-only telemetry rule (DESIGN.md §10):
 // outside internal/telemetry itself, nothing recorded by an instrument may
-// feed back into a computation. Concretely it flags, in any if/for/switch
-// condition (including the init statement), a method call on a
-// telemetry-declared type (Counter.Value, Gauge.Value, Histogram.Stats,
-// Registry.Snapshot, ...) or a field read off a telemetry-declared struct
-// (snapshot.Counters[...]). Telemetry may be exported, serialized, and
-// displayed — it must never decide a branch, because then enabling or
-// disabling a registry could change a result bit.
+// feed back into a computation. It flags, in any if/for/switch condition
+// (including the init statement):
+//
+//   - a direct read — a method call on a telemetry-declared type
+//     (Counter.Value, Gauge.Value, Histogram.Stats, Registry.Snapshot,
+//     ...) or a field read off a telemetry-declared struct
+//     (snapshot.Counters[...]);
+//   - a def-use chain — a local variable assigned (directly or through
+//     further locals) from such a read and later used in the condition.
+//     The taint judgment is per innermost function and flow-insensitive: a
+//     local that ever held telemetry state may not decide a branch later
+//     in the same function. Taint does not cross a call boundary (the
+//     error from encoding a snapshot is not telemetry state), and
+//     resolving an instrument handle (Registry.Counter & co) is a write
+//     capability, not a read.
+//
+// Telemetry may be exported, serialized, and displayed — it must never
+// decide a branch, because then enabling or disabling a registry could
+// change a result bit.
 var Telemetryro = &Analyzer{
 	Name: "telemetryro",
 	Doc:  "telemetry reads must not feed branch conditions outside internal/telemetry (instruments are write-only)",
@@ -26,32 +38,42 @@ func runTelemetryro(p *Pass) {
 		return
 	}
 	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			var init ast.Stmt
-			var conds []ast.Expr
-			switch st := n.(type) {
-			case *ast.IfStmt:
-				init, conds = st.Init, []ast.Expr{st.Cond}
-			case *ast.ForStmt:
-				init = st.Init
-				if st.Cond != nil {
-					conds = []ast.Expr{st.Cond}
+		funcBodies(f, func(_ ast.Node, body *ast.BlockStmt) {
+			tainted := taintedLocals(p, body)
+			inspectShallow(body, func(n ast.Node) bool {
+				var init ast.Stmt
+				var conds []ast.Expr
+				switch st := n.(type) {
+				case *ast.IfStmt:
+					init, conds = st.Init, []ast.Expr{st.Cond}
+				case *ast.ForStmt:
+					init = st.Init
+					if st.Cond != nil {
+						conds = []ast.Expr{st.Cond}
+					}
+				case *ast.SwitchStmt:
+					init = st.Init
+					if st.Tag != nil {
+						conds = []ast.Expr{st.Tag}
+					}
+				default:
+					return true
 				}
-			case *ast.SwitchStmt:
-				init = st.Init
-				if st.Tag != nil {
-					conds = []ast.Expr{st.Tag}
+				direct := 0
+				if init != nil {
+					ast.Inspect(init, func(m ast.Node) bool { return checkTelemetryRead(p, m, &direct) })
 				}
-			default:
+				for _, cond := range conds {
+					ast.Inspect(cond, func(m ast.Node) bool { return checkTelemetryRead(p, m, &direct) })
+				}
+				if direct > 0 {
+					return true // already reported at the read itself
+				}
+				for _, cond := range conds {
+					checkTaintedUse(p, cond, tainted)
+				}
 				return true
-			}
-			if init != nil {
-				ast.Inspect(init, func(m ast.Node) bool { return checkTelemetryRead(p, m) })
-			}
-			for _, cond := range conds {
-				ast.Inspect(cond, func(m ast.Node) bool { return checkTelemetryRead(p, m) })
-			}
-			return true
+			})
 		})
 	}
 }
@@ -61,7 +83,7 @@ func runTelemetryro(p *Pass) {
 // telemetry package. Pointer identity tests (tel == nil) don't read state
 // and are not flagged. Returns false once reported to avoid duplicate
 // findings on sub-expressions.
-func checkTelemetryRead(p *Pass, n ast.Node) bool {
+func checkTelemetryRead(p *Pass, n ast.Node, reported *int) bool {
 	sel, ok := n.(*ast.SelectorExpr)
 	if !ok {
 		return true
@@ -72,11 +94,161 @@ func checkTelemetryRead(p *Pass, n ast.Node) bool {
 	}
 	p.Reportf(sel.Pos(), "telemetry read %s.%s feeds a branch condition; instruments are write-only (DESIGN.md §10)",
 		types.ExprString(sel.X), sel.Sel.Name)
+	*reported++
 	return false
+}
+
+// checkTaintedUse reports the first identifier in cond whose object carries
+// telemetry taint.
+func checkTaintedUse(p *Pass, cond ast.Expr, tainted map[types.Object]string) {
+	done := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		src, isTainted := tainted[obj]
+		if !isTainted {
+			return true
+		}
+		done = true
+		p.Reportf(id.Pos(), "telemetry read %s feeds a branch condition through local %q; instruments are write-only (DESIGN.md §10)",
+			src, id.Name)
+		return false
+	})
+}
+
+// taintedLocals computes the def-use taint set of one function body: every
+// local assigned — directly or transitively through other locals — from a
+// telemetry read, mapped to a description of the originating read. The
+// analysis is flow-insensitive (taint is never washed by reassignment) and
+// per innermost function (closures are judged separately).
+func taintedLocals(p *Pass, body *ast.BlockStmt) map[types.Object]string {
+	tainted := make(map[types.Object]string)
+	// exprSource returns the description of the telemetry read (or tainted
+	// local) the expression draws from, "" if clean.
+	exprSource := func(e ast.Expr) string {
+		src := ""
+		ast.Inspect(e, func(n ast.Node) bool {
+			if src != "" {
+				return false
+			}
+			switch m := n.(type) {
+			case *ast.CallExpr:
+				// A call taints its result only when it reads telemetry
+				// DATA: a method on a telemetry type whose result is not
+				// itself an instrument handle. Registry.Counter & co merely
+				// resolve a name to a writable instrument, and the result
+				// of an unrelated call never carries its arguments' taint —
+				// an error from encoding a snapshot is not telemetry state.
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok &&
+					isTelemetryType(p.Info.TypeOf(sel.X)) &&
+					!isInstrumentHandle(p.Info.TypeOf(m)) {
+					src = types.ExprString(sel.X) + "." + sel.Sel.Name
+				}
+				return false
+			case *ast.SelectorExpr:
+				if isTelemetryType(p.Info.TypeOf(m.X)) {
+					src = types.ExprString(m.X) + "." + m.Sel.Name
+					return false
+				}
+			case *ast.Ident:
+				if s, ok := tainted[p.Info.Uses[m]]; ok {
+					src = s
+					return false
+				}
+			case *ast.FuncLit:
+				return false
+			}
+			return true
+		})
+		return src
+	}
+	taint := func(lhs ast.Expr, src string) bool {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return false
+		}
+		if _, seen := tainted[obj]; seen {
+			return false
+		}
+		tainted[obj] = src
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		inspectShallow(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i, rhs := range st.Rhs {
+						if src := exprSource(rhs); src != "" && taint(st.Lhs[i], src) {
+							changed = true
+						}
+					}
+					return true
+				}
+				// Tuple assignment: one tainted source taints every target.
+				for _, rhs := range st.Rhs {
+					if src := exprSource(rhs); src != "" {
+						for _, lhs := range st.Lhs {
+							if taint(lhs, src) {
+								changed = true
+							}
+						}
+						break
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range st.Values {
+					src := exprSource(v)
+					if src == "" {
+						continue
+					}
+					if len(st.Values) == len(st.Names) {
+						if taint(st.Names[i], src) {
+							changed = true
+						}
+					} else {
+						for _, name := range st.Names {
+							if taint(name, src) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
 }
 
 // isTelemetryType reports whether t is declared in a telemetry package.
 func isTelemetryType(t types.Type) bool {
 	path := namedDeclPath(t)
 	return path != "" && pathMatches(path, "internal/telemetry", "telemetry")
+}
+
+// isInstrumentHandle reports whether t is a pointer to a telemetry type —
+// the shape of a resolved instrument (Counter, Gauge, Histogram, Ring,
+// Registry). Handles are write targets, not data: holding one taints
+// nothing. Telemetry VALUE types (Snapshot, Stats) are data and do taint.
+func isInstrumentHandle(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isTelemetryType(ptr.Elem())
 }

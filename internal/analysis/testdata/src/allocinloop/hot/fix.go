@@ -1,0 +1,107 @@
+// Package hot exercises the allocinloop rule: per-iteration heap
+// allocations inside loops reachable from a //duolint:hot entry point are
+// findings — make/new, slice and map composite literals, &T{} literals,
+// growing append, capturing closures, interface boxing at call sites, and
+// string<->[]byte conversions — while the sync.Pool scratch idiom
+// (len/cap-guarded grow-once makes, appends onto reslices, 3-arg makes, or
+// pool checkouts) is discharged. Hotness propagates to same-package
+// callees; functions not reachable from a hot entry are never flagged.
+package hot
+
+import "sync"
+
+type item struct {
+	id   int
+	dist float64
+}
+
+var pool = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s }}
+
+var exported any
+
+// scan is a hot entry point: only its loops are hot, so the setup
+// allocations before the loop are fine.
+//
+//duolint:hot
+func scan(feats [][]float64, q []float64, names []string) float64 {
+	hdr := make([]float64, 8) // outside any loop: not flagged
+	_ = hdr
+	total := 0.0
+	var grown []int
+	for i, f := range feats {
+		buf := make([]float64, len(f)) // want `\[allocinloop\] make allocates on every iteration of a hot loop \(hot path: scan\)`
+		_ = buf
+		grown = append(grown, i)       // want `\[allocinloop\] growing append allocates on every iteration of a hot loop \(hot path: scan\)`
+		weights := []float64{0.5, 0.5} // want `\[allocinloop\] \[\]float64 slice literal allocates on every iteration of a hot loop \(hot path: scan\)`
+		_ = weights
+		seen := map[int]bool{} // want `\[allocinloop\] map\[int\]bool map literal allocates on every iteration of a hot loop \(hot path: scan\)`
+		_ = seen
+		it := &item{id: i} // want `\[allocinloop\] &item composite literal allocates on every iteration of a hot loop \(hot path: scan\)`
+		_ = it
+		get := func() float64 { return total } // want `\[allocinloop\] closure capturing "total" allocates on every iteration of a hot loop \(hot path: scan\)`
+		_ = get
+		emit(total)             // want `\[allocinloop\] interface boxing of float64 argument allocates on every iteration of a hot loop \(hot path: scan\)`
+		raw := []byte(names[i]) // want `\[allocinloop\] \[\]byte conversion allocates on every iteration of a hot loop \(hot path: scan\)`
+		_ = raw
+		total += dot(f, q)
+	}
+	val := item{id: 1} // value struct literal is stack-allocated: not flagged
+	_ = val
+	return total
+}
+
+// dot is reached from scan's loop, so its whole body is hot — including
+// straight-line statements outside its own loops.
+func dot(a, b []float64) float64 {
+	acc := new(float64) // want `\[allocinloop\] new allocates on every iteration of a hot loop \(hot path: scan\)`
+	for i := range a {
+		*acc += a[i] * b[i]
+	}
+	return *acc
+}
+
+// emit is also propagated hot; its body stays clean (assigning an
+// interface value to an interface variable does not box again).
+func emit(v any) {
+	exported = v
+}
+
+// discharges shows every recognized scratch pattern staying clean.
+//
+//duolint:hot
+func discharges(feats [][]float64, scratch []float64) float64 {
+	total := 0.0
+	res := scratch[:0]
+	sized := make([]float64, 0, len(feats))
+	for _, f := range feats {
+		n := len(f)
+		if cap(scratch) < n {
+			scratch = make([]float64, n) // grow-once under a cap() guard
+		}
+		res = append(res, total)   // append onto a reslice definition
+		sized = append(sized, 0.0) // append onto a 3-arg make
+		bufp := pool.Get().(*[]float64)
+		buf := (*bufp)[:0]
+		buf = append(buf, f...) // append onto a pool checkout
+		total += buf[0] + res[0]
+		*bufp = buf
+		pool.Put(bufp)
+		double := func(x float64) float64 { return x * 2 } // captures nothing: static func
+		total = double(total)
+		spill := []int{n} //duolint:allow allocinloop demonstrates an accepted per-iteration allocation
+		_ = spill
+	}
+	return total
+}
+
+// cold is not annotated and not reachable from a hot entry: its loop may
+// allocate freely.
+func cold(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+		tmp := make([]int, i)
+		_ = tmp
+	}
+	return out
+}

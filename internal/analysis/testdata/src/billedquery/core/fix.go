@@ -84,3 +84,71 @@ func (o *oracle) positiveRefundIsNotBilling(q string) []string {
 	o.queries--                    // a shed refund decrements; it never licenses a new call
 	return o.victim.Retrieve(q, 5) // want `\[billedquery\] victim Retrieve call is not budget-billed`
 }
+
+// The cases below separate the CFG dominance check from the lexical
+// predecessor heuristic it replaced: billing must reach the call on EVERY
+// path, not merely appear earlier in the source.
+
+func positiveOneArmBilling(v victim, flag bool) []string {
+	queries := 0
+	if flag {
+		queries++ // lexically before the call, but the else path never bills
+	}
+	_ = queries
+	return v.Retrieve("q", 5) // want `\[billedquery\] victim Retrieve call is not budget-billed`
+}
+
+func negativeBothArmsBilling(v victim, flag bool) []string {
+	queries := 0
+	if flag {
+		queries++
+	} else {
+		queries += 1
+	}
+	_ = queries
+	return v.Retrieve("q", 5) // every path through the branch bills first
+}
+
+func positiveSwitchNoDefault(v victim, mode int) []string {
+	queries := 0
+	switch mode {
+	case 0:
+		queries++
+	case 1:
+		queries++
+	}
+	_ = queries
+	return v.Retrieve("q", 5) // want `\[billedquery\] victim Retrieve call is not budget-billed`
+}
+
+func negativeSwitchWithDefault(v victim, mode int) []string {
+	queries := 0
+	switch mode {
+	case 0:
+		queries++
+	default:
+		queries += 1
+	}
+	_ = queries
+	return v.Retrieve("q", 5) // all three paths (case, default) bill
+}
+
+func positiveZeroTripLoopBilling(v victim, qs []string) []string {
+	queries := 0
+	for range qs {
+		queries++ // a zero-trip loop leaves the meter untouched
+	}
+	_ = queries
+	return v.Retrieve("q", 5) // want `\[billedquery\] victim Retrieve call is not budget-billed`
+}
+
+func negativeBilledInLoop(v victim, qs []string) [][]string {
+	queries := 0
+	var out [][]string
+	for _, q := range qs {
+		queries++
+		out = append(out, v.Retrieve(q, 5))
+	}
+	_ = queries
+	return out
+}

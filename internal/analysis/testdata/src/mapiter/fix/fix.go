@@ -57,6 +57,61 @@ func negativeIntSum(m map[string]int) int {
 	return s
 }
 
+// Escape hazards: the iteration pick leaving the loop through a return or
+// a named result is a finding unless pinned by a key-equality guard.
+
+func positiveReturnFirstKey(m map[string]int) string {
+	for k := range m {
+		return k // want `\[mapiter\] map-range variable "k" returned from inside the loop without a key-equality guard`
+	}
+	return ""
+}
+
+func positiveReturnStructuralGuard(m map[string]string) string {
+	for k, v := range m {
+		if len(k) > 3 { // several keys can satisfy a structural test
+			return v // want `\[mapiter\] map-range variable "v" returned from inside the loop without a key-equality guard`
+		}
+	}
+	return ""
+}
+
+func positiveNamedResultPick(m map[string]int) (first string) {
+	for k := range m {
+		first = k // want `\[mapiter\] map-range variable "k" assigned to named result "first" without a key-equality guard`
+		break
+	}
+	return first
+}
+
+func negativeKeyEqualityLookup(m map[string]int, want string) int {
+	for k, v := range m {
+		if k == want { // keys are unique: this pick is deterministic
+			return v
+		}
+	}
+	return 0
+}
+
+func negativeGuardedNamedResult(m map[string]int, want string) (hit int) {
+	for k, v := range m {
+		if k == want {
+			hit = v
+		}
+	}
+	return hit
+}
+
+func negativeOrdinaryLocalAssign(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best { // max over values: order-insensitive aggregation
+			best = v
+		}
+	}
+	return best
+}
+
 func negativeLocalFloat(m map[string][]float64) map[string]float64 {
 	out := make(map[string]float64, len(m))
 	for k, vs := range m {

@@ -35,3 +35,48 @@ func negatives(c *telemetry.Counter) int64 {
 	v := c.Value() // straight-line read for export/serialization
 	return v
 }
+
+// Def-use tracking: a local that ever held telemetry state may not decide
+// a branch later in the same function, even through further locals.
+
+func positiveLocalTaint(c *telemetry.Counter) int {
+	v := c.Value()
+	if v > 0 { // want `\[telemetryro\] telemetry read c.Value feeds a branch condition through local "v"`
+		return 1
+	}
+	return 0
+}
+
+func positiveTransitiveTaint(c *telemetry.Counter) int64 {
+	v := c.Value()
+	w := v * 2
+	for w > 0 { // want `\[telemetryro\] telemetry read c.Value feeds a branch condition through local "w"`
+		w--
+	}
+	return w
+}
+
+func positiveSnapshotFieldTaint(s telemetry.Snapshot) int {
+	n := s.Counters["q"]
+	switch n { // want `\[telemetryro\] telemetry read s.Counters feeds a branch condition through local "n"`
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+func negativeTaintedExportOnly(c *telemetry.Counter) (int64, int64) {
+	v := c.Value()
+	w := v + 1
+	return v, w // exported, never branched on
+}
+
+func negativeUntaintedBranch(c *telemetry.Counter) int {
+	v := c.Value()
+	_ = v
+	n := 3 // a clean local with the same shape branches freely
+	if n > 2 {
+		return 1
+	}
+	return 0
+}

@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"math"
-	"sort"
+	"slices"
 
 	"duo/internal/video"
 )
@@ -45,6 +45,7 @@ type evolutionary struct{}
 
 func (evolutionary) Name() string { return StrategyEvolutionary }
 
+//duolint:hot
 func (evolutionary) Optimize(o *Oracle) error {
 	rng := o.Rng()
 	support := o.Support()
@@ -60,11 +61,27 @@ func (evolutionary) Optimize(o *Oracle) error {
 		return g
 	}
 	toVideo := func(g []float64) *video.Video {
-		cand := o.Base().Clone()
+		// Strategies only ever write the support, so the current state's
+		// off-support elements equal the base's and a recycled candidate
+		// plus a full support overwrite reproduces Base().Clone() exactly.
+		cand := o.NewCandidate()
 		for i, idx := range support {
 			o.SetStep(cand, idx, base[idx]+g[i])
 		}
 		return cand
+	}
+	// freeGenomes recycles the genome storage of individuals that did not
+	// survive a generation swap; children overwrite every element, so a
+	// recycled genome needs no clearing.
+	var freeGenomes [][]float64
+	newGenome := func() []float64 {
+		if n := len(freeGenomes); n > 0 {
+			g := freeGenomes[n-1]
+			freeGenomes = freeGenomes[:n-1]
+			return g
+		}
+		//duolint:allow allocinloop pool-miss path: recycled genomes cover the steady state
+		return make([]float64, len(support))
 	}
 
 	pop := make([][]float64, 0, evoPopSize)
@@ -75,6 +92,7 @@ func (evolutionary) Optimize(o *Oracle) error {
 	pop = append(pop, genomeOf(o.Current().Data.Data()))
 	fit[0], known[0] = o.CurrentT(), true
 	for len(pop) < evoPopSize {
+		//duolint:allow allocinloop one-time population seeding, not a steady-state loop
 		g := make([]float64, len(support))
 		for i := range g {
 			g[i] = (rng.Float64()*2 - 1) * tau
@@ -90,6 +108,39 @@ func (evolutionary) Optimize(o *Oracle) error {
 		}
 		return a < b
 	}
+	// cmpFitter is fitter as a three-way comparison. It is a strict total
+	// order, so the sorted sequence is unique and algorithm-independent
+	// (sort.Slice and slices.SortFunc agree bitwise; the latter boxes
+	// nothing).
+	cmpFitter := func(a, b int) int {
+		if fitter(a, b) {
+			return -1
+		}
+		if fitter(b, a) {
+			return 1
+		}
+		return 0
+	}
+	// tournament picks the fittest of evoTournament uniform draws; it is
+	// hoisted out of the generation loop so no closure is rebuilt per
+	// generation (pop and fit rebind at each swap, which the captures see).
+	tournament := func() []float64 {
+		best := -1
+		for t := 0; t < evoTournament; t++ {
+			c := rng.Intn(len(pop))
+			if best < 0 || fitter(c, best) {
+				best = c
+			}
+		}
+		return pop[best]
+	}
+
+	// Per-generation workspaces, allocated once and swapped with the live
+	// population at each generation boundary.
+	order := make([]int, evoPopSize)
+	nextBuf := make([][]float64, 0, evoPopSize)
+	nfitBuf := make([]float64, evoPopSize)
+	nknownBuf := make([]bool, evoPopSize)
 
 	gen := 0
 	for o.Remaining() > 0 {
@@ -121,6 +172,7 @@ func (evolutionary) Optimize(o *Oracle) error {
 				evaluated++
 				o.Accept(cand, tNew)
 			}
+			o.Release(cand)
 		}
 		sp.SetInt("evaluated", int64(evaluated))
 		o.Record()
@@ -132,35 +184,27 @@ func (evolutionary) Optimize(o *Oracle) error {
 		}
 
 		// Rank deterministically (fitness ascending, index tie-break).
-		order := make([]int, len(pop))
 		for i := range order {
 			order[i] = i
 		}
-		sort.Slice(order, func(a, b int) bool { return fitter(order[a], order[b]) })
+		slices.SortFunc(order, cmpFitter)
 
 		// Next generation: elites survive with cached fitness; the rest
 		// are tournament-selected parents crossed uniformly and mutated.
-		next := make([][]float64, 0, evoPopSize)
-		nfit := make([]float64, evoPopSize)
-		nknown := make([]bool, evoPopSize)
+		next := nextBuf[:0]
+		nfit := nfitBuf
+		nknown := nknownBuf
+		for i := range nknown {
+			nknown[i] = false
+		}
 		for e := 0; e < evoElites && e < len(order); e++ {
 			i := order[e]
 			next = append(next, pop[i])
 			nfit[e], nknown[e] = fit[i], known[i]
 		}
-		tournament := func() []float64 {
-			best := -1
-			for t := 0; t < evoTournament; t++ {
-				c := rng.Intn(len(pop))
-				if best < 0 || fitter(c, best) {
-					best = c
-				}
-			}
-			return pop[best]
-		}
 		for len(next) < evoPopSize {
 			pa, pb := tournament(), tournament()
-			child := make([]float64, len(support))
+			child := newGenome()
 			for i := range child {
 				if rng.Intn(2) == 0 {
 					child[i] = pa[i]
@@ -174,7 +218,23 @@ func (evolutionary) Optimize(o *Oracle) error {
 			}
 			next = append(next, child)
 		}
-		pop, fit, known = next, nfit, nknown
+		pop, nextBuf = next, pop
+		fit, nfitBuf = nfit, fit
+		known, nknownBuf = nknown, known
+		// Recycle the genomes of non-surviving individuals: anything in the
+		// displaced population not aliased by an elite is dead storage.
+		for _, g := range nextBuf {
+			live := false
+			for _, h := range pop[:evoElites] {
+				if &g[0] == &h[0] {
+					live = true
+					break
+				}
+			}
+			if !live {
+				freeGenomes = append(freeGenomes, g)
+			}
+		}
 	}
 	return nil
 }

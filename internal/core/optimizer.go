@@ -125,6 +125,46 @@ type Oracle struct {
 	cur  *video.Video
 	tCur float64
 	res  *QueryResult
+
+	// idsBuf backs the ID projection of the most recent victim answer.
+	// Every retrieveIDs/ScorePair result aliases it and is consumed (scored)
+	// before the next query, so one buffer serves the whole walk; the
+	// round-long reference lists are owned copies, never aliases.
+	idsBuf []string
+	// pairBuf carries the two videos of a batched pair round-trip; the
+	// batcher contract is synchronous, so the slice is reusable per call.
+	pairBuf [2]*video.Video
+	// spares recycles candidate videos a strategy has released: a
+	// steady-state walk allocates one candidate per in-flight arm and then
+	// reuses that storage for the rest of the round.
+	spares []*video.Video
+}
+
+// NewCandidate returns a deep copy of Current() for the strategy to
+// mutate, drawing storage from the released-candidate stack when one is
+// available. Candidates all share the round's geometry, so a recycled
+// video is refilled with a flat tensor copy instead of a fresh Clone.
+func (o *Oracle) NewCandidate() *video.Video {
+	if n := len(o.spares); n > 0 {
+		c := o.spares[n-1]
+		o.spares = o.spares[:n-1]
+		c.Data.CopyFrom(o.cur.Data)
+		c.Label, c.ID = o.cur.Label, o.cur.ID
+		return c
+	}
+	return o.cur.Clone()
+}
+
+// Release hands a candidate the walk no longer references back to the
+// oracle for reuse. Releasing the committed current state, the base, or
+// the target is a harmless no-op, so strategies may release every arm
+// unconditionally after the accept decision.
+func (o *Oracle) Release(cand *video.Video) {
+	if cand == nil || cand == o.cur || cand == o.v || cand == o.vt {
+		return
+	}
+	//duolint:allow allocinloop spare stack grows to the high-water mark of in-flight candidates (≤ a handful) and then stays flat
+	o.spares = append(o.spares, cand)
 }
 
 // oracleCtx is the slice of attack.Context the oracle needs (kept narrow so
@@ -194,14 +234,20 @@ func (o *Oracle) Accept(cand *video.Video, tNew float64) bool {
 	if tNew < o.tCur {
 		o.res.Improved = true
 	}
+	prev := o.cur
 	o.cur = cand
 	o.tCur = tNew
+	// The displaced state is only ever reachable through o.cur, so its
+	// storage can back a future NewCandidate. Release's self/base/target
+	// guards make this a no-op when a strategy re-accepts the current state.
+	o.Release(prev)
 	return true
 }
 
 // Record appends the current 𝕋 to the round trajectory (one entry per
 // strategy iteration) and to the telemetry ring.
 func (o *Oracle) Record() {
+	//duolint:allow allocinloop trajectory capacity is pre-sized to the query budget at round start; this append grows only on pathological no-query iterations
 	o.res.Trajectory = append(o.res.Trajectory, o.tCur)
 	o.telTraj.Push(o.tCur)
 }
@@ -275,12 +321,18 @@ func (o *Oracle) ScorePair(a, b *video.Video) (float64, float64, error) {
 	o.queries += 2
 	o.telQueries.Add(2)
 	o.res.BatchedPairs++
-	lists := o.batcher.RetrieveBatch([]*video.Video{a, b}, o.ctx.m)
+	o.pairBuf[0], o.pairBuf[1] = a, b
+	lists := o.batcher.RetrieveBatch(o.pairBuf[:], o.ctx.m)
 	rsp.SetInt("queries", 2)
 	rsp.SetStr("outcome", "ok")
 	rsp.SetStr("kind", "pair")
 	rsp.End()
-	return o.score(retrieval.IDs(lists[0])), o.score(retrieval.IDs(lists[1])), nil
+	// Each projected list is fully consumed by score before the buffer is
+	// refilled for the second arm.
+	o.idsBuf = retrieval.IDsInto(o.idsBuf, lists[0])
+	ta := o.score(o.idsBuf)
+	o.idsBuf = retrieval.IDsInto(o.idsBuf, lists[1])
+	return ta, o.score(o.idsBuf), nil
 }
 
 // objective is Score without the budget backstop: one victim query plus
@@ -305,7 +357,10 @@ func (o *Oracle) score(advList []string) float64 {
 }
 
 // retrieveIDs issues one victim query, retrying a fallible victim up to
-// `retries` extra times; every attempt counts against the budget. A nil
+// `retries` extra times; every attempt counts against the budget. The
+// returned list aliases o.idsBuf and is valid only until the next victim
+// query — callers that keep a list across queries (the reference fetch)
+// must copy it. A nil
 // error guarantees the list is complete — a failed node must never leak a
 // silently-partial top-m into 𝕋 (Eq. 2). Each call records one leaf
 // retrieve span whose `queries` attribute is exactly what this call
@@ -319,11 +374,11 @@ func (o *Oracle) retrieveIDs(qv *video.Video) ([]string, error) {
 	if o.fallible == nil {
 		o.queries++
 		o.telQueries.Inc()
-		ids := retrieval.IDs(o.ctx.victim.Retrieve(qv, o.ctx.m))
+		o.idsBuf = retrieval.IDsInto(o.idsBuf, o.ctx.victim.Retrieve(qv, o.ctx.m))
 		rsp.SetInt("queries", 1)
 		rsp.SetStr("outcome", "ok")
 		rsp.End()
-		return ids, nil
+		return o.idsBuf, nil
 	}
 	billed := 0
 	shed := 0
@@ -364,7 +419,8 @@ func (o *Oracle) retrieveIDs(qv *video.Video) ([]string, error) {
 			}
 			rsp.SetStr("outcome", "ok")
 			rsp.End()
-			return retrieval.IDs(rs), nil
+			o.idsBuf = retrieval.IDsInto(o.idsBuf, rs)
+			return o.idsBuf, nil
 		}
 		lastErr = err
 	}
@@ -383,6 +439,27 @@ func (o *Oracle) retrieveIDs(qv *video.Video) ([]string, error) {
 	return nil, fmt.Errorf("core: victim query failed: %w", lastErr)
 }
 
+// permInto fills dst with a pseudo-random permutation of [0, n), growing
+// dst only when its capacity is short. It draws exactly the Intn sequence
+// rand.Perm draws and applies the same inside-out Fisher–Yates update, so
+// swapping one for the other changes neither the permutation nor the RNG
+// state — golden strategy fingerprints stay bitwise-identical (pinned by
+// TestPermIntoMatchesRandPerm).
+func permInto(rng *rand.Rand, dst []int, n int) []int {
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	// The i=0 iteration is a self-swap, but rand.Perm performs it anyway
+	// (its Intn(1) draw advances the generator), so it must stay.
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+	return dst
+}
+
 // fetchReferences bills the reference lists for Eq. (2): the original's
 // list, and (targeted) the target's. Targeted rounds against a batching
 // victim fetch both in one round-trip; billing and results are identical
@@ -392,7 +469,8 @@ func (o *Oracle) fetchReferences() error {
 		rsp := o.tr.Start(o.qsp, "retrieve")
 		o.queries += 2
 		o.telQueries.Add(2)
-		lists := o.batcher.RetrieveBatch([]*video.Video{o.v, o.vt}, o.ctx.m)
+		o.pairBuf[0], o.pairBuf[1] = o.v, o.vt
+		lists := o.batcher.RetrieveBatch(o.pairBuf[:], o.ctx.m)
 		o.origList, o.targetList = retrieval.IDs(lists[0]), retrieval.IDs(lists[1])
 		rsp.SetInt("queries", 2)
 		rsp.SetStr("outcome", "ok")
@@ -400,14 +478,18 @@ func (o *Oracle) fetchReferences() error {
 		rsp.End()
 		return nil
 	}
-	var err error
-	if o.origList, err = o.retrieveIDs(o.v); err != nil {
+	// The reference lists outlive every later query, so they must own their
+	// storage: retrieveIDs results alias the per-query buffer.
+	ids, err := o.retrieveIDs(o.v)
+	if err != nil {
 		return err
 	}
+	o.origList = append([]string(nil), ids...)
 	if o.mode != Untargeted {
-		if o.targetList, err = o.retrieveIDs(o.vt); err != nil {
+		if ids, err = o.retrieveIDs(o.vt); err != nil {
 			return err
 		}
+		o.targetList = append([]string(nil), ids...)
 	}
 	return nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// its write barriers add allocations that break exact AllocsPerRun counts.
+const raceEnabled = true

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestPermIntoMatchesRandPerm pins the drop-in contract of permInto: for
+// every n it must produce exactly rand.Perm's permutation AND leave the RNG
+// in exactly rand.Perm's state, so the strategies' switch from Perm to the
+// buffer-reusing variant cannot move any golden fingerprint.
+func TestPermIntoMatchesRandPerm(t *testing.T) {
+	for n := 0; n <= 65; n++ {
+		a := rand.New(rand.NewSource(int64(n)*7 + 1))
+		b := rand.New(rand.NewSource(int64(n)*7 + 1))
+		want := a.Perm(n)
+		got := permInto(b, nil, n)
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d: permInto = %v, rand.Perm = %v", n, got, want)
+		}
+		if a.Int63() != b.Int63() {
+			t.Fatalf("n=%d: RNG state diverged after the permutation", n)
+		}
+	}
+}
+
+// TestPermIntoReusesBuffer checks the steady-state path: a warm buffer is
+// refilled in place (no growth) and still matches rand.Perm draw for draw.
+func TestPermIntoReusesBuffer(t *testing.T) {
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	var buf []int
+	for round := 0; round < 10; round++ {
+		want := a.Perm(33)
+		buf = permInto(b, buf, 33)
+		if !slices.Equal(buf, want) {
+			t.Fatalf("round %d: permInto = %v, rand.Perm = %v", round, buf, want)
+		}
+	}
+	first := permInto(rand.New(rand.NewSource(1)), nil, 16)
+	p := &first[0]
+	again := permInto(rand.New(rand.NewSource(2)), first, 16)
+	if &again[0] != p {
+		t.Fatalf("permInto grew a buffer that already had capacity")
+	}
+	if short := permInto(rand.New(rand.NewSource(3)), again, 8); len(short) != 8 {
+		t.Fatalf("permInto(n=8) returned length %d", len(short))
+	}
+}

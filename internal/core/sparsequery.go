@@ -238,7 +238,11 @@ func sparseQuery(ctx *attack.Context, parent *trace.Span, v, vt *video.Video, ma
 	}
 	o.support = support
 
-	o.res.Trajectory = []float64{tCur}
+	// One trajectory entry per strategy iteration, and every iteration
+	// spends at least one query on the steady-state path: pre-sizing to the
+	// budget keeps Record's append from ever growing the slice mid-walk.
+	o.res.Trajectory = make([]float64, 1, cfg.MaxQueries+2)
+	o.res.Trajectory[0] = tCur
 	o.telTraj.Push(tCur)
 
 	if err := strategy.Optimize(o); err != nil {
@@ -269,6 +273,7 @@ type sparseQueryOpt struct{}
 
 func (sparseQueryOpt) Name() string { return StrategySparseQuery }
 
+//duolint:hot
 func (sparseQueryOpt) Optimize(o *Oracle) error {
 	cfg := o.cfg
 	v := o.v
@@ -281,14 +286,14 @@ func (sparseQueryOpt) Optimize(o *Oracle) error {
 	// (𝕋 ≤ 𝕋_prev keeps the +ε step): the walk keeps moving across
 	// plateaus and descends whenever it crosses a boundary. Acceptance
 	// never increases 𝕋, so the final state is also the best visited.
-	perm := rng.Perm(len(support))
+	perm := permInto(rng, nil, len(support))
 	pi := 0
 
 	// makeCandidate builds the κ-th candidate pair generator according to
 	// the configured basis.
 	cartesianCandidate := func(sign float64) (*video.Video, bool) {
 		idx := support[perm[pi%len(perm)]]
-		cand := o.cur.Clone()
+		cand := o.NewCandidate()
 		return cand, o.ApplyStep(cand, idx, sign*eps)
 	}
 	var activeFrames []int
@@ -328,7 +333,7 @@ func (sparseQueryOpt) Optimize(o *Oracle) error {
 		dctDir = dir
 	}
 	dctCandidate := func(sign float64) (*video.Video, bool) {
-		cand := o.cur.Clone()
+		cand := o.NewCandidate()
 		pm, fm := o.masks.Pixel.Data(), o.masks.Frame.Data()
 		perFrame := v.Data.Len() / v.Frames()
 		plane := v.Height() * v.Width()
@@ -352,32 +357,35 @@ func (sparseQueryOpt) Optimize(o *Oracle) error {
 		}
 		return cartesianCandidate(sign)
 	}
-	// trySequential walks prebuilt arms in Eq. (3) order (+ε before −ε),
-	// one victim query each, keeping the first non-increasing candidate.
-	type arm struct {
-		cand    *video.Video
-		changed bool
-	}
-	trySequential := func(arms []arm) {
-		for _, a := range arms {
-			if !a.changed {
-				continue // no-op candidate, don't waste a query
-			}
-			if o.Remaining() == 0 {
-				break
-			}
-			tNew, err := o.Score(a.cand)
-			if err != nil {
-				// Retry-or-skip: the retries inside the oracle are spent;
-				// reject the candidate rather than scoring it against a
-				// partial (availability-degraded) retrieval list.
-				o.Skip()
-				continue
-			}
-			if o.Accept(a.cand, tNew) {
-				break
-			}
+	// tryArm issues one sequential query for a prebuilt arm; it reports
+	// whether the walk is done with this iteration's pair (the arm was
+	// accepted, or the budget ran out before it could be queried).
+	tryArm := func(cand *video.Video, changed bool) bool {
+		if !changed {
+			return false // no-op candidate, don't waste a query
 		}
+		if o.Remaining() == 0 {
+			return true
+		}
+		tNew, err := o.Score(cand)
+		if err != nil {
+			// Retry-or-skip: the retries inside the oracle are spent;
+			// reject the candidate rather than scoring it against a
+			// partial (availability-degraded) retrieval list.
+			o.Skip()
+			return false
+		}
+		return o.Accept(cand, tNew)
+	}
+	// trySequential walks a prebuilt pair in Eq. (3) order (+ε before −ε),
+	// one victim query each, keeping the first non-increasing candidate and
+	// releasing both arms' storage back to the oracle.
+	trySequential := func(candP, candM *video.Video, okP, okM bool) {
+		if !tryArm(candP, okP) {
+			tryArm(candM, okM)
+		}
+		o.Release(candP)
+		o.Release(candM)
 	}
 	pairBatch := cfg.BatchPairs && o.PairBatching()
 
@@ -385,7 +393,7 @@ func (sparseQueryOpt) Optimize(o *Oracle) error {
 		// Line 5: sample q from the basis without replacement; reshuffle
 		// once the Cartesian basis is exhausted.
 		if pi >= len(perm) {
-			perm = rng.Perm(len(support))
+			perm = permInto(rng, perm, len(support))
 			pi = 0
 		}
 		stepSp := o.StepStart()
@@ -413,15 +421,17 @@ func (sparseQueryOpt) Optimize(o *Oracle) error {
 				} else if !o.Accept(candP, tp) {
 					o.Accept(candM, tm)
 				}
+				o.Release(candP)
+				o.Release(candM)
 			} else {
 				// A no-op arm or budget for at most one query: fall back
 				// to the sequential walk over the prebuilt pair.
-				trySequential([]arm{{candP, okP}, {candM, okM}})
+				trySequential(candP, candM, okP, okM)
 			}
 		} else {
 			candP, okP := buildCandidate(1)
 			candM, okM := buildCandidate(-1)
-			trySequential([]arm{{candP, okP}, {candM, okM}})
+			trySequential(candP, candM, okP, okM)
 		}
 		pi++
 		o.Record()

@@ -56,6 +56,7 @@ type sparseRS struct{}
 
 func (sparseRS) Name() string { return StrategySparseRS }
 
+//duolint:hot
 func (sparseRS) Optimize(o *Oracle) error {
 	rng := o.Rng()
 	support := o.Support()
@@ -63,6 +64,7 @@ func (sparseRS) Optimize(o *Oracle) error {
 	tau := o.Tau()
 	noop := 0
 	step := 0
+	var order []int
 	for o.Remaining() > 0 && noop < sparseRSMaxNoop {
 		alpha := sparseRSAlpha(o.Used(), o.Budget())
 		k := int(math.Round(alpha * float64(len(support))))
@@ -79,8 +81,8 @@ func (sparseRS) Optimize(o *Oracle) error {
 
 		// Resample k support elements of the current best to random ±τ
 		// vertices (clamped into the pixel range by SetStep).
-		cand := o.Current().Clone()
-		order := rng.Perm(len(support))
+		cand := o.NewCandidate()
+		order = permInto(rng, order, len(support))
 		changed := false
 		for _, j := range order[:k] {
 			idx := support[j]
@@ -108,6 +110,7 @@ func (sparseRS) Optimize(o *Oracle) error {
 		} else {
 			noop++
 		}
+		o.Release(cand)
 		o.Record()
 		sp.SetFloat("T", o.CurrentT())
 		o.StepEnd(sp)

@@ -5,7 +5,32 @@
 // Eq. (2).
 package metrics
 
-import "math"
+import (
+	"math"
+	"sync"
+)
+
+// memberPool recycles the membership sets the list-similarity functions
+// build per call. Those functions sit on the attack's per-query objective
+// path (two ℍ evaluations per victim round-trip), so a fresh map per call
+// would dominate the oracle's steady-state allocations. Maps are cleared on
+// release, and the pool keeps the functions safe for concurrent callers.
+var memberPool = sync.Pool{New: func() any { return make(map[string]bool, 64) }}
+
+// membership returns a pooled set containing ids.
+func membership(ids []string) map[string]bool {
+	m := memberPool.Get().(map[string]bool)
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// releaseMembership clears a pooled set and returns it to the pool.
+func releaseMembership(m map[string]bool) {
+	clear(m)
+	memberPool.Put(m)
+}
 
 // PrecAt returns prec_i: the fraction of the top-i entries of list a that
 // also appear in the top-i entries of list b.
@@ -78,10 +103,7 @@ func CoOccurrence(a, b []string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	inB := make(map[string]bool, len(b))
-	for _, id := range b {
-		inB[id] = true
-	}
+	inB := membership(b)
 	num, den := 0.0, 0.0
 	for i, id := range a {
 		w := 1 / math.Log2(float64(i)+2)
@@ -90,6 +112,7 @@ func CoOccurrence(a, b []string) float64 {
 			num += w
 		}
 	}
+	releaseMembership(inB)
 	return num / den
 }
 
@@ -99,16 +122,14 @@ func PlainOverlap(a, b []string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	inB := make(map[string]bool, len(b))
-	for _, id := range b {
-		inB[id] = true
-	}
+	inB := membership(b)
 	hits := 0
 	for _, id := range a {
 		if inB[id] {
 			hits++
 		}
 	}
+	releaseMembership(inB)
 	return float64(hits) / float64(len(a))
 }
 

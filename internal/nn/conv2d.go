@@ -44,6 +44,8 @@ func (l *Conv2D) OutShape(in []int) []int {
 // Forward implements Layer. Filters are sharded across workers when the
 // arithmetic is worth it; every output element has a single writer, so the
 // result is bitwise-identical at every worker count.
+//
+//duolint:hot
 func (l *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 	if x.Rank() != 3 || x.Dim(0) != l.InC {
 		panic(fmt.Sprintf("nn: Conv2D(in=%d) got input shape %v", l.InC, x.Shape()))
@@ -110,6 +112,8 @@ func (l *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 // pass; with more it splits into a per-filter pass (wg, bg — disjoint
 // slices) and a per-input-element gather pass (dx), both reproducing the
 // scatter's floating-point accumulation order exactly (DESIGN.md §9).
+//
+//duolint:hot
 func (l *Conv2D) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
 	cc := c.(*conv2dCache)
 	x := cc.x

@@ -59,6 +59,8 @@ func (l *Conv3D) OutShape(in []int) []int {
 // Forward implements Layer. Filters are sharded across workers when there
 // is enough arithmetic to amortize the fan-out; output planes are disjoint
 // per filter, so the result is bitwise-identical at every worker count.
+//
+//duolint:hot
 func (l *Conv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 	if x.Rank() != 4 || x.Dim(0) != l.InC {
 		panic(fmt.Sprintf("nn: Conv3D(in=%d) got input shape %v", l.InC, x.Shape()))
@@ -143,6 +145,8 @@ func (l *Conv3D) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 // pass; with more it splits into a per-filter pass (wg, bg) and a
 // per-input-element gather pass (dx), both reproducing the scatter's
 // floating-point accumulation order exactly (DESIGN.md §9).
+//
+//duolint:hot
 func (l *Conv3D) Backward(c Cache, gradOut *tensor.Tensor) *tensor.Tensor {
 	cc := c.(*conv3dCache)
 	x := cc.x

@@ -1,0 +1,62 @@
+package retrieval
+
+import (
+	"testing"
+)
+
+// This file pins the zero-allocation contracts that duolint's allocinloop
+// rule cannot see across package boundaries: the scan kernels promise that
+// with a warm scratch and a warm destination buffer a steady-state query
+// performs zero heap allocations, and these tests hold that promise at
+// exactly 0 allocs/op so a regression fails CI instead of showing up as a
+// benchmark drift.
+
+// TestScanTopMIntoZeroAllocs pins scanTopMInto at zero steady-state
+// allocations: warm dst, warm scratch, single worker (the sequential fast
+// path — the parallel path necessarily allocates its fan-out closure).
+func TestScanTopMIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs exact allocation counts")
+	}
+	e, q := benchIndex(256, 32)
+	sc := new(scanScratch)
+	dst := make([]Result, 0, 10)
+	got := allocsStable(func() {
+		dst = scanTopMInto(dst, q, e.ids, e.labels, e.feats, 10, 1, sc)
+	})
+	if got != 0 {
+		t.Errorf("scanTopMInto with warm dst+scratch: %.1f allocs/op, want 0", got)
+	}
+	if len(dst) != 10 {
+		t.Fatalf("scanTopMInto returned %d results, want 10", len(dst))
+	}
+}
+
+// TestPQAdcSelectZeroAllocs pins the PQ query core at zero steady-state
+// allocations: a warm pqScratch (lookup table, candidate heaps, re-rank
+// buffer, reusable ADC closure) makes adcSelect allocation-free with
+// telemetry disabled, which is the documented contract on the method.
+func TestPQAdcSelectZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs exact allocation counts")
+	}
+	e, q := benchIndex(256, 32)
+	ix, err := NewPQIndex(e.ids, e.labels, e.feats, PQConfig{
+		Subspaces:   8,
+		Centroids:   16,
+		Seed:        7,
+		RerankDepth: 32,
+	})
+	if err != nil {
+		t.Fatalf("NewPQIndex: %v", err)
+	}
+	defer ix.Close()
+	feat := q.Data()
+	sc := new(pqScratch)
+	got := allocsStable(func() {
+		_ = ix.adcSelect(feat, 10, 1, sc)
+	})
+	if got != 0 {
+		t.Errorf("adcSelect with warm scratch: %.1f allocs/op, want 0", got)
+	}
+}

@@ -218,11 +218,22 @@ func nearest(feat *tensor.Tensor, ids []string, labels []int, feats []*tensor.Te
 // IDs extracts the ID sequence of a result list (the R^m(v) lists consumed
 // by the attack objective).
 func IDs(rs []Result) []string {
-	out := make([]string, len(rs))
-	for i, r := range rs {
-		out[i] = r.ID
+	return IDsInto(nil, rs)
+}
+
+// IDsInto is IDs writing into dst (grown only when its capacity is short),
+// for per-query callers that keep a reusable buffer — the attack oracle
+// projects every retrieval to an ID list, and a fresh slice per query
+// would dominate its steady-state allocations.
+func IDsInto(dst []string, rs []Result) []string {
+	if cap(dst) < len(rs) || dst == nil {
+		dst = make([]string, len(rs))
 	}
-	return out
+	dst = dst[:len(rs)]
+	for i, r := range rs {
+		dst[i] = r.ID
+	}
+	return dst
 }
 
 // EvaluateMAP computes the paper's mAP over the given queries: an item is

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -93,11 +93,36 @@ func resolvePQTel(r *telemetry.Registry) pqTel {
 }
 
 // pqScratch is the pooled per-query workspace: the ADC lookup table, the
-// candidate-selection scratch, and the re-rank buffer.
+// candidate-selection scratch, and the re-rank buffer. dist is the ADC
+// row-scoring closure, created once per scratch and re-targeted per query
+// through the codes/lut fields — a closure built inside the query path
+// would escape into the scan's worker goroutines and heap-allocate on
+// every call.
 type pqScratch struct {
 	lut []float64
 	idx idxScratch
 	res []Result
+
+	codes   []byte
+	nsub, k int
+	dist    func(i int) float64
+}
+
+// adcDist returns the scratch's reusable row-scoring closure: the ADC
+// distance of row i is a fixed-order sum of nsub lookup-table cells.
+func (sc *pqScratch) adcDist() func(i int) float64 {
+	if sc.dist == nil {
+		sc.dist = func(i int) float64 {
+			s := 0.0
+			nsub := sc.nsub
+			lut := sc.lut
+			for sub, c := range sc.codes[i*nsub : (i+1)*nsub] {
+				s += lut[sub*sc.k+int(c)]
+			}
+			return s
+		}
+	}
+	return sc.dist
 }
 
 // PQIndex is a model-free product-quantized gallery index: codebooks, the
@@ -298,11 +323,8 @@ func l2sq(a, b []float64) float64 {
 	return s
 }
 
-// nearest is the PQ query hot path: build the ADC lookup table, select the
-// re-rank candidates from the code matrix with the sharded top-R scan, and
-// re-rank them exactly. Candidate selection orders by (ADC distance, ID)
-// and re-ranking orders by (exact distance, ID) — both strict total orders
-// — so the output is bitwise-identical at every worker count.
+// nearest is the PQ query hot path: adcSelect into the pooled scratch,
+// then copy the top-m into a fresh caller-owned slice.
 func (ix *PQIndex) nearest(feat []float64, m, workers int) []Result {
 	if len(feat) != ix.dim {
 		panic(fmt.Sprintf("retrieval: pq: query dim %d, index dim %d", len(feat), ix.dim))
@@ -325,6 +347,25 @@ func (ix *PQIndex) nearest(feat []float64, m, workers int) []Result {
 	}
 	defer ix.scratch.Put(sc)
 
+	res := ix.adcSelect(feat, m, workers, sc)
+	copy(out, res[:m])
+	return out
+}
+
+// adcSelect is the allocation-free core of a PQ query: build the ADC
+// lookup table in the scratch, select the re-rank candidates from the code
+// matrix with the sharded top-R scan, and re-rank them exactly. Candidate
+// selection orders by (ADC distance, ID) and re-ranking orders by (exact
+// distance, ID) — both strict total orders — so the output is
+// bitwise-identical at every worker count. The returned slice aliases
+// sc.res (≥ m entries for m ≤ gallery size) and is valid until the next
+// select with the same scratch; with a warm scratch and telemetry
+// disabled it performs zero heap allocations.
+//
+//duolint:hot
+func (ix *PQIndex) adcSelect(feat []float64, m, workers int, sc *pqScratch) []Result {
+	n := len(ix.ids)
+
 	// ADC lookup table: lut[s*k+j] = ‖query_s − codebook_s[j]‖². Each cell
 	// is independent; the table is dim*k float ops, negligible next to the
 	// scan it replaces.
@@ -344,18 +385,13 @@ func (ix *PQIndex) nearest(feat []float64, m, workers int) []Result {
 
 	// Sharded candidate scan over the code matrix. The per-row score is a
 	// fixed-order sum of nsub table cells, so it is a pure function of the
-	// row — sharding cannot change a single bit of it.
+	// row — sharding cannot change a single bit of it. The scoring closure
+	// lives in the scratch (see adcDist); re-target it at this query's
+	// table and codes.
 	R := ix.effectiveRerank(m)
-	nsub, k := ix.nsub, ix.k
-	codes := ix.codes
+	sc.lut, sc.codes, sc.nsub, sc.k = lut, ix.codes, ix.nsub, ix.k
 	sw := ix.tel.scanNs.Start()
-	cands := scanTopMIdx(n, R, parallel.CapWorkers(workers, n, pqScanMinShard), func(i int) float64 {
-		s := 0.0
-		for sub, c := range codes[i*nsub : (i+1)*nsub] {
-			s += lut[sub*k+int(c)]
-		}
-		return s
-	}, ix.ids, &sc.idx)
+	cands := scanTopMIdx(n, R, parallel.CapWorkers(workers, n, pqScanMinShard), sc.adcDist(), ix.ids, &sc.idx)
 	sw.Stop()
 	ix.tel.codes.Add(int64(n))
 
@@ -372,13 +408,11 @@ func (ix *PQIndex) nearest(feat []float64, m, workers int) []Result {
 			Dist:  math.Sqrt(l2sq(feat, row)),
 		})
 	}
-	sort.Slice(res, func(a, b int) bool { return resultLess(res[a], res[b]) })
+	slices.SortFunc(res, cmpResult)
 	sc.res = res
 	sw.Stop()
 	ix.tel.reranked.Add(int64(len(res)))
-
-	copy(out, res[:m])
-	return out
+	return res
 }
 
 // PQEngine is a retrieval engine backed by a product-quantized index: the

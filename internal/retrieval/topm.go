@@ -1,7 +1,8 @@
 package retrieval
 
 import (
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 
 	"duo/internal/parallel"
@@ -16,6 +17,13 @@ import (
 // IDs, so the output is bitwise-identical to the sequential sort-everything
 // path (`nearest`) at every worker count — the determinism contract of
 // DESIGN.md §9.
+//
+// The scan kernels are //duolint:hot: nothing on the per-row path may
+// allocate. The single-worker path is fully sequential (no parallel.ForN
+// closure, whose escape to goroutines costs one heap allocation per scan),
+// sorting uses slices.SortFunc (allocation-free, unlike sort.Slice which
+// boxes both the slice and the comparator), and callers that own a result
+// buffer use scanTopMInto to amortize the output slice.
 
 // resultLess is the service-wide result order: ascending distance with ID
 // tie-breaking. It is a strict total order whenever gallery IDs are unique,
@@ -25,6 +33,20 @@ func resultLess(a, b Result) bool {
 		return a.Dist < b.Dist
 	}
 	return a.ID < b.ID
+}
+
+// cmpResult is resultLess as a three-way comparison for slices.SortFunc.
+// Sorting under it is bitwise-identical to sorting under resultLess: the
+// order is strictly total over unique IDs, so the sorted sequence is
+// unique regardless of the algorithm.
+func cmpResult(a, b Result) int {
+	if a.Dist != b.Dist { //duolint:allow floateq comparator tie-break: exact equality IS the tie, and both operands are the same unrounded computation
+		if a.Dist < b.Dist {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.ID, b.ID)
 }
 
 // scanScratch is the reusable per-query state of a sharded scan: one
@@ -67,6 +89,8 @@ func getScratch(pool *sync.Pool) *scanScratch {
 // the root), retaining the m smallest entries under less. It is the shared
 // selection kernel of the sharded scans: the exact/IVF scans instantiate it
 // with Result+resultLess, the PQ code scan with row-index candidates.
+//
+//duolint:hot
 func pushBounded[T any](h []T, r T, m int, less func(a, b T) bool) []T {
 	if len(h) < m {
 		h = append(h, r)
@@ -105,6 +129,8 @@ func pushBounded[T any](h []T, r T, m int, less func(a, b T) bool) []T {
 
 // pushTopM inserts r into the bounded max-heap h, retaining the m smallest
 // entries under resultLess.
+//
+//duolint:hot
 func pushTopM(h []Result, r Result, m int) []Result {
 	return pushBounded(h, r, m, resultLess)
 }
@@ -115,6 +141,15 @@ func pushTopM(h []Result, r Result, m int) []Result {
 // assumed, as everywhere in the service). sc may be nil; passing a pooled
 // scratch makes the scan allocation-free apart from the returned slice.
 func scanTopM(feat *tensor.Tensor, ids []string, labels []int, feats []*tensor.Tensor, m, w int, sc *scanScratch) []Result {
+	return scanTopMInto(nil, feat, ids, labels, feats, m, w, sc)
+}
+
+// scanTopMInto is scanTopM writing into dst (grown only when its capacity
+// is short): with a pooled scratch and a warm dst, a steady-state
+// single-worker scan performs zero heap allocations.
+//
+//duolint:hot
+func scanTopMInto(dst []Result, feat *tensor.Tensor, ids []string, labels []int, feats []*tensor.Tensor, m, w int, sc *scanScratch) []Result {
 	n := len(ids)
 	if m > n {
 		m = n
@@ -122,9 +157,12 @@ func scanTopM(feat *tensor.Tensor, ids []string, labels []int, feats []*tensor.T
 	if m < 0 {
 		m = 0
 	}
-	out := make([]Result, m)
+	if cap(dst) < m || dst == nil {
+		dst = make([]Result, m) // non-nil even for m == 0, like the scan always returned
+	}
+	dst = dst[:m]
 	if m == 0 {
-		return out
+		return dst
 	}
 	if sc == nil {
 		sc = new(scanScratch)
@@ -136,21 +174,32 @@ func scanTopM(feat *tensor.Tensor, ids []string, labels []int, feats []*tensor.T
 		w = 1
 	}
 	heaps := sc.shards(w, m)
-	parallel.ForN(w, n, func(shard, start, end int) {
-		h := heaps[shard]
-		for i := start; i < end; i++ {
+	if w == 1 {
+		// Sequential fast path: the parallel.ForN body escapes to worker
+		// goroutines and therefore heap-allocates its closure; a plain loop
+		// does not.
+		h := heaps[0]
+		for i := 0; i < n; i++ {
 			h = pushTopM(h, Result{ID: ids[i], Label: labels[i], Dist: feat.Distance(feats[i])}, m)
 		}
-		heaps[shard] = h
-	})
+		heaps[0] = h
+	} else {
+		parallel.ForN(w, n, func(shard, start, end int) {
+			h := heaps[shard]
+			for i := start; i < end; i++ {
+				h = pushTopM(h, Result{ID: ids[i], Label: labels[i], Dist: feat.Distance(feats[i])}, m)
+			}
+			heaps[shard] = h
+		})
+	}
 	merged := sc.merged[:0]
 	for _, h := range heaps {
 		merged = append(merged, h...)
 	}
-	sort.Slice(merged, func(a, b int) bool { return resultLess(merged[a], merged[b]) })
+	slices.SortFunc(merged, cmpResult)
 	sc.merged = merged
-	copy(out, merged[:m])
-	return out
+	copy(dst, merged[:m])
+	return dst
 }
 
 // scored is a candidate row with its (approximate) distance — the unit the
@@ -190,18 +239,22 @@ func (sc *idxScratch) shards(w, m int) [][]scored {
 // is computed independently and the merge order is a strict total order.
 // The returned slice aliases sc.merged and is valid until the next scan
 // with the same scratch.
+//
+// dist escapes into worker goroutines on the multi-shard path, so a
+// closure passed here may be heap-allocated by the caller; allocation-free
+// callers keep a reusable closure alongside their scratch (see pqScratch).
+// Each branch below builds its own comparator literal on purpose: the
+// single-worker one never escapes and stays on the stack, while a shared
+// variable reused by the parallel branch would be forced to the heap on
+// every call.
+//
+//duolint:hot
 func scanTopMIdx(n, m, w int, dist func(i int) float64, ids []string, sc *idxScratch) []scored {
 	if m > n {
 		m = n
 	}
 	if m <= 0 {
 		return nil
-	}
-	less := func(a, b scored) bool {
-		if a.dist != b.dist { //duolint:allow floateq comparator tie-break: exact equality IS the tie, and both operands are the same unrounded computation
-			return a.dist < b.dist
-		}
-		return ids[a.row] < ids[b.row]
 	}
 	if w > n {
 		w = n
@@ -210,18 +263,46 @@ func scanTopMIdx(n, m, w int, dist func(i int) float64, ids []string, sc *idxScr
 		w = 1
 	}
 	heaps := sc.shards(w, m)
-	parallel.ForN(w, n, func(shard, start, end int) {
-		h := heaps[shard]
-		for i := start; i < end; i++ {
+	if w == 1 {
+		less := func(a, b scored) bool {
+			if a.dist != b.dist { //duolint:allow floateq comparator tie-break: exact equality IS the tie, and both operands are the same unrounded computation
+				return a.dist < b.dist
+			}
+			return ids[a.row] < ids[b.row]
+		}
+		h := heaps[0]
+		for i := 0; i < n; i++ {
 			h = pushBounded(h, scored{row: i, dist: dist(i)}, m, less)
 		}
-		heaps[shard] = h
-	})
+		heaps[0] = h
+	} else {
+		less := func(a, b scored) bool {
+			if a.dist != b.dist { //duolint:allow floateq comparator tie-break: exact equality IS the tie, and both operands are the same unrounded computation
+				return a.dist < b.dist
+			}
+			return ids[a.row] < ids[b.row]
+		}
+		parallel.ForN(w, n, func(shard, start, end int) {
+			h := heaps[shard]
+			for i := start; i < end; i++ {
+				h = pushBounded(h, scored{row: i, dist: dist(i)}, m, less)
+			}
+			heaps[shard] = h
+		})
+	}
 	merged := sc.merged[:0]
 	for _, h := range heaps {
 		merged = append(merged, h...)
 	}
-	sort.Slice(merged, func(a, b int) bool { return less(merged[a], merged[b]) })
+	slices.SortFunc(merged, func(a, b scored) int {
+		if a.dist != b.dist { //duolint:allow floateq comparator tie-break: exact equality IS the tie, and both operands are the same unrounded computation
+			if a.dist < b.dist {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(ids[a.row], ids[b.row])
+	})
 	sc.merged = merged
 	return merged[:m]
 }
