@@ -77,6 +77,33 @@ func TestRunServeSaturation(t *testing.T) {
 			t.Errorf("node %d in-flight high-water %d exceeds max-inflight 1", n.Node, n.HighWater)
 		}
 	}
+
+	// The fleet rollup rides in the report and reconciles with the
+	// client-side tallies: every node has its own registry, so the merged
+	// admission counters are exactly the per-node sums.
+	if rep.Fleet == nil {
+		t.Fatal("BENCH_serve.json has no fleet rollup")
+	}
+	if rep.Fleet.Reachable != 2 || rep.Fleet.Nodes != 2 {
+		t.Fatalf("fleet rollup reach = %d/%d, want 2/2", rep.Fleet.Reachable, rep.Fleet.Nodes)
+	}
+	var admitted, sheds int64
+	for _, n := range rep.PerNode {
+		admitted += n.Admitted
+		sheds += n.Sheds
+	}
+	if got := rep.Fleet.Fleet.Counters["node.admission.admitted"]; got != admitted {
+		t.Errorf("fleet merged admitted = %d, want per-node sum %d", got, admitted)
+	}
+	if got := rep.Fleet.Fleet.Counters["node.admission.shed"]; got != sheds {
+		t.Errorf("fleet merged shed = %d, want per-node sum %d", got, sheds)
+	}
+	for _, fn := range rep.Fleet.PerNode {
+		if got := fn.Snapshot.Counters["node.admission.admitted"]; got != rep.PerNode[fn.Node].Admitted {
+			t.Errorf("node %d snapshot admitted = %d, want its own tally %d (shared-registry lumping?)",
+				fn.Node, got, rep.PerNode[fn.Node].Admitted)
+		}
+	}
 }
 
 func TestRunSingleExperiment(t *testing.T) {

@@ -68,6 +68,12 @@ type serveReport struct {
 	LatencyP99Ms     float64           `json:"latency_p99_ms"`
 	LatencyMaxMs     float64           `json:"latency_max_ms"`
 	PerNode          []nodeServeReport `json:"per_node"`
+	// Fleet is the post-run fleet observability rollup, pulled over the
+	// same stats RPC duostat uses: every node's telemetry snapshot merged
+	// deterministically, with the per-node breakdown retained. It is the
+	// cross-check for the client-side tallies above — merged admission
+	// counters must equal the per_node sums.
+	Fleet *retrieval.FleetView `json:"fleet,omitempty"`
 }
 
 // runServe builds the cluster, applies load, and reports.
@@ -87,6 +93,11 @@ func runServe(opts serveOptions, emit func(string)) error {
 	}
 	model := models.NewC3D(rand.New(rand.NewSource(18)), models.GeometryOf(c.Train[0]), 12)
 
+	// The coordinator registry holds client-side instruments (end-to-end
+	// latency, cluster scatter/gather); each node server gets its OWN
+	// registry below, exactly as separate retrievald processes would. A
+	// shared registry would make every node's stats probe return the same
+	// lumped counters and the fleet merge would multi-count them.
 	reg := telemetry.New()
 	latency := reg.Latency("serve.latency_ns")
 
@@ -108,9 +119,12 @@ func runServe(opts serveOptions, emit func(string)) error {
 		if hi > len(c.Train) {
 			hi = len(c.Train)
 		}
-		srv, err := retrieval.ServeNodeConfig("127.0.0.1:0", retrieval.NewShard(model, c.Train[lo:hi]), retrieval.NodeServerConfig{
+		nodeReg := telemetry.New()
+		shard := retrieval.NewShard(model, c.Train[lo:hi])
+		shard.SetTelemetry(nodeReg)
+		srv, err := retrieval.ServeNodeConfig("127.0.0.1:0", shard, retrieval.NodeServerConfig{
 			Admission: retrieval.AdmissionConfig{MaxInFlight: opts.maxInFlight, MaxQueue: opts.maxQueue},
-			Telemetry: reg,
+			Telemetry: nodeReg,
 		})
 		if err != nil {
 			return err
@@ -218,6 +232,14 @@ func runServe(opts serveOptions, emit func(string)) error {
 			Node: i, Admitted: ast.Admitted, Sheds: ast.Sheds, HighWater: ast.HighWater,
 		})
 	}
+	// Pull the fleet rollup over the stats RPC — the same path duostat
+	// reads — so the JSON carries both the client-side tallies and the
+	// node-side merged telemetry to reconcile them against.
+	view, err := cluster.FleetSnapshot(false)
+	if err != nil {
+		return err
+	}
+	rep.Fleet = view
 
 	raw, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -240,6 +262,8 @@ func runServe(opts serveOptions, emit func(string)) error {
 		emit(fmt.Sprintf("  node %d: admitted %d  shed %d  inflight high-water %d\n",
 			n.Node, n.Admitted, n.Sheds, n.HighWater))
 	}
+	emit(fmt.Sprintf("  fleet view: %d/%d nodes reachable, %d indexed (merged rollup in BENCH_serve.json)\n",
+		view.Reachable, view.Nodes, view.Size))
 	emit(fmt.Sprintf("wrote %s\n", path))
 	if rep.Served == 0 {
 		if e, ok := firstErr.Load().(error); ok {

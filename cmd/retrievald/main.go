@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"duo"
 	"duo/internal/models"
@@ -64,6 +66,8 @@ func run(args []string) error {
 		maxInflight = fs.Int("max-inflight", 0, "node mode: max concurrently served requests (0 = unlimited)")
 		queue       = fs.Int("queue", 0, "node mode: admission queue slots beyond -max-inflight (negative = none)")
 		coalesceWin = fs.Duration("coalesce-window", 0, "query mode: coalesce concurrent queries into batch windows flushed every window (0 disables)")
+		hold        = fs.Bool("hold", false, "query mode: stay up after the query, serving -admin endpoints (incl. /fleet.json) until interrupted")
+		runtimeSamp = fs.Duration("runtime-stats", 5*time.Second, "runtime gauge sampling interval (heap, goroutines, GC pauses); 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,16 +80,30 @@ func run(args []string) error {
 	// appear, so scraping mid-serve is safe.
 	var reg *telemetry.Registry
 	var tracer *trace.Tracer
+	var adminMux *http.ServeMux
 	if *admin != "" {
 		reg = telemetry.New()
 		reg.PublishExpvar("duo")
 		tracer = trace.New(fmt.Sprintf("retrievald-%s-%s", *mode, *shard))
-		srv, lnAddr, err := serveAdmin(*admin, reg, tracer)
+		srv, lnAddr, mux, err := serveAdmin(*admin, reg, tracer)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("admin endpoints on http://%s/ (metrics.json, trace.jsonl, debug/vars, debug/pprof/)\n", lnAddr)
+		adminMux = mux
+		fmt.Printf("admin endpoints on http://%s/ (metrics.json, fleet.json, trace.jsonl, debug/vars, debug/pprof/)\n", lnAddr)
+	}
+	// A data node always runs a registry, -admin or not: the coordinator's
+	// fleet view pulls node snapshots over the wire, and a node without
+	// telemetry would be a blind spot in every /fleet.json.
+	if *mode == "node" && reg == nil {
+		reg = telemetry.New()
+	}
+	if reg != nil && *runtimeSamp > 0 {
+		rs := telemetry.NewRuntimeStats(reg)
+		rs.Sample() // populate the gauges before the first scrape
+		stop := rs.Poll(*runtimeSamp)
+		defer stop()
 	}
 
 	// Rebuild the identical system in every process.
@@ -160,6 +178,23 @@ func run(args []string) error {
 		if *maxInflight > 0 {
 			fmt.Printf("admission: max %d in flight, %d queued; excess load is shed\n", *maxInflight, *queue)
 		}
+		if adminMux != nil {
+			// A node's /fleet.json is the fleet-of-one view of itself, so
+			// duostat points at any retrievald process the same way.
+			adminMux.HandleFunc("/fleet.json", func(w http.ResponseWriter, r *http.Request) {
+				snap := reg.Snapshot()
+				if r.URL.Query().Get("rings") != "1" {
+					snap.Rings = map[string][]float64{}
+				}
+				writeFleetJSON(w, &retrieval.FleetView{
+					Nodes: 1, Reachable: 1, Size: nodeIdx.Size(),
+					Fleet: snap,
+					PerNode: []retrieval.FleetNode{
+						{Node: 0, Addr: srv.Addr(), Size: nodeIdx.Size(), Snapshot: snap},
+					},
+				})
+			})
+		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
@@ -201,6 +236,19 @@ func run(args []string) error {
 		cluster := retrieval.NewCluster(sys.VictimModel(), transports).SetPolicy(pol).SetTrace(tracer)
 		cluster.SetTelemetry(reg)
 		defer cluster.Close()
+		if adminMux != nil {
+			// The coordinator's /fleet.json pulls every node's snapshot over
+			// the stats RPC and serves the deterministic merge (?rings=1
+			// includes node-local sample rings in the per-node sections).
+			adminMux.HandleFunc("/fleet.json", func(w http.ResponseWriter, r *http.Request) {
+				view, err := cluster.FleetSnapshot(r.URL.Query().Get("rings") == "1")
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				writeFleetJSON(w, view)
+			})
+		}
 
 		// Optional coalescing front door: concurrent queries park in a
 		// window flushed every -coalesce-window (or when full) and execute
@@ -240,6 +288,12 @@ func run(args []string) error {
 		for i, r := range rs {
 			fmt.Printf("%2d. %-28s label=%d dist=%.4f\n", i+1, r.ID, r.Label, r.Dist)
 		}
+		if *hold {
+			fmt.Println("holding: admin endpoints stay up until interrupt (ctrl-c)")
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt)
+			<-sig
+		}
 		return nil
 
 	default:
@@ -248,18 +302,30 @@ func run(args []string) error {
 }
 
 // serveAdmin starts the -admin endpoint server (metrics snapshot, span
-// dump, expvar, pprof) on addr and returns the running server plus its
-// bound address, so callers can use ":0" and learn the real port.
-func serveAdmin(addr string, reg *telemetry.Registry, tr *trace.Tracer) (*http.Server, net.Addr, error) {
+// dump, expvar, pprof) on addr and returns the running server, its bound
+// address (so callers can use ":0" and learn the real port), and the mux
+// so mode-specific endpoints (/fleet.json) can be added once their
+// backing state exists — http.ServeMux registration is safe after the
+// server starts.
+func serveAdmin(addr string, reg *telemetry.Registry, tr *trace.Tracer) (*http.Server, net.Addr, *http.ServeMux, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, fmt.Errorf("admin listener: %w", err)
+		return nil, nil, nil, fmt.Errorf("admin listener: %w", err)
 	}
 	mux := telemetry.AdminMux(reg)
 	mux.Handle("/trace.jsonl", trace.Handler(tr))
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	return srv, ln.Addr(), nil
+	return srv, ln.Addr(), mux, nil
+}
+
+// writeFleetJSON serves a fleet view as pretty-printed JSON. encoding/json
+// walks map keys sorted, so equal fleet state yields identical bytes.
+func writeFleetJSON(w http.ResponseWriter, view *retrieval.FleetView) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(view)
 }
 
 // parsePolicy maps the -policy flag to a partial-result policy.

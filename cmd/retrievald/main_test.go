@@ -83,7 +83,7 @@ func TestAdminEndpointsServeAllGroups(t *testing.T) {
 	tr := trace.New("admin-test")
 	tr.Start(nil, "warmup").End()
 
-	srv, addr, err := serveAdmin("127.0.0.1:0", reg, tr)
+	srv, addr, _, err := serveAdmin("127.0.0.1:0", reg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestAdminEndpointsServeAllGroups(t *testing.T) {
 }
 
 func TestAdminBadAddressFails(t *testing.T) {
-	if _, _, err := serveAdmin("256.0.0.1:http", telemetry.New(), trace.New("t")); err == nil {
+	if _, _, _, err := serveAdmin("256.0.0.1:http", telemetry.New(), trace.New("t")); err == nil {
 		t.Error("unlistenable admin address accepted")
 	}
 }

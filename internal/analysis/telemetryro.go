@@ -26,15 +26,25 @@ import (
 // Telemetry may be exported, serialized, and displayed — it must never
 // decide a branch, because then enabling or disabling a registry could
 // change a result bit.
+//
+// The observability plane itself is exempt alongside the telemetry
+// package: the SLO engine (internal/telemetry/slo) and the duostat CLI
+// (cmd/duostat) exist to read telemetry and decide things about it —
+// burn thresholds, render diffs — and none of their decisions feed back
+// into a serving or attack computation. The rule protects result bits,
+// not dashboards.
 var Telemetryro = &Analyzer{
 	Name: "telemetryro",
-	Doc:  "telemetry reads must not feed branch conditions outside internal/telemetry (instruments are write-only)",
+	Doc:  "telemetry reads must not feed branch conditions outside the telemetry/observability packages (instruments are write-only)",
 	Run:  runTelemetryro,
 }
 
 func runTelemetryro(p *Pass) {
-	// The telemetry package itself necessarily reads its own state.
-	if pathMatches(p.Path, "internal/telemetry", "telemetry") {
+	// The telemetry package necessarily reads its own state; the SLO
+	// engine and duostat are pure consumers on the observability side of
+	// the read-only boundary (see the Analyzer doc above).
+	if pathMatches(p.Path, "internal/telemetry", "telemetry",
+		"internal/telemetry/slo", "cmd/duostat") {
 		return
 	}
 	for _, f := range p.Files {

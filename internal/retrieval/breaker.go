@@ -232,5 +232,13 @@ func (b *BreakerTransport) Retries() int64 {
 	return 0
 }
 
+// Stats implements StatsPuller by forwarding around the breaker: a stats
+// pull is an observability probe, never gated or counted by the
+// automaton, so the fleet view still reads a node the breaker holds open
+// — which is exactly when an operator wants to see it.
+func (b *BreakerTransport) Stats(includeRings bool) (NodeStats, error) {
+	return pullStats(b.inner, includeRings)
+}
+
 // Close implements Transport.
 func (b *BreakerTransport) Close() error { return b.inner.Close() }

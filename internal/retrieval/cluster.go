@@ -123,9 +123,15 @@ func nearestVia(t Transport, tc trace.Context, feat []float64, m int) ([]Result,
 }
 
 // LocalTransport serves a shard in-process.
-type LocalTransport struct{ Shard *Shard }
+type LocalTransport struct {
+	Shard *Shard
+	// Telemetry, when non-nil, is the registry this node reports from
+	// Stats — typically the one its shard instruments write into.
+	Telemetry *telemetry.Registry
+}
 
 var _ Transport = (*LocalTransport)(nil)
+var _ StatsPuller = (*LocalTransport)(nil)
 
 // Nearest implements Transport.
 func (t *LocalTransport) Nearest(feat []float64, m int) ([]Result, error) {
@@ -134,6 +140,17 @@ func (t *LocalTransport) Nearest(feat []float64, m int) ([]Result, error) {
 
 // Close implements Transport.
 func (t *LocalTransport) Close() error { return nil }
+
+// Stats implements StatsPuller: an in-process node always supports
+// stats; without a registry it reports an empty snapshot (the merge
+// identity), not an error — the node is reachable, just uninstrumented.
+func (t *LocalTransport) Stats(includeRings bool) (NodeStats, error) {
+	snap := t.Telemetry.Snapshot()
+	if !includeRings {
+		snap.Rings = map[string][]float64{}
+	}
+	return NodeStats{Snapshot: snap, Size: t.Shard.Size(), Addr: "local"}, nil
+}
 
 // Policy is the cluster's partial-result policy: what the coordinator does
 // when some nodes fail a scatter/gather query. It trades availability
@@ -250,6 +267,7 @@ type Cluster struct {
 	tel      engineTel
 	gatherNs *telemetry.Histogram
 	nodeTel  []clusterNodeTel
+	reg      *telemetry.Registry // for FleetSnapshot's coordinator section
 	tracer   *trace.Tracer
 }
 
@@ -302,6 +320,7 @@ func (c *Cluster) SetTelemetry(r *telemetry.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tel = resolveEngineTel(r, "cluster")
+	c.reg = r
 	c.gatherNs = r.Latency("cluster.gather_ns")
 	c.nodeTel = make([]clusterNodeTel, len(c.nodes))
 	for i := range c.nodes {

@@ -150,5 +150,12 @@ func (t *RetryTransport) do(call func() ([]Result, error)) ([]Result, error) {
 	return nil, lastErr
 }
 
+// Stats implements StatsPuller by forwarding, outside the retry loop: a
+// stats pull is an observability probe, not serving traffic, so a failed
+// pull reports immediately instead of backing off.
+func (t *RetryTransport) Stats(includeRings bool) (NodeStats, error) {
+	return pullStats(t.inner, includeRings)
+}
+
 // Close implements Transport.
 func (t *RetryTransport) Close() error { return t.inner.Close() }

@@ -44,11 +44,17 @@ const (
 // per connection (so its unnumbered replies arrive in request order and
 // the client matches them FIFO), and an old client never sends an ID, for
 // which the server falls back to serialized in-order handling.
+// Stats turns the message into a telemetry probe instead of a scan (see
+// stats.go); the same nil-omission property keeps scans byte-identical
+// to the pre-stats protocol, and an old server that ignores the field
+// answers the probe as an empty scan, which the client maps to
+// ErrStatsUnsupported.
 type nearestRequest struct {
-	Feat []float64
-	M    int
-	TC   *trace.Context
-	ID   uint64
+	Feat  []float64
+	M     int
+	TC    *trace.Context
+	ID    uint64
+	Stats *statsRequest
 }
 
 // nearestResponse's Overloaded flag is how ErrOverloaded crosses the wire:
@@ -60,6 +66,7 @@ type nearestResponse struct {
 	Err        string
 	ID         uint64
 	Overloaded bool
+	Stats      *statsResponse
 }
 
 // NodeServerConfig parameterizes a NodeServer's deadlines and admission
@@ -207,6 +214,16 @@ func (s *NodeServer) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // client hung up, idled out, or connection torn down
 		}
+		if req.Stats != nil {
+			// Telemetry probe: answered inline from the read loop, BEFORE
+			// admission — a snapshot is cheap, and observability must stay
+			// readable while the node is shedding, or the fleet view goes
+			// dark exactly when an operator needs it.
+			if !s.writeResp(conn, enc, &wmu, s.handleStats(req)) {
+				return
+			}
+			continue
+		}
 		if req.ID == 0 {
 			// Legacy client: it has exactly one request in flight on this
 			// connection and expects the reply before the next request, so
@@ -280,6 +297,21 @@ func (s *NodeServer) handle(req nearestRequest) nearestResponse {
 	}
 	sp.End()
 	return resp
+}
+
+// handleStats answers a telemetry probe from the node's registry. A node
+// without telemetry reports an empty snapshot (the merge identity) — the
+// node is reachable and supports the protocol, it just has nothing to say.
+func (s *NodeServer) handleStats(req nearestRequest) nearestResponse {
+	snap := s.cfg.Telemetry.Snapshot()
+	if !req.Stats.Rings {
+		snap.Rings = map[string][]float64{}
+	}
+	return nearestResponse{ID: req.ID, Stats: &statsResponse{
+		Snapshot: snap,
+		Size:     s.shard.Size(),
+		Addr:     s.Addr(),
+	}}
 }
 
 // writeResp encodes one response under the connection's write mutex (gob
@@ -498,6 +530,7 @@ type TCPTransport struct {
 }
 
 var _ Transport = (*TCPTransport)(nil)
+var _ StatsPuller = (*TCPTransport)(nil)
 
 // DialNode connects to a NodeServer with the default per-call deadline.
 func DialNode(addr string) (*TCPTransport, error) {
@@ -574,24 +607,20 @@ func (t *TCPTransport) Nearest(feat []float64, m int) ([]Result, error) {
 	return t.NearestTraced(trace.Context{}, feat, m)
 }
 
-// NearestTraced implements TracedTransport: the span context rides the
-// request's optional TC field, so a traced node server parents its
-// node.serve span under the coordinator's node span. A zero context adds
-// nothing to the encoded request.
-func (t *TCPTransport) NearestTraced(tc trace.Context, feat []float64, m int) ([]Result, error) {
+// roundTrip sends one request over a pool connection and waits for its
+// reply under the per-call deadline. It assigns the request's mux ID and
+// is the shared exchange path for scans (NearestTraced) and telemetry
+// probes (Stats) — one deadline/failure discipline for both.
+func (t *TCPTransport) roundTrip(req *nearestRequest) (nearestResponse, error) {
 	c, err := t.slot()
 	if err != nil {
-		return nil, err
+		return nearestResponse{}, err
 	}
-	id := t.nextID.Add(1)
-	req := nearestRequest{ID: id, Feat: feat, M: m}
-	if tc.Valid() {
-		req.TC = &tc
-	}
-	ch, err := c.call(&req, t.cfg.Timeout)
+	req.ID = t.nextID.Add(1)
+	ch, err := c.call(req, t.cfg.Timeout)
 	if err != nil {
 		c.fail(err)
-		return nil, err
+		return nearestResponse{}, err
 	}
 	var reply muxReply
 	if t.cfg.Timeout > 0 {
@@ -611,10 +640,22 @@ func (t *TCPTransport) NearestTraced(tc trace.Context, feat []float64, m int) ([
 	} else {
 		reply = <-ch
 	}
-	if reply.err != nil {
-		return nil, reply.err
+	return reply.resp, reply.err
+}
+
+// NearestTraced implements TracedTransport: the span context rides the
+// request's optional TC field, so a traced node server parents its
+// node.serve span under the coordinator's node span. A zero context adds
+// nothing to the encoded request.
+func (t *TCPTransport) NearestTraced(tc trace.Context, feat []float64, m int) ([]Result, error) {
+	req := nearestRequest{Feat: feat, M: m}
+	if tc.Valid() {
+		req.TC = &tc
 	}
-	resp := reply.resp
+	resp, err := t.roundTrip(&req)
+	if err != nil {
+		return nil, err
+	}
 	if resp.Overloaded {
 		// A shed arrives as a complete, well-framed response: the stream is
 		// in sync and the connection stays up — only this request was refused.
@@ -625,6 +666,27 @@ func (t *TCPTransport) NearestTraced(tc trace.Context, feat []float64, m int) ([
 		return nil, fmt.Errorf("retrieval: node error: %s", resp.Err)
 	}
 	return resp.Results, nil
+}
+
+// Stats implements StatsPuller over the wire. The probe shares the scan
+// path's connections and deadlines but bypasses node-side admission, so
+// it answers even while the node sheds. An old server answers the probe
+// as an empty scan (no stats payload), which maps to ErrStatsUnsupported.
+func (t *TCPTransport) Stats(includeRings bool) (NodeStats, error) {
+	req := nearestRequest{Stats: &statsRequest{Rings: includeRings}}
+	resp, err := t.roundTrip(&req)
+	if err != nil {
+		return NodeStats{}, err
+	}
+	if resp.Stats == nil {
+		return NodeStats{}, fmt.Errorf("retrieval: node %s: %w", t.addr, ErrStatsUnsupported)
+	}
+	snap := resp.Stats.Snapshot
+	if snap == nil {
+		// gob omits zero-valued fields; an empty snapshot decodes as nil.
+		snap = &telemetry.Snapshot{}
+	}
+	return NodeStats{Snapshot: snap, Size: resp.Stats.Size, Addr: resp.Stats.Addr}, nil
 }
 
 // Close implements Transport: every pool connection dies, failing any

@@ -13,6 +13,7 @@ import (
 	"reflect"
 	"testing"
 
+	"duo/internal/telemetry"
 	"duo/internal/trace"
 )
 
@@ -133,6 +134,116 @@ func TestNearestResponseBackwardCompatible(t *testing.T) {
 	}
 	if out.ID != 0 || out.Overloaded {
 		t.Errorf("legacy response produced mux fields: %+v", out)
+	}
+}
+
+func TestStatsProbeRoundTrip(t *testing.T) {
+	inReq := nearestRequest{ID: 4, Stats: &statsRequest{Rings: true}}
+	var outReq nearestRequest
+	gobRoundTrip(t, &inReq, &outReq)
+	if !reflect.DeepEqual(inReq, outReq) {
+		t.Errorf("round trip mutated stats request: %+v -> %+v", inReq, outReq)
+	}
+
+	inResp := nearestResponse{ID: 4, Stats: &statsResponse{
+		Snapshot: &telemetry.Snapshot{
+			Counters: map[string]int64{"shard.queries": 12},
+			Histograms: map[string]telemetry.HistogramStats{
+				"shard.scan_ns": {
+					Count: 3, Sum: 600, Min: 100, Max: 300,
+					Mean: 200, P50: 200, P95: 300, P99: 300,
+					Bounds:  []float64{100, 1000},
+					Buckets: []int64{1, 2, 0},
+				},
+			},
+		},
+		Size: 128,
+		Addr: "127.0.0.1:9999",
+	}}
+	var outResp nearestResponse
+	gobRoundTrip(t, &inResp, &outResp)
+	if !reflect.DeepEqual(inResp, outResp) {
+		t.Errorf("round trip mutated stats response:\n%+v\n->\n%+v", inResp, outResp)
+	}
+}
+
+func TestStatsFieldsBackwardCompatible(t *testing.T) {
+	// New coordinator -> old server: the unknown Stats field is skipped,
+	// so the probe decodes as an empty scan (nil Feat, M 0) that the old
+	// node answers harmlessly — which is how the client detects
+	// ErrStatsUnsupported (no Stats payload comes back).
+	in := nearestRequest{ID: 3, Stats: &statsRequest{Rings: true}}
+	var old legacyNearestRequest
+	gobRoundTrip(t, &in, &old)
+	if old.Feat != nil || old.M != 0 {
+		t.Errorf("old server decoded a stats probe as a real scan: %+v", old)
+	}
+
+	// Old server -> new coordinator: no Stats field on the wire, so the
+	// response decodes with Stats nil.
+	legacy := legacyNearestResponse{Results: []Result{{ID: "v01", Label: 1, Dist: 0.5}}}
+	var out nearestResponse
+	gobRoundTrip(t, &legacy, &out)
+	if out.Stats != nil {
+		t.Errorf("legacy response produced a stats payload: %+v", out.Stats)
+	}
+}
+
+// TestZeroStatsFieldsAddNoPayload pins the wire-cost contract of the
+// stats extension: a request or response without a stats payload encodes
+// to value bytes identical to the legacy protocol (gob omits nil pointer
+// fields), and a probe is strictly longer. Old wire bytes are unchanged.
+func TestZeroStatsFieldsAddNoPayload(t *testing.T) {
+	secondMessage := func(v1, v2 any) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		if err := enc.Encode(v1); err != nil {
+			t.Fatal(err)
+		}
+		n := buf.Len()
+		if err := enc.Encode(v2); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()[n:]
+	}
+	plain := secondMessage(
+		&nearestRequest{Feat: []float64{9}, M: 1},
+		&nearestRequest{Feat: []float64{1, 2}, M: 3},
+	)
+	legacy := secondMessage(
+		&legacyNearestRequest{Feat: []float64{9}, M: 1},
+		&legacyNearestRequest{Feat: []float64{1, 2}, M: 3},
+	)
+	probe := secondMessage(
+		&nearestRequest{Feat: []float64{9}, M: 1},
+		&nearestRequest{Feat: []float64{1, 2}, M: 3, Stats: &statsRequest{}},
+	)
+	if len(plain) < 4 || len(legacy) < 4 || !bytes.Equal(plain[3:], legacy[3:]) {
+		t.Errorf("stats-less request value bytes differ from legacy protocol:\n% x\nvs\n% x", plain, legacy)
+	}
+	if len(probe) <= len(plain) {
+		t.Errorf("probe message (%d bytes) not longer than plain (%d): Stats did not ride the wire", len(probe), len(plain))
+	}
+
+	rs := []Result{{ID: "v01", Label: 1, Dist: 0.5}}
+	plainResp := secondMessage(
+		&nearestResponse{Results: rs[:1]},
+		&nearestResponse{Results: rs},
+	)
+	legacyResp := secondMessage(
+		&legacyNearestResponse{Results: rs[:1]},
+		&legacyNearestResponse{Results: rs},
+	)
+	statsResp := secondMessage(
+		&nearestResponse{Results: rs[:1]},
+		&nearestResponse{Stats: &statsResponse{Size: 1}},
+	)
+	if len(plainResp) < 4 || len(legacyResp) < 4 || !bytes.Equal(plainResp[3:], legacyResp[3:]) {
+		t.Errorf("stats-less response value bytes differ from legacy protocol:\n% x\nvs\n% x", plainResp, legacyResp)
+	}
+	if len(statsResp) <= 4 {
+		t.Errorf("stats response suspiciously small (%d bytes): payload did not ride the wire", len(statsResp))
 	}
 }
 

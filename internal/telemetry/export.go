@@ -12,7 +12,10 @@ import (
 )
 
 // Snapshot is a point-in-time copy of every instrument in a registry,
-// shaped for JSON export (`/metrics.json`, expvar).
+// shaped for JSON export (`/metrics.json`, expvar, `/fleet.json`) and for
+// cross-node aggregation (gob over the stats RPC, then Merge/MergeAll).
+// JSON encoding emits map keys sorted, so two snapshots of equal state
+// marshal to identical bytes.
 type Snapshot struct {
 	Counters   map[string]int64          `json:"counters,omitempty"`
 	Gauges     map[string]int64          `json:"gauges,omitempty"`
@@ -104,21 +107,23 @@ func AdminMux(r *Registry) *http.ServeMux {
 }
 
 // Summary renders the registry as an aligned text table (the `-telemetry`
-// output of duoattack/duobench): counters and gauges first, then one row
-// per histogram with count, mean, and latency quantiles. Histogram names
-// ending in "_ns" are formatted as durations.
-func (r *Registry) Summary() string {
-	s := r.Snapshot()
+// output of duoattack/duobench); see Snapshot.Render.
+func (r *Registry) Summary() string { return r.Snapshot().Render() }
+
+// Render renders the snapshot as an aligned text table: counters and
+// gauges first, then one row per histogram with count, mean, and latency
+// quantiles, then the rings. Histogram names ending in "_ns" are formatted
+// as durations. Every section walks names in sorted order, so the output
+// for equal state is byte-stable across runs (the same contract
+// /fleet.json gets from encoding/json's sorted map keys) — duostat renders
+// merged fleet snapshots through this same path.
+func (s *Snapshot) Render() string {
 	var b strings.Builder
 	b.WriteString("== telemetry ==\n")
 
 	names := make([]string, 0, len(s.Counters)+len(s.Gauges))
-	for k := range s.Counters {
-		names = append(names, k)
-	}
-	for k := range s.Gauges {
-		names = append(names, k)
-	}
+	names = append(names, sortedKeys(s.Counters)...)
+	names = append(names, sortedKeys(s.Gauges)...)
 	sort.Strings(names)
 	for _, k := range names {
 		if v, ok := s.Counters[k]; ok {
@@ -128,11 +133,7 @@ func (r *Registry) Summary() string {
 		}
 	}
 
-	hnames := make([]string, 0, len(s.Histograms))
-	for k := range s.Histograms {
-		hnames = append(hnames, k)
-	}
-	sort.Strings(hnames)
+	hnames := sortedKeys(s.Histograms)
 	if len(hnames) > 0 {
 		fmt.Fprintf(&b, "%-36s %8s %10s %10s %10s %10s\n",
 			"stage", "count", "mean", "p50", "p95", "p99")
@@ -148,12 +149,7 @@ func (r *Registry) Summary() string {
 		}
 	}
 
-	rnames := make([]string, 0, len(s.Rings))
-	for k := range s.Rings {
-		rnames = append(rnames, k)
-	}
-	sort.Strings(rnames)
-	for _, k := range rnames {
+	for _, k := range sortedKeys(s.Rings) {
 		vs := s.Rings[k]
 		if len(vs) == 0 {
 			continue

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"time"
+)
+
+// RuntimeStats publishes process-runtime health gauges through a registry:
+//
+//	runtime.heap.bytes    live heap allocation (MemStats.HeapAlloc)
+//	runtime.goroutines    current goroutine count
+//	runtime.gc.pause.p99  p99 of the retained GC pause window, nanoseconds
+//	runtime.gc.cycles     completed GC cycles (NumGC)
+//
+// It follows the registry's instrument conventions exactly: gauges are
+// resolved once at construction, samples are write-only (§10 — nothing in
+// any computation path reads them back), and a collector built over a nil
+// registry is a permanent no-op whose Sample performs zero allocations
+// and never touches the runtime, so wiring it unconditionally costs
+// nothing when telemetry is off.
+//
+// In a fleet merge, heap bytes and goroutines sum across nodes (fleet
+// totals) while the p99 gauge sums too — operators read per-node values
+// from the fleet view's per-node snapshots, which is where a per-node
+// pause p99 is meaningful.
+type RuntimeStats struct {
+	heapBytes  *Gauge
+	goroutines *Gauge
+	gcPauseP99 *Gauge
+	gcCycles   *Gauge
+	enabled    bool
+
+	mu     sync.Mutex
+	pauses [256]uint64 // scratch copy of MemStats.PauseNs, kept to avoid per-sample allocation
+}
+
+// NewRuntimeStats resolves the runtime gauges in r. A nil registry yields
+// a disabled collector (valid, no-op).
+func NewRuntimeStats(r *Registry) *RuntimeStats {
+	return &RuntimeStats{
+		heapBytes:  r.Gauge("runtime.heap.bytes"),
+		goroutines: r.Gauge("runtime.goroutines"),
+		gcPauseP99: r.Gauge("runtime.gc.pause.p99"),
+		gcCycles:   r.Gauge("runtime.gc.cycles"),
+		enabled:    r != nil,
+	}
+}
+
+// Sample reads the runtime once and publishes every gauge. Disabled (nil
+// registry) collectors return immediately without reading the runtime —
+// the zero-allocation contract is pinned by a test. Safe for concurrent
+// use; Sample is a cold path (admin scrapes, periodic polls), so the
+// mutex is never contended by serving traffic.
+func (rs *RuntimeStats) Sample() {
+	if rs == nil || !rs.enabled {
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs.heapBytes.Set(int64(ms.HeapAlloc))
+	rs.goroutines.Set(int64(runtime.NumGoroutine()))
+	rs.gcCycles.Set(int64(ms.NumGC))
+	rs.gcPauseP99.Set(pauseP99(&rs.pauses, &ms))
+}
+
+// pauseP99 computes the p99 of the GC pauses the runtime retains (the
+// PauseNs circular buffer holds the most recent 256). Zero cycles yield 0.
+func pauseP99(scratch *[256]uint64, ms *runtime.MemStats) int64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	copy(scratch[:n], ms.PauseNs[:n])
+	window := scratch[:n]
+	slices.Sort(window)
+	// Nearest-rank p99: the smallest value with ≥ 99% of the window at or
+	// below it.
+	idx := (99*n + 99) / 100
+	if idx > n {
+		idx = n
+	}
+	return int64(window[idx-1])
+}
+
+// Poll samples every interval on a background goroutine until the
+// returned stop function is called (idempotent). Disabled collectors
+// return a no-op stop without starting anything.
+func (rs *RuntimeStats) Poll(interval time.Duration) (stop func()) {
+	if rs == nil || !rs.enabled || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	tick := time.NewTicker(interval) //duolint:allow walltime runtime-gauge sampling cadence; samples are write-only (§10)
+	go func() {
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				rs.Sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

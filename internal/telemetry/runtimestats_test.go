@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeStatsPublishesGauges(t *testing.T) {
+	r := New()
+	rs := NewRuntimeStats(r)
+	runtime.GC() // ensure at least one cycle so the pause window is non-empty
+	rs.Sample()
+	s := r.Snapshot()
+	if s.Gauges["runtime.heap.bytes"] <= 0 {
+		t.Errorf("heap.bytes = %d, want > 0", s.Gauges["runtime.heap.bytes"])
+	}
+	if s.Gauges["runtime.goroutines"] <= 0 {
+		t.Errorf("goroutines = %d, want > 0", s.Gauges["runtime.goroutines"])
+	}
+	if s.Gauges["runtime.gc.cycles"] <= 0 {
+		t.Errorf("gc.cycles = %d, want > 0", s.Gauges["runtime.gc.cycles"])
+	}
+	if p99 := s.Gauges["runtime.gc.pause.p99"]; p99 < 0 {
+		t.Errorf("gc.pause.p99 = %d, want >= 0", p99)
+	}
+}
+
+// TestRuntimeStatsNilRegistryAllocatesNothing pins the disabled-path
+// contract: a collector over a nil registry must sample with zero
+// allocations (and, per the early return, without reading the runtime).
+func TestRuntimeStatsNilRegistryAllocatesNothing(t *testing.T) {
+	rs := NewRuntimeStats(nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		rs.Sample()
+	}); n != 0 {
+		t.Errorf("nil-registry Sample allocated %.1f allocs/op, want 0", n)
+	}
+	var nilRS *RuntimeStats
+	if n := testing.AllocsPerRun(1000, func() {
+		nilRS.Sample()
+	}); n != 0 {
+		t.Errorf("nil collector Sample allocated %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestRuntimeStatsPollStops(t *testing.T) {
+	r := New()
+	rs := NewRuntimeStats(r)
+	stop := rs.Poll(time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second) //duolint:allow walltime test poll deadline
+	for r.Snapshot().Gauges["runtime.goroutines"] == 0 {
+		if time.Now().After(deadline) { //duolint:allow walltime test poll deadline
+			t.Fatal("poller never sampled")
+		}
+		time.Sleep(time.Millisecond) //duolint:allow walltime test poll backoff
+	}
+	stop()
+	stop() // idempotent
+
+	if s := NewRuntimeStats(nil).Poll(time.Millisecond); s == nil {
+		t.Error("disabled Poll must return a usable stop func")
+	} else {
+		s()
+	}
+}
+
+func TestPauseP99(t *testing.T) {
+	var scratch [256]uint64
+	var ms runtime.MemStats
+	if got := pauseP99(&scratch, &ms); got != 0 {
+		t.Errorf("zero cycles p99 = %d, want 0", got)
+	}
+	ms.NumGC = 4
+	ms.PauseNs = [256]uint64{40, 10, 30, 20}
+	if got := pauseP99(&scratch, &ms); got != 40 {
+		t.Errorf("p99 of {10,20,30,40} = %d, want 40", got)
+	}
+}

@@ -1,0 +1,242 @@
+// Package slo evaluates service-level objectives over telemetry
+// snapshots. It is deliberately snapshot-driven and clockless: callers
+// feed one cumulative Snapshot per logical tick (an admin scrape, a
+// duostat -watch poll, a test loop) and the evaluator computes
+// multi-window burn rates from the per-tick deltas. Determinism falls
+// out of that design — the same snapshot sequence always yields the
+// same reports, which is what makes the burn-rate math testable without
+// a clock and reproducible across coordinator restarts.
+//
+// The alerting model is the standard multi-window burn rate: an
+// objective pages only when BOTH a fast window (quick detection) and a
+// slow window (burst tolerance) burn error budget faster than the
+// configured threshold. Windows are measured in ticks; at the default
+// one-minute scrape cadence the defaults of 5 and 60 ticks correspond
+// to the classic 5m/1h pairing, but nothing in the engine assumes wall
+// time.
+package slo
+
+import (
+	"fmt"
+
+	"duo/internal/telemetry"
+)
+
+// Objective declares one SLO over registry instruments. Exactly one of
+// the two shapes must be filled in:
+//
+//   - availability: Good and Bad name counters (e.g. admitted vs shed
+//     requests); the objective tracks Good/(Good+Bad) against Target.
+//   - latency: Histogram names a bucketed histogram and ThresholdNs the
+//     good-latency bound; observations in buckets at or below the
+//     threshold count as good. The threshold should coincide with a
+//     bucket upper bound — the engine counts whole buckets and never
+//     interpolates, so a mid-bucket threshold silently rounds down to
+//     the nearest bound.
+type Objective struct {
+	// Name identifies the objective in reports.
+	Name string
+	// Good and Bad are counter names for an availability objective.
+	// Either may be empty (treated as always zero), but not both.
+	Good, Bad string
+	// Histogram and ThresholdNs define a latency objective.
+	Histogram   string
+	ThresholdNs float64
+	// Target is the objective, e.g. 0.999 for three nines. Must be in
+	// (0, 1); the error budget is 1-Target.
+	Target float64
+}
+
+// latency reports which shape the objective takes.
+func (o Objective) latency() bool { return o.Histogram != "" }
+
+// Config tunes the evaluator. Zero values take the defaults.
+type Config struct {
+	// FastWindow and SlowWindow are the two burn windows in ticks.
+	// Defaults: 5 and 60 (5m and 1h at a one-minute cadence).
+	FastWindow, SlowWindow int
+	// PageBurn is the burn-rate threshold both windows must exceed to
+	// page. Default 14.4 — the rate that exhausts a 30-day budget in
+	// two days.
+	PageBurn float64
+}
+
+// DefaultConfig returns the stock multi-window configuration.
+func DefaultConfig() Config {
+	return Config{FastWindow: 5, SlowWindow: 60, PageBurn: 14.4}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.FastWindow <= 0 {
+		c.FastWindow = d.FastWindow
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = d.SlowWindow
+	}
+	if c.PageBurn <= 0 {
+		c.PageBurn = d.PageBurn
+	}
+	if c.SlowWindow < c.FastWindow {
+		c.SlowWindow = c.FastWindow
+	}
+	return c
+}
+
+// ObjectiveError reports an invalid objective declaration.
+type ObjectiveError struct {
+	Name   string
+	Reason string
+}
+
+func (e *ObjectiveError) Error() string {
+	return fmt.Sprintf("slo: objective %q: %s", e.Name, e.Reason)
+}
+
+// Report is one objective's evaluation at one tick.
+type Report struct {
+	// Objective and Target echo the declaration.
+	Objective string  `json:"objective"`
+	Target    float64 `json:"target"`
+	// Ticks counts delta ticks accumulated so far (0 right after the
+	// baseline tick — burn rates are meaningless until at least 1).
+	Ticks int `json:"ticks"`
+	// FastBurn and SlowBurn are the error-budget burn rates over the
+	// two windows: (bad / (good+bad)) / (1 - Target). A burn of 1.0
+	// spends budget exactly at the sustainable rate; PageBurn-fold
+	// faster pages. Windows with no traffic burn 0.
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	// FastGood/FastBad and SlowGood/SlowBad are the raw window tallies
+	// behind the burns, for operators auditing the math.
+	FastGood int64 `json:"fast_good,omitempty"`
+	FastBad  int64 `json:"fast_bad,omitempty"`
+	SlowGood int64 `json:"slow_good,omitempty"`
+	SlowBad  int64 `json:"slow_bad,omitempty"`
+	// Page is true when both windows burn at or above Config.PageBurn.
+	Page bool `json:"page"`
+}
+
+// sample is one tick's good/bad delta for one objective.
+type sample struct{ good, bad int64 }
+
+// Evaluator folds a snapshot stream into per-objective burn reports.
+// Not safe for concurrent use; drive it from one goroutine.
+type Evaluator struct {
+	cfg    Config
+	objs   []Objective
+	seeded bool
+	prev   []sample   // cumulative totals at the previous tick, per objective
+	window [][]sample // ring of per-tick deltas, per objective, len ≤ SlowWindow
+	ticks  int
+}
+
+// NewEvaluator validates the objectives and returns an evaluator.
+func NewEvaluator(cfg Config, objs ...Objective) (*Evaluator, error) {
+	for _, o := range objs {
+		if o.Name == "" {
+			return nil, &ObjectiveError{Name: o.Name, Reason: "missing name"}
+		}
+		if !(o.Target > 0 && o.Target < 1) {
+			return nil, &ObjectiveError{Name: o.Name, Reason: fmt.Sprintf("target %g outside (0, 1)", o.Target)}
+		}
+		switch {
+		case o.latency() && (o.Good != "" || o.Bad != ""):
+			return nil, &ObjectiveError{Name: o.Name, Reason: "declares both counter and histogram sources"}
+		case o.latency() && o.ThresholdNs <= 0:
+			return nil, &ObjectiveError{Name: o.Name, Reason: "latency objective needs a positive threshold"}
+		case !o.latency() && o.Good == "" && o.Bad == "":
+			return nil, &ObjectiveError{Name: o.Name, Reason: "needs good/bad counters or a histogram"}
+		}
+	}
+	return &Evaluator{
+		cfg:    cfg.withDefaults(),
+		objs:   append([]Objective(nil), objs...),
+		prev:   make([]sample, len(objs)),
+		window: make([][]sample, len(objs)),
+	}, nil
+}
+
+// Config returns the evaluator's effective (defaulted) configuration.
+func (e *Evaluator) Config() Config { return e.cfg }
+
+// cumulative extracts one objective's cumulative good/bad totals from a
+// snapshot. Missing instruments read as zero, so an objective declared
+// ahead of traffic simply reports no burn.
+func cumulative(o Objective, s *telemetry.Snapshot) sample {
+	if s == nil {
+		return sample{}
+	}
+	if !o.latency() {
+		return sample{good: s.Counters[o.Good], bad: s.Counters[o.Bad]}
+	}
+	h := s.Histograms[o.Histogram]
+	var good int64
+	for i, b := range h.Bounds {
+		if b <= o.ThresholdNs && i < len(h.Buckets) {
+			good += h.Buckets[i]
+		}
+	}
+	return sample{good: good, bad: h.Count - good}
+}
+
+// burn computes the error-budget burn rate over a window tally.
+func burn(good, bad int64, target float64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - target)
+}
+
+// Tick feeds the next cumulative snapshot and returns one report per
+// objective, in declaration order. The first call seeds the baseline
+// and reports zero burn with Ticks 0. A cumulative total that moved
+// backwards (node restart) is clamped: the tick's delta becomes the new
+// total, as if the counter restarted from zero at the previous tick.
+func (e *Evaluator) Tick(s *telemetry.Snapshot) []Report {
+	reports := make([]Report, len(e.objs))
+	for i, o := range e.objs {
+		cur := cumulative(o, s)
+		reports[i] = Report{Objective: o.Name, Target: o.Target}
+		if !e.seeded {
+			e.prev[i] = cur
+			continue
+		}
+		d := sample{good: cur.good - e.prev[i].good, bad: cur.bad - e.prev[i].bad}
+		if d.good < 0 || d.bad < 0 {
+			d = cur
+		}
+		e.prev[i] = cur
+		e.window[i] = append(e.window[i], d)
+		if n := len(e.window[i]) - e.cfg.SlowWindow; n > 0 {
+			e.window[i] = e.window[i][n:]
+		}
+	}
+	if !e.seeded {
+		e.seeded = true
+		return reports
+	}
+	e.ticks++
+	for i, o := range e.objs {
+		r := &reports[i]
+		r.Ticks = e.ticks
+		w := e.window[i]
+		fastStart := len(w) - e.cfg.FastWindow
+		if fastStart < 0 {
+			fastStart = 0
+		}
+		for j, d := range w {
+			r.SlowGood += d.good
+			r.SlowBad += d.bad
+			if j >= fastStart {
+				r.FastGood += d.good
+				r.FastBad += d.bad
+			}
+		}
+		r.FastBurn = burn(r.FastGood, r.FastBad, o.Target)
+		r.SlowBurn = burn(r.SlowGood, r.SlowBad, o.Target)
+		r.Page = r.FastBurn >= e.cfg.PageBurn && r.SlowBurn >= e.cfg.PageBurn
+	}
+	return reports
+}

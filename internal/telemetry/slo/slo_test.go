@@ -1,0 +1,184 @@
+package slo
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"duo/internal/telemetry"
+)
+
+func approx(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %g, want %g", what, got, want)
+	}
+}
+
+func availSnap(good, bad int64) *telemetry.Snapshot {
+	return &telemetry.Snapshot{Counters: map[string]int64{
+		"node.admission.admitted": good,
+		"node.admission.shed":     bad,
+	}}
+}
+
+// TestShedBurstBurnMath drives the canonical scenario end to end: a
+// healthy cluster, then a total shed burst. The fast window trips two
+// ticks into the burst; the page fires only once the slow window agrees.
+func TestShedBurstBurnMath(t *testing.T) {
+	ev, err := NewEvaluator(
+		Config{FastWindow: 2, SlowWindow: 4, PageBurn: 10},
+		Objective{
+			Name:   "availability",
+			Good:   "node.admission.admitted",
+			Bad:    "node.admission.shed",
+			Target: 0.9,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline tick: seeds, no burn data.
+	rs := ev.Tick(availSnap(0, 0))
+	if len(rs) != 1 || rs[0].Ticks != 0 || rs[0].Page {
+		t.Fatalf("baseline report = %+v", rs[0])
+	}
+
+	type step struct {
+		good, bad          int64 // cumulative totals fed in
+		fastBurn, slowBurn float64
+		page               bool
+	}
+	steps := []step{
+		{100, 0, 0, 0, false},         // healthy
+		{200, 0, 0, 0, false},         // healthy
+		{200, 100, 5, 10. / 3, false}, // burst begins: fast sees 100g/100b
+		{200, 200, 10, 5, false},      // fast window all-bad, slow lags
+		{200, 300, 10, 7.5, false},    // slow window climbing
+		{200, 400, 10, 10, true},      // slow window all-bad: page
+	}
+	for i, s := range steps {
+		r := ev.Tick(availSnap(s.good, s.bad))[0]
+		if r.Ticks != i+1 {
+			t.Errorf("step %d: ticks = %d, want %d", i, r.Ticks, i+1)
+		}
+		approx(t, "fast burn", r.FastBurn, s.fastBurn)
+		approx(t, "slow burn", r.SlowBurn, s.slowBurn)
+		if r.Page != s.page {
+			t.Errorf("step %d: page = %v, want %v (report %+v)", i, r.Page, s.page, r)
+		}
+	}
+}
+
+// TestLatencyObjectiveBuckets: good = observations in buckets at or
+// below the threshold, computed from per-tick bucket deltas.
+func TestLatencyObjectiveBuckets(t *testing.T) {
+	ev, err := NewEvaluator(
+		Config{FastWindow: 2, SlowWindow: 4, PageBurn: 10},
+		Objective{Name: "latency", Histogram: "shard.scan_ns", ThresholdNs: 200, Target: 0.9},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := func(buckets ...int64) *telemetry.Snapshot {
+		var count int64
+		for _, b := range buckets {
+			count += b
+		}
+		return &telemetry.Snapshot{Histograms: map[string]telemetry.HistogramStats{
+			"shard.scan_ns": {
+				Count:   count,
+				Bounds:  []float64{100, 200, 1000},
+				Buckets: buckets,
+			},
+		}}
+	}
+	ev.Tick(snap(0, 0, 0, 0))
+	// 80 fast (≤200ns), 20 slow: 20% bad against a 10% budget → burn 2.
+	r := ev.Tick(snap(50, 30, 15, 5))[0]
+	if r.FastGood != 80 || r.FastBad != 20 {
+		t.Fatalf("tally = %d good / %d bad, want 80/20", r.FastGood, r.FastBad)
+	}
+	approx(t, "latency burn", r.FastBurn, 2)
+	// Next tick adds 100 all-fast observations; the fast window still
+	// holds both ticks, so the bad tally carries over.
+	r = ev.Tick(snap(150, 30, 15, 5))[0]
+	if r.FastGood != 180 || r.FastBad != 20 {
+		t.Fatalf("tally after fast tick = %d/%d, want 180/20", r.FastGood, r.FastBad)
+	}
+}
+
+// TestCounterResetClamps: a cumulative total moving backwards (node
+// restart) becomes that tick's delta instead of poisoning the window
+// with negative counts.
+func TestCounterResetClamps(t *testing.T) {
+	ev, err := NewEvaluator(
+		Config{FastWindow: 2, SlowWindow: 2, PageBurn: 10},
+		Objective{Name: "a", Good: "g", Bad: "b", Target: 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := func(g, b int64) *telemetry.Snapshot {
+		return &telemetry.Snapshot{Counters: map[string]int64{"g": g, "b": b}}
+	}
+	ev.Tick(snap(0, 0))
+	ev.Tick(snap(100, 0))
+	r := ev.Tick(snap(30, 5))[0] // restart: totals fell
+	if r.FastGood != 130 || r.FastBad != 5 {
+		t.Errorf("post-reset tally = %d/%d, want 130/5 (clamped delta 30/5)", r.FastGood, r.FastBad)
+	}
+}
+
+func TestObjectiveValidation(t *testing.T) {
+	cases := []Objective{
+		{Name: "", Good: "g", Target: 0.9},
+		{Name: "bad-target", Good: "g", Target: 1},
+		{Name: "bad-target2", Good: "g", Target: 0},
+		{Name: "both-shapes", Good: "g", Histogram: "h", ThresholdNs: 1, Target: 0.9},
+		{Name: "no-shape", Target: 0.9},
+		{Name: "no-threshold", Histogram: "h", Target: 0.9},
+	}
+	for _, o := range cases {
+		_, err := NewEvaluator(Config{}, o)
+		var oe *ObjectiveError
+		if !errors.As(err, &oe) {
+			t.Errorf("objective %+v: err = %v, want *ObjectiveError", o, err)
+		}
+	}
+	if _, err := NewEvaluator(Config{}, Objective{Name: "ok", Good: "g", Target: 0.999}); err != nil {
+		t.Errorf("valid objective rejected: %v", err)
+	}
+}
+
+func TestDefaultsAndDeterminism(t *testing.T) {
+	ev, err := NewEvaluator(Config{}, Objective{Name: "a", Good: "g", Bad: "b", Target: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ev.Config()
+	if cfg.FastWindow != 5 || cfg.SlowWindow != 60 {
+		t.Errorf("default windows = %d/%d, want 5/60", cfg.FastWindow, cfg.SlowWindow)
+	}
+	approx(t, "default page burn", cfg.PageBurn, 14.4)
+
+	// The same snapshot sequence yields identical report sequences.
+	mk := func() *Evaluator {
+		e, err := NewEvaluator(Config{FastWindow: 3, SlowWindow: 6, PageBurn: 2},
+			Objective{Name: "a", Good: "g", Bad: "b", Target: 0.99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e1, e2 := mk(), mk()
+	for i := int64(0); i < 10; i++ {
+		s := &telemetry.Snapshot{Counters: map[string]int64{"g": i * 50, "b": i * i}}
+		r1, r2 := e1.Tick(s), e2.Tick(s)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("tick %d: diverging reports\n%+v\n%+v", i, r1, r2)
+		}
+	}
+}

@@ -184,16 +184,22 @@ func (sw Stopwatch) Stop() {
 	sw.h.Observe(float64(time.Since(sw.start))) //duolint:allow walltime the stopwatch IS the clock boundary; readings are write-only (§10)
 }
 
-// HistogramStats is a point-in-time summary of a histogram.
+// HistogramStats is a point-in-time summary of a histogram. Bounds and
+// Buckets expose the raw bucket layout (Buckets has len(Bounds)+1 entries,
+// the last being the overflow bucket): they are what makes two snapshots
+// of the same histogram shape mergeable bucket-wise (see Snapshot.Merge)
+// and what the SLO evaluator counts threshold-good observations from.
 type HistogramStats struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	Mean  float64 `json:"mean"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Mean    float64   `json:"mean"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+	P99     float64   `json:"p99"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
 }
 
 // Stats summarizes the histogram. The count is computed as the sum of the
@@ -213,27 +219,51 @@ func (h *Histogram) Stats() HistogramStats {
 	if total == 0 {
 		return HistogramStats{}
 	}
+	return statsFromBuckets(
+		append([]float64(nil), h.bounds...),
+		counts,
+		math.Float64frombits(h.sum.Load()),
+		math.Float64frombits(h.min.Load()),
+		math.Float64frombits(h.max.Load()),
+	)
+}
+
+// statsFromBuckets derives a full HistogramStats from a bucket layout plus
+// the exact sum/min/max aggregates. It is the single quantile-estimation
+// path for both live histograms (Stats) and merged snapshots
+// (Snapshot.Merge), so a fleet-merged p99 is computed by exactly the same
+// rule as a node-local one. The passed slices are retained, not copied.
+func statsFromBuckets(bounds []float64, buckets []int64, sum, min, max float64) HistogramStats {
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return HistogramStats{}
+	}
 	st := HistogramStats{
-		Count: total,
-		Sum:   math.Float64frombits(h.sum.Load()),
-		Min:   math.Float64frombits(h.min.Load()),
-		Max:   math.Float64frombits(h.max.Load()),
+		Count:   total,
+		Sum:     sum,
+		Min:     min,
+		Max:     max,
+		Bounds:  bounds,
+		Buckets: buckets,
 	}
 	st.Mean = st.Sum / float64(total)
-	st.P50 = h.quantile(counts, total, 0.50)
-	st.P95 = h.quantile(counts, total, 0.95)
-	st.P99 = h.quantile(counts, total, 0.99)
+	st.P50 = bucketQuantile(bounds, buckets, total, min, max, 0.50)
+	st.P95 = bucketQuantile(bounds, buckets, total, min, max, 0.95)
+	st.P99 = bucketQuantile(bounds, buckets, total, min, max, 0.99)
 	return st
 }
 
-// quantile estimates the q-quantile from bucket counts by linear
+// bucketQuantile estimates the q-quantile from bucket counts by linear
 // interpolation inside the containing bucket. The overflow bucket reports
 // the observed max (the histogram has no upper bound there), and every
 // estimate is clamped to the observed [min, max]: interpolation assumes
 // observations spread across the whole bucket, so with few samples the
 // raw estimate can drift past values that were actually seen — a p99
 // above Max reads as a lie in /metrics.json.
-func (h *Histogram) quantile(counts []int64, total int64, q float64) float64 {
+func bucketQuantile(bounds []float64, counts []int64, total int64, min, max, q float64) float64 {
 	rank := q * float64(total)
 	var cum float64
 	for i, c := range counts {
@@ -242,25 +272,25 @@ func (h *Histogram) quantile(counts []int64, total int64, q float64) float64 {
 		if cum < rank || c == 0 {
 			continue
 		}
-		if i == len(h.bounds) {
-			return math.Float64frombits(h.max.Load())
+		if i == len(bounds) {
+			return max
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 		}
 		frac := (rank - prev) / float64(c)
-		return h.clampObserved(lo + frac*(h.bounds[i]-lo))
+		return clampRange(lo+frac*(bounds[i]-lo), min, max)
 	}
-	return math.Float64frombits(h.max.Load())
+	return max
 }
 
-// clampObserved limits a quantile estimate to the observed value range.
-func (h *Histogram) clampObserved(v float64) float64 {
-	if max := math.Float64frombits(h.max.Load()); v > max {
+// clampRange limits a quantile estimate to the observed value range.
+func clampRange(v, min, max float64) float64 {
+	if v > max {
 		return max
 	}
-	if min := math.Float64frombits(h.min.Load()); v < min {
+	if v < min {
 		return min
 	}
 	return v
